@@ -1,0 +1,46 @@
+# lincount — development targets. Everything is stdlib-only; plain
+# `go build ./...` works without this file.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench experiments fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# One timed run of every benchmark (the experiment suite proper is
+# `make experiments`).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table in EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/lincount-bench | tee bench_tables.txt
+
+# Short fuzzing passes over the parser and the snapshot reader.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/parser
+	$(GO) test -fuzz=FuzzLoadSnapshot -fuzztime=30s ./internal/database
+
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d || exit 1; \
+	done
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,133 @@
+// Command lincount-bench regenerates every experiment table recorded in
+// EXPERIMENTS.md: the E-series reproduces the paper's worked examples, the
+// P-series measures the performance claims (magic vs counting, counting-set
+// sizes, cyclic data, reduction, multi-rule scaling, the pointer ablation,
+// per-level phase work, tree/grid data and the selectivity sweep).
+//
+// Usage:
+//
+//	lincount-bench            # full suite
+//	lincount-bench -only P1   # a single experiment
+//	lincount-bench -quick     # smaller parameters for a fast smoke run
+//	lincount-bench -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lincount/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// experiment pairs an id with its (lazy) full- and quick-parameter runs,
+// so -only executes just the requested experiment.
+type experiment struct {
+	id    string
+	full  func() bench.Table
+	quick func() bench.Table
+}
+
+func suite() []experiment {
+	return []experiment{
+		{"E1", bench.E1SameGeneration, bench.E1SameGeneration},
+		{"E2", bench.E2ArcClassification, bench.E2ArcClassification},
+		{"E3", bench.E3MultiRule, bench.E3MultiRule},
+		{"E4", bench.E4SharedVariables, bench.E4SharedVariables},
+		{"E5", bench.E5Cyclic, bench.E5Cyclic},
+		{"E6", bench.E6MixedLinear, bench.E6MixedLinear},
+		{"P1",
+			func() bench.Table { return bench.P1MagicVsCounting([]int{2, 4, 8, 16}, 16) },
+			func() bench.Table { return bench.P1MagicVsCounting([]int{2, 4}, 8) }},
+		{"P2",
+			func() bench.Table { return bench.P2CountingSetSize([]int{16, 32, 64, 128}) },
+			func() bench.Table { return bench.P2CountingSetSize([]int{16, 32}) }},
+		{"P3",
+			func() bench.Table { return bench.P3CyclicData([]int{32, 64, 128}, 8) },
+			func() bench.Table { return bench.P3CyclicData([]int{16, 32}, 8) }},
+		{"P4",
+			func() bench.Table { return bench.P4Reduction(256) },
+			func() bench.Table { return bench.P4Reduction(64) }},
+		{"P5",
+			func() bench.Table { return bench.P5MultiRule(64, []int{1, 2, 4, 8}) },
+			func() bench.Table { return bench.P5MultiRule(32, []int{1, 2, 4}) }},
+		{"P6",
+			func() bench.Table { return bench.P6PointerAblation([]int{1000, 2000, 4000}) },
+			func() bench.Table { return bench.P6PointerAblation([]int{1000, 4000}) }},
+		{"P7",
+			func() bench.Table { return bench.P7PhaseWork([]int{64, 256, 1024}) },
+			func() bench.Table { return bench.P7PhaseWork([]int{64, 256}) }},
+		{"P8",
+			func() bench.Table { return bench.P8TreeData([]int{6, 8, 10}) },
+			func() bench.Table { return bench.P8TreeData([]int{5, 7}) }},
+		{"P9",
+			func() bench.Table { return bench.P9Grid([]int{4, 8, 16}, 16) },
+			func() bench.Table { return bench.P9Grid([]int{4, 8}, 8) }},
+		{"P10",
+			func() bench.Table { return bench.P10Selectivity(32, []int{0, 4, 16, 64}) },
+			func() bench.Table { return bench.P10Selectivity(16, []int{0, 8}) }},
+		{"P11",
+			func() bench.Table { return bench.P11IntegerEncoding([]int{1, 2, 4, 8, 16}) },
+			func() bench.Table { return bench.P11IntegerEncoding([]int{1, 4}) }},
+		{"P12",
+			func() bench.Table { return bench.P12QSQ([]int{16, 32, 64}) },
+			func() bench.Table { return bench.P12QSQ([]int{16, 32}) }},
+	}
+}
+
+// run executes the harness; factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lincount-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only  = fs.String("only", "", "run a single experiment by id (E1..E6, P1..P10)")
+		quick = fs.Bool("quick", false, "smaller parameters (fast smoke run)")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	failed := 0
+	matched := false
+	for _, e := range suite() {
+		if *only != "" && !strings.EqualFold(e.id, *only) {
+			continue
+		}
+		matched = true
+		var t bench.Table
+		if *quick {
+			t = e.quick()
+		} else {
+			t = e.full()
+		}
+		if *csv {
+			fmt.Fprint(stdout, t.CSV())
+		} else {
+			fmt.Fprintln(stdout, t.Format())
+		}
+		for _, r := range t.Rows {
+			// E-series rows are checks; a non-empty Err there is a
+			// reproduction failure. P-series rows may legitimately
+			// carry "diverges" markers.
+			if strings.HasPrefix(t.ID, "E") && r.Err != "" {
+				failed++
+			}
+		}
+	}
+	if *only != "" && !matched {
+		fmt.Fprintf(stderr, "lincount-bench: no experiment with id %q\n", *only)
+		return 2
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "lincount-bench: %d reproduction checks failed\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "E2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "== E2:") {
+		t.Errorf("output:\n%s", text)
+	}
+	if strings.Contains(text, "== E1:") {
+		t.Error("-only leaked other experiments")
+	}
+}
+
+func TestBenchQuickSuiteCleanChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole quick suite")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, id := range []string{"E1", "E6", "P1", "P10", "P11", "P12"} {
+		if !strings.Contains(out.String(), "== "+id+":") {
+			t.Errorf("quick suite missing %s", id)
+		}
+	}
+}
+
+func TestBenchCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "E2", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "experiment,workload,strategy") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "P99"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestSuiteCoversEveryExperimentOnce(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range suite() {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.full == nil || e.quick == nil {
+			t.Errorf("experiment %s lacks a variant", e.id)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6",
+		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}

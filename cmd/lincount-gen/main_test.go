@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lincount"
+)
+
+func gen(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	if code != 0 && errOut.Len() == 0 {
+		t.Fatalf("exit %d with no error output", code)
+	}
+	return out.String(), code
+}
+
+func TestGenAllKindsProduceParsableFacts(t *testing.T) {
+	kinds := [][]string{
+		{"-kind", "chain", "-n", "5"},
+		{"-kind", "cylinder", "-depth", "3", "-width", "2"},
+		{"-kind", "grid", "-depth", "3", "-width", "2"},
+		{"-kind", "tree", "-fan", "2", "-depth", "3"},
+		{"-kind", "invtree", "-fan", "2", "-depth", "3"},
+		{"-kind", "shortcut", "-n", "6"},
+		{"-kind", "cyclic", "-n", "6", "-period", "3"},
+		{"-kind", "branchy", "-n", "4", "-branches", "2"},
+		{"-kind", "multirule", "-n", "6", "-k", "2"},
+		{"-kind", "sharedvar", "-n", "4"},
+		{"-kind", "rightlinear", "-n", "4", "-answers", "2"},
+		{"-kind", "random", "-n", "8", "-arcs", "12", "-seed", "3"},
+	}
+	for _, args := range kinds {
+		out, code := gen(t, args...)
+		if code != 0 {
+			t.Errorf("%v: exit %d", args, code)
+			continue
+		}
+		p, err := lincount.ParseProgram(out)
+		if err != nil {
+			t.Errorf("%v: output does not parse: %v", args, err)
+			continue
+		}
+		if len(p.Queries()) != 0 {
+			t.Errorf("%v: fact output contains queries", args)
+		}
+	}
+}
+
+func TestGenWithProgramHeader(t *testing.T) {
+	out, code := gen(t, "-kind", "chain", "-n", "3", "-program")
+	if code != 0 {
+		t.Fatal("exit nonzero")
+	}
+	if !strings.Contains(out, "sg(X,Y) :- flat(X,Y).") {
+		t.Errorf("program header missing:\n%s", out)
+	}
+	if _, err := lincount.ParseProgram(out); err != nil {
+		t.Errorf("combined output does not parse: %v", err)
+	}
+}
+
+func TestGenBinarySnapshot(t *testing.T) {
+	out, code := gen(t, "-kind", "chain", "-n", "4", "-binary")
+	if code != 0 {
+		t.Fatal("exit nonzero")
+	}
+	if !strings.HasPrefix(out, "LCDB1") {
+		t.Errorf("snapshot magic missing: %q", out[:8])
+	}
+	p, err := lincount.ParseProgram("sg(X,Y) :- flat(X,Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadSnapshot(strings.NewReader(out)); err != nil {
+		t.Fatalf("snapshot does not load: %v", err)
+	}
+	if db.FactCount() != 9 { // 4 up + 1 flat + 4 down
+		t.Errorf("FactCount = %d", db.FactCount())
+	}
+}
+
+func TestGenUnknownKind(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-kind", "bogus"}, &out, &errOut); code == 0 {
+		t.Error("unknown kind accepted")
+	}
+}

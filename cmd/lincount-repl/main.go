@@ -1,0 +1,207 @@
+// Command lincount-repl is an interactive shell for the lincount engine:
+// type facts and rules to accumulate a program, queries to evaluate them,
+// and meta-commands to inspect rewrites and statistics.
+//
+//	$ go run ./cmd/lincount-repl
+//	> sg(X,Y) :- flat(X,Y).
+//	> sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+//	> up(a,b). flat(b,c). down(c,d).
+//	> ?- sg(a,Y).
+//	a, d
+//	> :strategy counting
+//	> :rewrite ?- sg(a,Y).
+//	> :why ?- sg(a,Y).
+//	> :quit
+//
+// Because programs are immutable once parsed, the REPL re-parses the
+// accumulated source after each definition — fine at interactive scale.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lincount"
+)
+
+type session struct {
+	src      strings.Builder
+	strategy lincount.Strategy
+	out      *bufio.Writer
+}
+
+func main() {
+	runREPL(os.Stdin, os.Stdout)
+}
+
+// runREPL drives the shell over the given streams; factored out of main so
+// tests can script it.
+func runREPL(in io.Reader, out io.Writer) {
+	s := &session{strategy: lincount.Auto, out: bufio.NewWriter(out)}
+	defer s.out.Flush()
+
+	fmt.Fprintln(s.out, "lincount interactive shell — :help for commands")
+	s.out.Flush()
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(s.out, "> ")
+		s.out.Flush()
+		if !sc.Scan() {
+			fmt.Fprintln(s.out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, ":"):
+			if quit := s.command(line); quit {
+				return
+			}
+		case strings.HasPrefix(line, "?-"):
+			s.query(line)
+		default:
+			s.define(line)
+		}
+		s.out.Flush()
+	}
+}
+
+func (s *session) command(line string) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		return true
+	case ":help", ":h":
+		fmt.Fprint(s.out, `commands:
+  <rule or fact>.          add to the program (e.g. up(a,b). or p(X) :- q(X).)
+  ?- goal.                 evaluate a query with the current strategy
+  :strategy [name]         show or set the strategy (auto, naive, semi-naive,
+                           magic, magic-sup, counting-classic, counting,
+                           counting-reduced, counting-runtime)
+  :rewrite ?- goal.        show the rewritten program for the current strategy
+  :why ?- goal.            answers with derivation witnesses (linear programs)
+  :lint                    run static diagnostics over the program
+  :list                    show the accumulated program
+  :load <path>             read rules/facts from a file
+  :clear                   start over
+  :quit                    leave
+`)
+	case ":strategy":
+		if len(fields) == 1 {
+			fmt.Fprintf(s.out, "strategy: %s\n", s.strategy)
+			return false
+		}
+		st, err := lincount.ParseStrategy(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		s.strategy = st
+	case ":lint":
+		p, err := lincount.ParseProgram(s.src.String())
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		findings, _ := p.Lint()
+		if len(findings) == 0 {
+			fmt.Fprintln(s.out, "clean.")
+		}
+		for _, f := range findings {
+			fmt.Fprintln(s.out, f)
+		}
+	case ":list":
+		p, err := lincount.ParseProgram(s.src.String())
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		fmt.Fprint(s.out, p.Text())
+	case ":clear":
+		s.src.Reset()
+	case ":load":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: :load <path>")
+			return false
+		}
+		data, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		s.define(string(data))
+	case ":rewrite":
+		goal := strings.TrimSpace(strings.TrimPrefix(line, ":rewrite"))
+		p, err := lincount.ParseProgram(s.src.String())
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		prog, g, err := lincount.Rewrite(p, goal, s.strategy)
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		fmt.Fprintf(s.out, "%sgoal: %s\n", prog, g)
+	case ":why":
+		goal := strings.TrimSpace(strings.TrimPrefix(line, ":why"))
+		p, err := lincount.ParseProgram(s.src.String())
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		exps, err := lincount.Explain(p, lincount.NewDatabase(p), goal)
+		if err != nil {
+			fmt.Fprintln(s.out, err)
+			return false
+		}
+		for _, e := range exps {
+			fmt.Fprintln(s.out, strings.Join(e.Answer, ", "))
+			for _, l := range strings.Split(strings.TrimRight(e.Witness, "\n"), "\n") {
+				fmt.Fprintf(s.out, "    %s\n", l)
+			}
+		}
+	default:
+		fmt.Fprintf(s.out, "unknown command %s (:help)\n", fields[0])
+	}
+	return false
+}
+
+// define validates and appends program text.
+func (s *session) define(text string) {
+	candidate := s.src.String() + text + "\n"
+	if _, err := lincount.ParseProgram(candidate); err != nil {
+		fmt.Fprintln(s.out, err)
+		return
+	}
+	s.src.WriteString(text)
+	s.src.WriteByte('\n')
+}
+
+// query evaluates one goal against the accumulated program. Facts live in
+// the program itself (the engine treats ground bodiless rules as tuples).
+func (s *session) query(goal string) {
+	p, err := lincount.ParseProgram(s.src.String())
+	if err != nil {
+		fmt.Fprintln(s.out, err)
+		return
+	}
+	res, err := lincount.Eval(p, lincount.NewDatabase(p), goal, s.strategy)
+	if err != nil {
+		fmt.Fprintln(s.out, err)
+		return
+	}
+	if len(res.Answers) == 0 {
+		fmt.Fprintln(s.out, "no.")
+		return
+	}
+	for _, row := range res.Answers {
+		fmt.Fprintln(s.out, strings.Join(row, ", "))
+	}
+	fmt.Fprintf(s.out, "%% %d answer(s) via %s, %d inferences\n",
+		len(res.Answers), res.Strategy, res.Stats.Inferences)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func script(t *testing.T, lines ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	runREPL(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	return out.String()
+}
+
+func TestREPLQueryFlow(t *testing.T) {
+	out := script(t,
+		"sg(X,Y) :- flat(X,Y).",
+		"sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).",
+		"up(a,b). flat(b,c). down(c,d).",
+		"?- sg(a,Y).",
+		":quit",
+	)
+	if !strings.Contains(out, "a, d") {
+		t.Errorf("answer missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 answer(s)") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+func TestREPLStrategySwitch(t *testing.T) {
+	out := script(t,
+		"e(a,b). e(b,c).",
+		"tc(X,Y) :- e(X,Y).",
+		"tc(X,Y) :- e(X,Z), tc(Z,Y).",
+		":strategy magic",
+		"?- tc(a,Y).",
+		":strategy",
+		":quit",
+	)
+	if !strings.Contains(out, "via magic") {
+		t.Errorf("strategy not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "strategy: magic") {
+		t.Errorf("strategy not shown:\n%s", out)
+	}
+}
+
+func TestREPLBadStrategyKeepsRunning(t *testing.T) {
+	out := script(t, ":strategy bogus", ":quit")
+	if !strings.Contains(out, "unknown strategy") {
+		t.Errorf("error not reported:\n%s", out)
+	}
+}
+
+func TestREPLRewrite(t *testing.T) {
+	out := script(t,
+		"sg(X,Y) :- flat(X,Y).",
+		"sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).",
+		":strategy counting",
+		":rewrite ?- sg(a,Y).",
+		":quit",
+	)
+	if !strings.Contains(out, "c_sg_bf(a,[]).") {
+		t.Errorf("rewrite missing:\n%s", out)
+	}
+}
+
+func TestREPLWhy(t *testing.T) {
+	out := script(t,
+		"sg(X,Y) :- flat(X,Y).",
+		"sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).",
+		"up(a,b). flat(b,c). down(c,d).",
+		":why ?- sg(a,Y).",
+		":quit",
+	)
+	if !strings.Contains(out, "exit") || !strings.Contains(out, "undo") {
+		t.Errorf("witness missing:\n%s", out)
+	}
+}
+
+func TestREPLLintAndList(t *testing.T) {
+	out := script(t,
+		"p(X,Y) :- q(X).",
+		":lint",
+		":list",
+		":quit",
+	)
+	if !strings.Contains(out, "head variable Y") {
+		t.Errorf("lint finding missing:\n%s", out)
+	}
+	if !strings.Contains(out, "p(X,Y) :- q(X).") {
+		t.Errorf("list missing:\n%s", out)
+	}
+}
+
+func TestREPLRejectsBadInputKeepsState(t *testing.T) {
+	out := script(t,
+		"good(a).",
+		"bad(((",
+		"?- good(X).",
+		":quit",
+	)
+	if !strings.Contains(out, "a\n") {
+		t.Errorf("state lost after bad input:\n%s", out)
+	}
+}
+
+func TestREPLClear(t *testing.T) {
+	out := script(t,
+		"p(a).",
+		":clear",
+		"?- p(X).",
+		":quit",
+	)
+	if !strings.Contains(out, "no.") {
+		t.Errorf("clear did not reset:\n%s", out)
+	}
+}
+
+func TestREPLNoAnswers(t *testing.T) {
+	out := script(t, "p(a).", "?- p(zzz).", ":quit")
+	if !strings.Contains(out, "no.") {
+		t.Errorf("missing 'no.':\n%s", out)
+	}
+}
+
+func TestREPLHelpAndUnknown(t *testing.T) {
+	out := script(t, ":help", ":wat", ":quit")
+	if !strings.Contains(out, "commands:") || !strings.Contains(out, "unknown command :wat") {
+		t.Errorf("help/unknown handling:\n%s", out)
+	}
+}

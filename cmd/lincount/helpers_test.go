@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"lincount"
+)
+
+func mustProgram(t *testing.T) *lincount.Program {
+	t.Helper()
+	p, err := lincount.ParseProgram(sgText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newDatabase(t *testing.T, p *lincount.Program, facts string) *lincount.Database {
+	t.Helper()
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(facts); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

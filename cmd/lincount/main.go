@@ -1,0 +1,172 @@
+// Command lincount evaluates a bound-argument query over a Datalog program
+// and a fact database with a selectable optimization strategy.
+//
+// Usage:
+//
+//	lincount -program sg.dl -facts data.dl -query '?- sg(a,Y).' [-strategy auto] [-stats]
+//
+// When -query is omitted, the queries embedded in the program file ("?-"
+// lines) are evaluated in order. Fact files ending in .lcdb are read as
+// binary snapshots. The strategy names are those of lincount.Strategy:
+// auto, naive, semi-naive, magic, magic-sup, magic-counting,
+// counting-classic, counting, counting-reduced, counting-runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lincount"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lincount", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		programPath = fs.String("program", "", "path to the Datalog program (required)")
+		factsPath   = fs.String("facts", "", "comma-separated fact files (.dl text or .lcdb snapshots)")
+		query       = fs.String("query", "", "query to evaluate, e.g. '?- sg(a,Y).'")
+		strategy    = fs.String("strategy", "auto", "evaluation strategy")
+		stats       = fs.Bool("stats", false, "print evaluation statistics")
+		showRewrite = fs.Bool("rewrite", false, "print the rewritten program before the answers")
+		why         = fs.Bool("why", false, "print a derivation witness for every answer (linear programs only)")
+		trace       = fs.Bool("trace", false, "print per-component and per-iteration fixpoint events")
+		lintOnly    = fs.Bool("lint", false, "run static diagnostics over the program and exit")
+		cset        = fs.Bool("cset", false, "print the counting set (paper notation) instead of evaluating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lincount:", err)
+		return 1
+	}
+
+	if *programPath == "" {
+		fmt.Fprintln(stderr, "lincount: -program is required")
+		fs.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		return fail(err)
+	}
+	p, err := lincount.ParseProgram(string(src))
+	if err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", *programPath, err))
+	}
+	if *lintOnly {
+		findings, hasErrors := p.Lint()
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if hasErrors {
+			return 1
+		}
+		return 0
+	}
+	db := lincount.NewDatabase(p)
+	if *factsPath != "" {
+		for _, path := range strings.Split(*factsPath, ",") {
+			if strings.HasSuffix(path, ".lcdb") {
+				f, err := os.Open(path)
+				if err != nil {
+					return fail(err)
+				}
+				err = db.LoadSnapshot(f)
+				f.Close()
+				if err != nil {
+					return fail(fmt.Errorf("loading snapshot %s: %w", path, err))
+				}
+				continue
+			}
+			facts, err := os.ReadFile(path)
+			if err != nil {
+				return fail(err)
+			}
+			if err := db.LoadFacts(string(facts)); err != nil {
+				return fail(fmt.Errorf("loading %s: %w", path, err))
+			}
+		}
+	}
+	s, err := lincount.ParseStrategy(*strategy)
+	if err != nil {
+		return fail(err)
+	}
+
+	queries := p.Queries()
+	if *query != "" {
+		queries = []string{*query}
+	}
+	if len(queries) == 0 {
+		return fail(fmt.Errorf("no query: pass -query or embed '?- goal.' in the program"))
+	}
+
+	for _, q := range queries {
+		if *cset {
+			out, err := lincount.CountingSet(p, db, q)
+			if err != nil {
+				return fail(fmt.Errorf("counting set for %s: %w", q, err))
+			}
+			fmt.Fprintf(stdout, "%% %s\n%s", q, out)
+			continue
+		}
+		if *why {
+			exps, err := lincount.Explain(p, db, q)
+			if err != nil {
+				return fail(fmt.Errorf("explaining %s: %w", q, err))
+			}
+			fmt.Fprintf(stdout, "%% %s  [counting-runtime with provenance]\n", q)
+			for _, e := range exps {
+				fmt.Fprintln(stdout, strings.Join(e.Answer, ", "))
+				for _, line := range strings.Split(strings.TrimRight(e.Witness, "\n"), "\n") {
+					fmt.Fprintf(stdout, "    %s\n", line)
+				}
+			}
+			continue
+		}
+		var opts []lincount.Option
+		if *trace {
+			opts = append(opts, lincount.WithTrace(func(e lincount.TraceEvent) {
+				switch e.Kind {
+				case "component":
+					fmt.Fprintf(stdout, "%% stratum: %s\n", strings.Join(e.Preds, ", "))
+				default:
+					fmt.Fprintf(stdout, "%%   iter %-3d delta=%-6d total=%d\n",
+						e.Iteration, e.DeltaFacts, e.TotalFacts)
+				}
+			}))
+		}
+		res, err := lincount.Eval(p, db, q, s, opts...)
+		if err != nil {
+			return fail(fmt.Errorf("evaluating %s: %w", q, err))
+		}
+		fmt.Fprintf(stdout, "%% %s  [%s]\n", q, res.Strategy)
+		if *showRewrite && res.Rewritten != "" {
+			fmt.Fprintln(stdout, "% rewritten program:")
+			for _, line := range strings.Split(strings.TrimSpace(res.Rewritten), "\n") {
+				fmt.Fprintf(stdout, "%%   %s\n", line)
+			}
+			fmt.Fprintf(stdout, "%%   goal: %s\n", res.RewrittenQuery)
+		}
+		for _, row := range res.Answers {
+			fmt.Fprintln(stdout, strings.Join(row, ", "))
+		}
+		if *stats {
+			st := res.Stats
+			fmt.Fprintf(stdout, "%% answers=%d inferences=%d facts=%d counting-set=%d answer-tuples=%d iterations=%d probes=%d\n",
+				len(res.Answers), st.Inferences, st.DerivedFacts,
+				st.CountingNodes, st.AnswerTuples, st.Iterations, st.Probes)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,130 @@
+package lincount
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lincount/internal/counting"
+	"lincount/internal/magic"
+	"lincount/internal/topdown"
+)
+
+// The golden corpus: every testdata/*.dl file holds one program with one
+// embedded query, its expected answers in "% expect:" comments, and an
+// optional "% cyclic" marker for databases on which the acyclic-only
+// counting strategies legitimately diverge. Every applicable strategy must
+// return exactly the expected rows.
+
+type corpusCase struct {
+	name   string
+	text   string
+	expect []string
+	cyclic bool
+}
+
+func loadCorpus(t *testing.T) []corpusCase {
+	t.Helper()
+	paths, err := filepath.Glob("testdata/*.dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	var cases []corpusCase
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := corpusCase{name: filepath.Base(path), text: string(data)}
+		for _, line := range strings.Split(c.text, "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, "% expect:"); ok {
+				c.expect = append(c.expect, strings.TrimSpace(rest))
+			}
+			if line == "% cyclic" {
+				c.cyclic = true
+			}
+		}
+		sort.Strings(c.expect)
+		if len(c.expect) == 0 {
+			t.Fatalf("%s has no %% expect lines", path)
+		}
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+// notApplicable reports errors that mean "this strategy does not cover the
+// program", which the corpus treats as a skip rather than a failure.
+func notApplicable(err error) bool {
+	return errors.Is(err, counting.ErrNotLinear) ||
+		errors.Is(err, counting.ErrNotApplicable) ||
+		errors.Is(err, counting.ErrNoBoundArgs) ||
+		errors.Is(err, magic.ErrNoBoundArgs) ||
+		errors.Is(err, topdown.ErrUnsupported)
+}
+
+func TestCorpus(t *testing.T) {
+	for _, c := range loadCorpus(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, err := ParseProgram(c.text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			queries := p.Queries()
+			if len(queries) != 1 {
+				t.Fatalf("expected exactly one query, got %v", queries)
+			}
+			db := NewDatabase(p) // facts are embedded in the program
+
+			strategies := append([]Strategy{Auto}, Strategies()...)
+			ran := 0
+			for _, s := range strategies {
+				if c.cyclic && (s == CountingClassic || s == Counting || s == CountingReduced) {
+					continue // diverges by design (the paper's point)
+				}
+				res, err := Eval(p, db, queries[0], s,
+					WithMaxIterations(50_000), WithMaxDerivedFacts(2_000_000))
+				if err != nil {
+					if notApplicable(err) {
+						continue
+					}
+					t.Fatalf("%v: %v", s, err)
+				}
+				ran++
+				var got []string
+				for _, row := range res.Answers {
+					got = append(got, strings.Join(row, ","))
+				}
+				sort.Strings(got)
+				if strings.Join(got, "|") != strings.Join(c.expect, "|") {
+					t.Errorf("%v answers %v, want %v", s, got, c.expect)
+				}
+			}
+			if ran < 3 {
+				t.Errorf("only %d strategies were applicable; corpus case too narrow", ran)
+			}
+		})
+	}
+}
+
+// TestCorpusAutoNeverErrors: Auto must handle every corpus program.
+func TestCorpusAutoNeverErrors(t *testing.T) {
+	for _, c := range loadCorpus(t) {
+		p, err := ParseProgram(c.text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := NewDatabase(p)
+		if _, err := Eval(p, db, p.Queries()[0], Auto); err != nil {
+			t.Errorf("%s: Auto failed: %v", c.name, err)
+		}
+	}
+}

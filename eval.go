@@ -1,0 +1,510 @@
+package lincount
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lincount/internal/adorn"
+	"lincount/internal/ast"
+	"lincount/internal/counting"
+	"lincount/internal/database"
+	"lincount/internal/engine"
+	"lincount/internal/magic"
+	"lincount/internal/parser"
+	"lincount/internal/topdown"
+)
+
+// Option tunes an evaluation.
+type Option func(*evalConfig)
+
+type evalConfig struct {
+	maxIterations int
+	maxFacts      int
+	parallel      bool
+	trace         func(TraceEvent)
+}
+
+// WithParallel evaluates independent strata concurrently (engine
+// strategies). Strata whose rules build compound terms still run
+// sequentially, and the fact budget becomes per-stratum.
+func WithParallel() Option {
+	return func(c *evalConfig) { c.parallel = true }
+}
+
+// TraceEvent is one step of an evaluation trace: a stratum starting
+// ("component") or one fixpoint round ("iteration").
+type TraceEvent struct {
+	Kind       string
+	Preds      []string
+	Iteration  int
+	DeltaFacts int64
+	TotalFacts int64
+}
+
+// WithTrace streams per-component and per-iteration events of the engine
+// strategies to fn — an EXPLAIN ANALYZE for the fixpoint. The counting
+// runtime (Algorithm 2) is not iteration-based and emits no events.
+func WithTrace(fn func(TraceEvent)) Option {
+	return func(c *evalConfig) { c.trace = fn }
+}
+
+// WithMaxIterations bounds fixpoint iterations (engine strategies).
+func WithMaxIterations(n int) Option {
+	return func(c *evalConfig) { c.maxIterations = n }
+}
+
+// WithMaxDerivedFacts bounds the number of derived tuples.
+func WithMaxDerivedFacts(n int) Option {
+	return func(c *evalConfig) { c.maxFacts = n }
+}
+
+// Eval evaluates query ("?- goal(args).") against p and db with the given
+// strategy. Every strategy returns the same answer rows; explicit
+// strategies return an error when they are not applicable to the program
+// (Auto always picks an applicable one).
+func Eval(p *Program, db *Database, query string, strategy Strategy, opts ...Option) (*Result, error) {
+	if db != nil && db.owner != p {
+		return nil, ErrWrongDatabase
+	}
+	cfg := evalConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q, err := parser.ParseQuery(p.bank, query)
+	if err != nil {
+		return nil, fmt.Errorf("lincount: parsing query: %w", err)
+	}
+	var dbi *database.Database
+	if db != nil {
+		dbi = db.db
+	}
+
+	resolved := strategy
+	if strategy == Auto {
+		resolved = resolveAuto(p, q)
+	}
+
+	start := time.Now()
+	var res *Result
+	switch resolved {
+	case Naive, SemiNaive:
+		res, err = evalDirect(p, dbi, q, resolved, cfg)
+	case Magic, MagicSup:
+		res, err = evalMagic(p, dbi, q, resolved, cfg)
+	case CountingClassic, Counting, CountingReduced:
+		res, err = evalCounting(p, dbi, q, resolved, cfg)
+	case CountingRuntime:
+		res, err = evalRuntime(p, dbi, q, cfg)
+	case MagicCounting:
+		res, err = evalMagicCounting(p, dbi, q, cfg)
+	case QSQ:
+		res, err = evalQSQ(p, dbi, q, cfg)
+	default:
+		return nil, fmt.Errorf("lincount: unknown strategy %v", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// resolveAuto picks a concrete strategy for the query.
+func resolveAuto(p *Program, q ast.Query) Strategy {
+	derived := false
+	for _, r := range p.program.Rules {
+		if r.Head.Pred == q.Goal.Pred {
+			derived = true
+			break
+		}
+	}
+	if !derived {
+		return SemiNaive
+	}
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return SemiNaive
+	}
+	an, err := counting.Analyze(a)
+	switch {
+	case errors.Is(err, counting.ErrNoBoundArgs):
+		return SemiNaive
+	case err != nil:
+		return Magic
+	}
+	switch an.Classify() {
+	case counting.RightLinearClass, counting.LeftLinearClass, counting.MixedLinearClass:
+		if an.ListRewriteSafe() {
+			return CountingReduced
+		}
+		return CountingRuntime
+	default:
+		return CountingRuntime
+	}
+}
+
+func engineOpts(cfg evalConfig, naive bool) engine.Options {
+	opts := engine.Options{
+		Naive:           naive,
+		MaxIterations:   cfg.maxIterations,
+		MaxDerivedFacts: cfg.maxFacts,
+		Parallel:        cfg.parallel,
+	}
+	if cfg.trace != nil {
+		fn := cfg.trace
+		opts.Trace = func(e engine.TraceEvent) {
+			fn(TraceEvent{
+				Kind:       e.Kind,
+				Preds:      e.Preds,
+				Iteration:  e.Iteration,
+				DeltaFacts: e.DeltaFacts,
+				TotalFacts: e.TotalFacts,
+			})
+		}
+	}
+	return opts
+}
+
+func statsFromEngine(s engine.Stats) Stats {
+	return Stats{
+		Iterations:   s.Iterations,
+		Inferences:   s.Inferences,
+		DerivedFacts: s.DerivedFacts,
+		Probes:       s.Probes,
+	}
+}
+
+// finishRows formats, dedupes and sorts answer tuples.
+func finishRows(p *Program, tuples []database.Tuple) [][]string {
+	rows := make([][]string, 0, len(tuples))
+	seen := map[string]bool{}
+	for _, t := range tuples {
+		row := p.formatTuple(t)
+		k := answerKey(row)
+		if !seen[k] {
+			seen[k] = true
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return answerKey(rows[i]) < answerKey(rows[j])
+	})
+	return rows
+}
+
+func evalDirect(p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+	res, err := engine.Eval(p.program, db, engineOpts(cfg, s == Naive))
+	if err != nil {
+		return nil, err
+	}
+	tuples := engine.Answers(res, db, q)
+	out := &Result{
+		Answers:  finishRows(p, tuples),
+		Strategy: s,
+		Stats:    statsFromEngine(res.Stats),
+	}
+	if rel := res.Relation(q.Goal.Pred); rel != nil {
+		out.Stats.AnswerTuples = rel.Len()
+	}
+	return out, nil
+}
+
+func evalMagic(p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Program.Rules) == 0 {
+		// Purely extensional goal.
+		return evalDirect(p, db, q, SemiNaive, cfg)
+	}
+	var rw *magic.Rewritten
+	if s == MagicSup {
+		rw, err = magic.RewriteSupplementary(a)
+	} else {
+		rw, err = magic.Rewrite(a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Eval(rw.Program, db, engineOpts(cfg, false))
+	if err != nil {
+		return nil, err
+	}
+	tuples := engine.Answers(res, db, rw.Query)
+	out := &Result{
+		Answers:        finishRows(p, tuples),
+		Strategy:       s,
+		Rewritten:      rw.Program.Format(),
+		RewrittenQuery: ast.FormatQuery(p.bank, rw.Query),
+		Stats:          statsFromEngine(res.Stats),
+	}
+	if rel := res.Relation(rw.Query.Goal.Pred); rel != nil {
+		out.Stats.AnswerTuples = rel.Len()
+	}
+	for m := range rw.MagicPreds {
+		if rel := res.Relation(m); rel != nil {
+			out.Stats.CountingNodes += rel.Len() // magic-set size, for comparison
+		}
+	}
+	return out, nil
+}
+
+func evalCounting(p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Program.Rules) == 0 {
+		return evalDirect(p, db, q, SemiNaive, cfg)
+	}
+	var rw *counting.Rewritten
+	switch s {
+	case CountingClassic:
+		rw, err = counting.RewriteClassic(a)
+	default:
+		rw, err = counting.RewriteExtended(a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s == CountingReduced {
+		rw = counting.Reduce(rw)
+	}
+	res, err := engine.Eval(rw.Program, db, engineOpts(cfg, false))
+	if err != nil {
+		return nil, err
+	}
+	raw := engine.Answers(res, db, rw.Query)
+	tuples := rw.ReconstructAnswers(raw)
+	out := &Result{
+		Answers:        finishRows(p, tuples),
+		Strategy:       s,
+		Rewritten:      rw.Program.Format(),
+		RewrittenQuery: ast.FormatQuery(p.bank, rw.Query),
+		Stats:          statsFromEngine(res.Stats),
+	}
+	for c := range rw.CountingPreds {
+		if rel := res.Relation(c); rel != nil {
+			out.Stats.CountingNodes += rel.Len()
+		}
+	}
+	for ap := range rw.AnswerPreds {
+		if rel := res.Relation(ap); rel != nil {
+			out.Stats.AnswerTuples += rel.Len()
+		}
+	}
+	return out, nil
+}
+
+func evalRuntime(p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Program.Rules) == 0 {
+		return evalDirect(p, db, q, SemiNaive, cfg)
+	}
+	an, err := counting.Analyze(a)
+	if err != nil {
+		return nil, err
+	}
+	rres, err := counting.Run(an, db, counting.RuntimeOptions{MaxTuples: cfg.maxFacts})
+	if err != nil {
+		return nil, err
+	}
+	tuples := counting.ReconstructRuntimeAnswers(an, rres.Answers)
+	return &Result{
+		Answers:        finishRows(p, tuples),
+		Strategy:       CountingRuntime,
+		Rewritten:      counting.RewriteCyclicText(an),
+		RewrittenQuery: strings.TrimSpace(ast.FormatQuery(p.bank, a.Query)),
+		Stats: Stats{
+			Inferences:    rres.Stats.Moves,
+			Probes:        rres.Stats.Probes,
+			CountingNodes: rres.Stats.CountingNodes,
+			AnswerTuples:  rres.Stats.AnswerTuples,
+			DerivedFacts:  int64(rres.Stats.AnswerTuples + rres.Stats.CountingNodes),
+		},
+	}, nil
+}
+
+// evalMagicCounting implements the magic-counting hybrid (reference [16]):
+// probe the left-part graph; run the reduced counting program when it is
+// acyclic, magic sets otherwise.
+func evalMagicCounting(p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Program.Rules) == 0 {
+		return evalDirect(p, db, q, SemiNaive, cfg)
+	}
+	an, err := counting.Analyze(a)
+	if err != nil {
+		// Outside the counting class (e.g. non-linear): plain magic.
+		return evalMagic(p, db, q, Magic, cfg)
+	}
+	probe, err := counting.ProbeLeftGraph(an, db, cfg.maxFacts)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if probe.Acyclic && an.ListRewriteSafe() {
+		res, err = evalCounting(p, db, q, CountingReduced, cfg)
+	} else {
+		res, err = evalMagic(p, db, q, Magic, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = MagicCounting
+	return res, nil
+}
+
+// Plan returns the evaluation plan — strata in execution order and, per
+// rule, the compiled join order with index probe patterns — of the program
+// a strategy would evaluate for the query. When db is non-nil its relation
+// cardinalities participate in the join ordering, as during evaluation.
+// Not available for MagicCounting (data-dependent) or CountingRuntime
+// (not evaluated by the rule engine).
+func Plan(p *Program, db *Database, query string, strategy Strategy) (string, error) {
+	if db != nil && db.owner != p {
+		return "", ErrWrongDatabase
+	}
+	q, err := parser.ParseQuery(p.bank, query)
+	if err != nil {
+		return "", err
+	}
+	if strategy == Auto {
+		strategy = resolveAuto(p, q)
+	}
+	var dbi *database.Database
+	if db != nil {
+		dbi = db.db
+	}
+	switch strategy {
+	case Naive, SemiNaive:
+		return engine.PlanText(p.program, dbi)
+	case CountingRuntime:
+		return "", errors.New("lincount: the counting runtime is not evaluated by the rule engine; see Rewrite for its declarative form")
+	case MagicCounting:
+		return "", errors.New("lincount: magic-counting chooses its rewriting from the data; plan the Magic or CountingReduced strategy instead")
+	}
+	prog, _, err := rewriteAST(p, q, strategy)
+	if err != nil {
+		return "", err
+	}
+	return engine.PlanText(prog, dbi)
+}
+
+// rewriteAST produces the rewritten program for an engine-evaluated
+// strategy, sharing p's term bank.
+func rewriteAST(p *Program, q ast.Query, strategy Strategy) (*ast.Program, ast.Query, error) {
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, ast.Query{}, err
+	}
+	switch strategy {
+	case Magic:
+		rw, err := magic.Rewrite(a)
+		if err != nil {
+			return nil, ast.Query{}, err
+		}
+		return rw.Program, rw.Query, nil
+	case MagicSup:
+		rw, err := magic.RewriteSupplementary(a)
+		if err != nil {
+			return nil, ast.Query{}, err
+		}
+		return rw.Program, rw.Query, nil
+	case CountingClassic:
+		rw, err := counting.RewriteClassic(a)
+		if err != nil {
+			return nil, ast.Query{}, err
+		}
+		return rw.Program, rw.Query, nil
+	case Counting:
+		rw, err := counting.RewriteExtended(a)
+		if err != nil {
+			return nil, ast.Query{}, err
+		}
+		return rw.Program, rw.Query, nil
+	case CountingReduced:
+		rw, err := counting.RewriteExtended(a)
+		if err != nil {
+			return nil, ast.Query{}, err
+		}
+		rw = counting.Reduce(rw)
+		return rw.Program, rw.Query, nil
+	}
+	return nil, ast.Query{}, fmt.Errorf("lincount: no rule-engine rewriting for strategy %v", strategy)
+}
+
+// evalQSQ runs the top-down Query-SubQuery method.
+func evalQSQ(p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Program.Rules) == 0 {
+		return evalDirect(p, db, q, SemiNaive, cfg)
+	}
+	// Facts embedded in the program are fact rules of adorned predicates
+	// (Adorn treats every rule head as derived), so QSQ reads them
+	// through its answer sets; only db supplies extensional relations.
+	res, err := topdown.Eval(a, db, topdown.Options{MaxPasses: cfg.maxIterations})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Answers:  finishRows(p, res.Answers),
+		Strategy: QSQ,
+		Stats: Stats{
+			Iterations:    res.Stats.Passes,
+			Inferences:    res.Stats.Inferences,
+			DerivedFacts:  int64(res.Stats.AnswerTuples),
+			Probes:        res.Stats.Probes,
+			CountingNodes: res.Stats.InputTuples, // the subquery (magic) set
+			AnswerTuples:  res.Stats.AnswerTuples,
+		},
+	}, nil
+}
+
+// Rewrite returns the rewritten program and goal text for a strategy
+// without evaluating it. For Naive and SemiNaive it returns the original
+// program.
+func Rewrite(p *Program, query string, strategy Strategy) (program, goal string, err error) {
+	q, err := parser.ParseQuery(p.bank, query)
+	if err != nil {
+		return "", "", err
+	}
+	if strategy == Auto {
+		strategy = resolveAuto(p, q)
+	}
+	switch strategy {
+	case Naive, SemiNaive:
+		return p.program.Format(), ast.FormatQuery(p.bank, q), nil
+	case MagicCounting:
+		return "", "", errors.New("lincount: magic-counting chooses its rewriting from the data; use Eval and inspect Result.Rewritten")
+	}
+	if strategy == CountingRuntime {
+		a, err := adorn.Adorn(p.program, q)
+		if err != nil {
+			return "", "", err
+		}
+		an, err := counting.Analyze(a)
+		if err != nil {
+			return "", "", err
+		}
+		return counting.RewriteCyclicText(an), ast.FormatQuery(p.bank, a.Query), nil
+	}
+	prog, goalQ, err := rewriteAST(p, q, strategy)
+	if err != nil {
+		return "", "", err
+	}
+	return prog.Format(), ast.FormatQuery(p.bank, goalQ), nil
+}

@@ -1,0 +1,98 @@
+package lincount_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"lincount"
+)
+
+// The same-generation program of the paper's Example 1.
+const sgExample = `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`
+
+func ExampleEval() {
+	p := lincount.MustParseProgram(sgExample)
+	db := lincount.NewDatabase(p)
+	_ = db.LoadFacts("up(a,b). flat(b,b1). down(b1,c).")
+
+	res, _ := lincount.Eval(p, db, "?- sg(a,Y).", lincount.Auto)
+	for _, row := range res.Answers {
+		fmt.Println(strings.Join(row, " "))
+	}
+	// Output: a c
+}
+
+func ExampleEval_strategies() {
+	p := lincount.MustParseProgram(sgExample)
+	db := lincount.NewDatabase(p)
+	_ = db.LoadFacts("up(a,b). up(b,c). flat(c,c1). down(c1,c2). down(c2,c3).")
+
+	for _, s := range []lincount.Strategy{lincount.Magic, lincount.Counting} {
+		res, _ := lincount.Eval(p, db, "?- sg(a,Y).", s)
+		fmt.Printf("%s: %d answers, counting/magic set size %d\n",
+			res.Strategy, len(res.Answers), res.Stats.CountingNodes)
+	}
+	// Output:
+	// magic: 1 answers, counting/magic set size 3
+	// counting: 1 answers, counting/magic set size 3
+}
+
+func ExampleRewrite() {
+	p := lincount.MustParseProgram(sgExample)
+	prog, goal, _ := lincount.Rewrite(p, "?- sg(a,Y).", lincount.Counting)
+	fmt.Print(prog)
+	fmt.Println("goal:", goal)
+	// Output:
+	// c_sg_bf(a,[]).
+	// c_sg_bf(X1,[e(r1,[])|L]) :- c_sg_bf(X,L), up(X,X1).
+	// sg_bf(Y,L) :- c_sg_bf(X,L), flat(X,Y).
+	// sg_bf(Y,L) :- sg_bf(Y1,[e(r1,[])|L]), down(Y1,Y).
+	// goal: ?- sg_bf(Y,[]).
+}
+
+func ExampleExplain() {
+	p := lincount.MustParseProgram(sgExample)
+	db := lincount.NewDatabase(p)
+	_ = db.LoadFacts("up(a,b). flat(b,b1). down(b1,c).")
+
+	exps, _ := lincount.Explain(p, db, "?- sg(a,Y).")
+	for _, e := range exps {
+		fmt.Printf("%s has %d derivation steps\n",
+			strings.Join(e.Answer, " "), strings.Count(e.Witness, "\n"))
+	}
+	// Output: a c has 2 derivation steps
+}
+
+func ExampleDatabase_Save() {
+	p := lincount.MustParseProgram(sgExample)
+	db := lincount.NewDatabase(p)
+	_ = db.LoadFacts("up(a,b). flat(b,b1). down(b1,c).")
+
+	var snapshot bytes.Buffer
+	_ = db.Save(&snapshot)
+
+	restored := lincount.NewDatabase(p)
+	_ = restored.LoadSnapshot(&snapshot)
+	fmt.Println(restored.FactCount())
+	// Output: 3
+}
+
+func ExampleProgram_Lint() {
+	p := lincount.MustParseProgram("path(X,Y) :- edge(X).\n")
+	findings, hasErrors := p.Lint()
+	fmt.Println(hasErrors)
+	fmt.Println(findings[0])
+	// Output:
+	// true
+	// error: rule 1 (path(X,Y) :- edge(X).): head variable Y is not bound by a positive body literal
+}
+
+func ExampleParseStrategy() {
+	s, _ := lincount.ParseStrategy("counting-runtime")
+	fmt.Println(s)
+	// Output: counting-runtime
+}

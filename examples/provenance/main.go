@@ -1,0 +1,83 @@
+// Provenance: derivation witnesses for query answers — the structure the
+// paper's §3.4 pointer representation makes available for free. The
+// counting runtime records, for each answer tuple, the exit-rule
+// application and the chain of recursive-rule undo steps; lincount.Explain
+// surfaces them.
+//
+// The scenario is a security-review question: "which build artifacts can a
+// compromised dependency reach, and through exactly which chain?" —
+// reachability answers alone are not actionable, the witness is.
+//
+// Run with:
+//
+//	go run ./examples/provenance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lincount"
+)
+
+// taints(Dep, Artifact): a compromised dependency taints an artifact if
+// some build step consumes it (directly or through intermediate outputs)
+// and emits the artifact. includes/emits mirror up/down around the build
+// step; the middle `buildstep` relation is the flat part.
+const program = `
+taints(X,Y) :- buildstep(X,Y).
+taints(X,Y) :- includes(X,X1), taints(X1,Y1), emits(Y1,Y).
+`
+
+const facts = `
+% dependency inclusion chains (up side)
+includes(leftpad,utils). includes(utils,corelib). includes(corelib,runtime).
+includes(leftpad,polyfill).
+
+% direct build steps (flat)
+buildstep(runtime,objA). buildstep(polyfill,objB).
+
+% artifact emission chains (down side)
+emits(objA,libcore). emits(libcore,appserver). emits(appserver,release).
+emits(objB,shim). emits(shim,release).
+`
+
+func main() {
+	p, err := lincount.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(facts); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "?- taints(leftpad,Y)."
+	fmt.Println("query:", query)
+
+	exps, err := lincount.Explain(p, db, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(exps) == 0 {
+		fmt.Println("nothing tainted.")
+		return
+	}
+	for _, e := range exps {
+		fmt.Printf("\ntainted artifact: %s\n", e.Answer[1])
+		for _, line := range strings.Split(strings.TrimRight(e.Witness, "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// The witnesses above come from the counting runtime's predecessor
+	// entries; compare the same information cost-free against what a
+	// plain evaluation would give (answers only).
+	res, err := lincount.Eval(p, db, query, lincount.SemiNaive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplain evaluation agrees on %d answers (no witnesses available).\n",
+		len(res.Answers))
+}

@@ -1,0 +1,86 @@
+package lincount
+
+import (
+	"fmt"
+
+	"lincount/internal/adorn"
+	"lincount/internal/counting"
+	"lincount/internal/parser"
+)
+
+// Explanation pairs one answer row of a query with a derivation witness:
+// the exit-rule application and the sequence of recursive-rule undo steps
+// that produced it. Witnesses come from the counting runtime, whose
+// predecessor entries (the paper's §3.4 pointer structure) record exactly
+// the information needed to reconstruct them.
+type Explanation struct {
+	// Answer is the full answer row (bound and free arguments).
+	Answer []string
+	// Witness is the formatted derivation, one step per line.
+	Witness string
+}
+
+// CountingSet renders the counting set the runtime would build for the
+// query over db, in the paper's notation: node identifiers in depth-first
+// discovery order with their ahead predecessor sets, cycle links from back
+// arcs, and the combined f sets (see §4 and Example 5 of the paper).
+func CountingSet(p *Program, db *Database, query string) (string, error) {
+	if db != nil && db.owner != p {
+		return "", ErrWrongDatabase
+	}
+	q, err := parser.ParseQuery(p.bank, query)
+	if err != nil {
+		return "", fmt.Errorf("lincount: parsing query: %w", err)
+	}
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return "", err
+	}
+	an, err := counting.Analyze(a)
+	if err != nil {
+		return "", err
+	}
+	return counting.DumpCountingSet(an, db.db)
+}
+
+// Explain evaluates query with the counting runtime, recording provenance,
+// and returns every answer with its derivation witness. It requires a
+// linear program with a bound query argument (the counting class).
+func Explain(p *Program, db *Database, query string) ([]Explanation, error) {
+	if db != nil && db.owner != p {
+		return nil, ErrWrongDatabase
+	}
+	q, err := parser.ParseQuery(p.bank, query)
+	if err != nil {
+		return nil, fmt.Errorf("lincount: parsing query: %w", err)
+	}
+	a, err := adorn.Adorn(p.program, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Program.Rules) == 0 {
+		return nil, fmt.Errorf("lincount: %s is extensional; nothing to explain",
+			p.bank.Symbols().String(q.Goal.Pred))
+	}
+	an, err := counting.Analyze(a)
+	if err != nil {
+		return nil, err
+	}
+	rt, res, err := counting.RunWithProvenance(an, db.db, counting.RuntimeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Explanation, 0, len(res.Answers))
+	full := counting.ReconstructRuntimeAnswers(an, res.Answers)
+	for i, frees := range res.Answers {
+		d, err := rt.Explain(frees)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Explanation{
+			Answer:  p.formatTuple(full[i]),
+			Witness: d.Format(p.bank),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module lincount
+
+go 1.22

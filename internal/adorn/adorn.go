@@ -1,0 +1,183 @@
+// Package adorn implements query adornment: propagating the bound/free
+// status of query arguments through a program with the standard
+// left-to-right sideways information passing strategy, renaming every
+// derived predicate p reached with binding pattern α to p_α.
+//
+// Adornment is the shared front end of the magic-set and counting rewrites
+// (§2 of the paper).
+package adorn
+
+import (
+	"fmt"
+	"strings"
+
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+)
+
+// Adorned is the result of adorning a program with respect to a query.
+type Adorned struct {
+	// Program contains the adorned rules; every derived predicate is
+	// renamed to name_α.
+	Program *ast.Program
+	// Query is the goal with its predicate renamed.
+	Query ast.Query
+	// Base maps each adorned predicate symbol back to the original.
+	Base map[symtab.Sym]symtab.Sym
+	// Patterns maps each adorned predicate symbol to its adornment
+	// string over {b, f}.
+	Patterns map[symtab.Sym]string
+	// GoalAdornment is the adornment of the query predicate.
+	GoalAdornment string
+}
+
+// Name returns the conventional adorned name, e.g. "sg_bf".
+func Name(base, pattern string) string {
+	if pattern == "" {
+		return base
+	}
+	return base + "_" + pattern
+}
+
+// PatternOf computes the adornment of a literal's arguments given the set
+// of bound variables: an argument is bound if it is ground or all its
+// variables are bound.
+func PatternOf(l ast.Literal, bound map[symtab.Sym]bool) string {
+	var sb strings.Builder
+	for _, a := range l.Args {
+		if argBound(a, bound) {
+			sb.WriteByte('b')
+		} else {
+			sb.WriteByte('f')
+		}
+	}
+	return sb.String()
+}
+
+func argBound(t ast.Term, bound map[symtab.Sym]bool) bool {
+	switch t.Kind {
+	case ast.Const:
+		return true
+	case ast.Var:
+		return bound[t.Name]
+	default:
+		for _, a := range t.Args {
+			if !argBound(a, bound) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// BoundArgs splits a literal's arguments by an adornment pattern.
+func BoundArgs(l ast.Literal, pattern string) (boundArgs, freeArgs []ast.Term) {
+	for i, a := range l.Args {
+		if pattern[i] == 'b' {
+			boundArgs = append(boundArgs, a)
+		} else {
+			freeArgs = append(freeArgs, a)
+		}
+	}
+	return boundArgs, freeArgs
+}
+
+// Adorn computes the adorned program for query q over p. Only rules
+// reachable from the query's adorned predicate are emitted. If the query
+// predicate has no rules (purely extensional), the result contains an empty
+// program and the original goal.
+func Adorn(p *ast.Program, q ast.Query) (*Adorned, error) {
+	syms := p.Bank.Symbols()
+	derived := map[symtab.Sym]bool{}
+	for _, r := range p.Rules {
+		derived[r.Head.Pred] = true
+	}
+
+	out := &Adorned{
+		Program:  ast.NewProgram(p.Bank),
+		Base:     map[symtab.Sym]symtab.Sym{},
+		Patterns: map[symtab.Sym]string{},
+	}
+
+	goalPattern := PatternOf(q.Goal, nil)
+	out.GoalAdornment = goalPattern
+	if !derived[q.Goal.Pred] {
+		out.Query = q
+		return out, nil
+	}
+
+	type job struct {
+		pred    symtab.Sym
+		pattern string
+	}
+	adornedSym := func(pred symtab.Sym, pattern string) symtab.Sym {
+		return syms.Intern(Name(syms.String(pred), pattern))
+	}
+
+	seen := map[job]bool{}
+	var queue []job
+	enqueue := func(j job) {
+		if !seen[j] {
+			seen[j] = true
+			queue = append(queue, j)
+		}
+	}
+	enqueue(job{q.Goal.Pred, goalPattern})
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		jSym := adornedSym(j.pred, j.pattern)
+		out.Base[jSym] = j.pred
+		out.Patterns[jSym] = j.pattern
+
+		for _, r := range p.Rules {
+			if r.Head.Pred != j.pred {
+				continue
+			}
+			if r.Head.Arity() != len(j.pattern) {
+				return nil, fmt.Errorf("adorn: predicate %s arity %d does not match query pattern %q",
+					syms.String(j.pred), r.Head.Arity(), j.pattern)
+			}
+			bound := map[symtab.Sym]bool{}
+			for i, a := range r.Head.Args {
+				if j.pattern[i] == 'b' {
+					for _, v := range (ast.Literal{Args: []ast.Term{a}}).Vars() {
+						bound[v] = true
+					}
+				}
+			}
+			newRule := ast.Rule{
+				Head: ast.Literal{Pred: jSym, Args: r.Head.Args},
+			}
+			for _, l := range r.Body {
+				name := syms.String(l.Pred)
+				switch {
+				case derived[l.Pred] && !ast.IsBuiltinName(name):
+					pat := PatternOf(l, bound)
+					enqueue(job{l.Pred, pat})
+					newRule.Body = append(newRule.Body, ast.Literal{
+						Pred:    adornedSym(l.Pred, pat),
+						Args:    l.Args,
+						Negated: l.Negated,
+					})
+				default:
+					newRule.Body = append(newRule.Body, l)
+				}
+				// After a literal is evaluated all its variables are
+				// bound (for negation and comparison builtins they had
+				// to be bound already; eq/succ bind their free side).
+				for _, v := range l.Vars() {
+					bound[v] = true
+				}
+			}
+			out.Program.Add(newRule)
+		}
+	}
+
+	out.Query = ast.Query{Goal: ast.Literal{
+		Pred: adornedSym(q.Goal.Pred, goalPattern),
+		Args: q.Goal.Args,
+	}}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package adorn
+
+import (
+	"strings"
+	"testing"
+
+	"lincount/internal/ast"
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func setup(t *testing.T, src, goal string) (*term.Bank, *ast.Program, ast.Query) {
+	t.Helper()
+	b := term.NewBank(symtab.New())
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, res.Program, q
+}
+
+func TestAdornSameGeneration(t *testing.T) {
+	b, p, q := setup(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`, "?- sg(a,Y).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GoalAdornment != "bf" {
+		t.Errorf("goal adornment = %q", a.GoalAdornment)
+	}
+	got := a.Program.Format()
+	want := `sg_bf(X,Y) :- flat(X,Y).
+sg_bf(X,Y) :- up(X,X1), sg_bf(X1,Y1), down(Y1,Y).
+`
+	if got != want {
+		t.Errorf("adorned program:\n%swant:\n%s", got, want)
+	}
+	if gq := ast.FormatQuery(b, a.Query); gq != "?- sg_bf(a,Y)." {
+		t.Errorf("query = %q", gq)
+	}
+	sgbf := b.Symbols().Intern("sg_bf")
+	if a.Patterns[sgbf] != "bf" || b.Symbols().String(a.Base[sgbf]) != "sg" {
+		t.Error("Base/Patterns maps wrong")
+	}
+}
+
+func TestAdornPropagatesDifferentPatterns(t *testing.T) {
+	// The recursive call flips the binding: p(X,Y) calls p(Y1,X1) with
+	// bound second argument.
+	_, p, q := setup(t, `
+p(X,Y) :- e(X,Y).
+p(X,Y) :- e(X,X1), p(Y1,X1), e(Y1,Y).
+`, "?- p(a,Y).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := a.Program.Format()
+	if !strings.Contains(text, "p_fb(") || !strings.Contains(text, "p_bf(") {
+		t.Errorf("expected both p_bf and p_fb in:\n%s", text)
+	}
+}
+
+func TestAdornAllFree(t *testing.T) {
+	_, p, q := setup(t, "p(X,Y) :- e(X,Y).\n", "?- p(X,Y).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GoalAdornment != "ff" {
+		t.Errorf("adornment = %q", a.GoalAdornment)
+	}
+	if !strings.Contains(a.Program.Format(), "p_ff") {
+		t.Errorf("program:\n%s", a.Program.Format())
+	}
+}
+
+func TestAdornExtensionalGoal(t *testing.T) {
+	b, p, q := setup(t, "p(X) :- e(X).\n", "?- e(a,b).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Program.Rules) != 0 {
+		t.Error("extensional goal produced rules")
+	}
+	if ast.FormatQuery(b, a.Query) != "?- e(a,b)." {
+		t.Error("extensional goal was renamed")
+	}
+}
+
+func TestAdornOnlyReachableRules(t *testing.T) {
+	_, p, q := setup(t, `
+p(X) :- e(X).
+unrelated(X) :- e(X).
+`, "?- p(a).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(a.Program.Format(), "unrelated") {
+		t.Errorf("unreachable rule adorned:\n%s", a.Program.Format())
+	}
+}
+
+func TestAdornBoundViaEarlierLiteral(t *testing.T) {
+	// In the second body literal q is called with first arg bound
+	// (X bound by head) and second arg bound (Z bound by e(X,Z)).
+	_, p, q := setup(t, `
+p(X,Y) :- e(X,Z), q(X,Z), e(Z,Y).
+q(X,Y) :- e(X,Y).
+`, "?- p(a,Y).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Program.Format(), "q_bb(") {
+		t.Errorf("expected q_bb in:\n%s", a.Program.Format())
+	}
+}
+
+func TestAdornConstantHeadArgs(t *testing.T) {
+	// A constant in a head position is always bound, regardless of the
+	// query pattern position.
+	_, p, q := setup(t, `
+p(root,X) :- base(X).
+p(X,Y) :- e(X,X1), p(X1,Y).
+`, "?- p(a,Y).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := a.Program.Format()
+	if !strings.Contains(text, "p_bf(root,X)") {
+		t.Errorf("adorned program:\n%s", text)
+	}
+}
+
+func TestAdornRepeatedQueryVariable(t *testing.T) {
+	// p(X,X) as a goal: both positions free (the repeat is enforced by
+	// the answer filter, not the adornment).
+	_, p, q := setup(t, "p(X,Y) :- e(X,Y).\n", "?- p(X,X).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GoalAdornment != "ff" {
+		t.Errorf("adornment = %q, want ff", a.GoalAdornment)
+	}
+}
+
+func TestAdornCompoundQueryConstant(t *testing.T) {
+	_, p, q := setup(t, `
+p(X,Y) :- e(X,Y).
+p(X,Y) :- e(X,Z), p(Z,Y).
+`, "?- p(pair(a,b),Y).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GoalAdornment != "bf" {
+		t.Errorf("adornment = %q, want bf (ground compound is bound)", a.GoalAdornment)
+	}
+}
+
+func TestAdornNegatedDerivedLiteral(t *testing.T) {
+	_, p, q := setup(t, `
+p(X) :- candidate(X), not blocked(X).
+blocked(X) :- bad(X).
+`, "?- p(a).")
+	a, err := Adorn(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := a.Program.Format()
+	if !strings.Contains(text, "not blocked_b(X)") {
+		t.Errorf("negated derived literal not adorned:\n%s", text)
+	}
+}
+
+func TestAdornArityMismatch(t *testing.T) {
+	_, p, q := setup(t, "p(X,Y) :- e(X,Y).\n", "?- p(a).")
+	if _, err := Adorn(p, q); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestPatternOfWithCompounds(t *testing.T) {
+	b := term.NewBank(symtab.New())
+	r, err := parser.ParseRule(b, "p(f(X),[Y|T],c) :- q(X,Y,T).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := map[symtab.Sym]bool{b.Symbols().Intern("X"): true}
+	if got := PatternOf(r.Head, bound); got != "bfb" {
+		t.Errorf("PatternOf = %q, want bfb", got)
+	}
+}
+
+func TestBoundArgsSplit(t *testing.T) {
+	b := term.NewBank(symtab.New())
+	r, err := parser.ParseRule(b, "p(a,Y,c) :- q(Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, fr := BoundArgs(r.Head, "bfb")
+	if len(bd) != 2 || len(fr) != 1 {
+		t.Errorf("split = %d bound, %d free", len(bd), len(fr))
+	}
+	if ast.FormatTerm(b, fr[0]) != "Y" {
+		t.Errorf("free arg = %s", ast.FormatTerm(b, fr[0]))
+	}
+}

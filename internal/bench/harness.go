@@ -1,0 +1,158 @@
+// Package bench is the experiment harness: it runs the (program, workload,
+// strategy) matrix behind every experiment in EXPERIMENTS.md and renders
+// the result tables. The package exercises only the public lincount API so
+// the numbers reflect what a library user would see.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lincount"
+)
+
+// Row is one measurement.
+type Row struct {
+	Workload      string
+	Strategy      string
+	Answers       int
+	Inferences    int64
+	DerivedFacts  int64
+	CountingNodes int
+	AnswerTuples  int
+	Probes        int64
+	Duration      time.Duration
+	Err           string
+}
+
+// Table is one experiment's result set.
+type Table struct {
+	ID    string
+	Title string
+	Note  string
+	Rows  []Row
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(strings.TrimSpace(t.Note), "\n") {
+			fmt.Fprintf(&sb, "   %s\n", strings.TrimSpace(line))
+		}
+	}
+	header := []string{"workload", "strategy", "answers", "inferences", "facts", "cset", "atuples", "probes", "time"}
+	rows := [][]string{header}
+	for _, r := range t.Rows {
+		if r.Err != "" {
+			rows = append(rows, []string{r.Workload, r.Strategy, "—", "—", "—", "—", "—", "—", r.Err})
+			continue
+		}
+		rows = append(rows, []string{
+			r.Workload, r.Strategy,
+			fmt.Sprint(r.Answers), fmt.Sprint(r.Inferences), fmt.Sprint(r.DerivedFacts),
+			fmt.Sprint(r.CountingNodes), fmt.Sprint(r.AnswerTuples), fmt.Sprint(r.Probes),
+			r.Duration.Round(10 * time.Microsecond).String(),
+		})
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			pad := widths[i]
+			if i == len(row)-1 {
+				fmt.Fprintf(&sb, "%s", c)
+			} else {
+				fmt.Fprintf(&sb, "%-*s  ", pad, c)
+			}
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values with a header row, for
+// spreadsheet import; the experiment id is repeated in the first column.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("experiment,workload,strategy,answers,inferences,facts,cset,atuples,probes,micros,error\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s\n",
+			csvEscape(t.ID), csvEscape(r.Workload), csvEscape(r.Strategy),
+			r.Answers, r.Inferences, r.DerivedFacts, r.CountingNodes,
+			r.AnswerTuples, r.Probes, r.Duration.Microseconds(), csvEscape(r.Err))
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Measure runs one (program, facts, query, strategy) cell.
+func Measure(workload, src, facts, query string, s lincount.Strategy) Row {
+	row := Row{Workload: workload, Strategy: s.String()}
+	p, err := lincount.ParseProgram(src)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(facts); err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	// The caps are far above any legitimate run in the suite; they exist
+	// so that intentionally divergent cells (classical counting on cyclic
+	// data) report quickly instead of burning the default budget.
+	start := time.Now()
+	res, err := lincount.Eval(p, db, query, s,
+		lincount.WithMaxDerivedFacts(5_000_000),
+		lincount.WithMaxIterations(50_000))
+	row.Duration = time.Since(start)
+	if err == nil && res.Stats.Duration > 0 {
+		row.Duration = res.Stats.Duration
+	}
+	if err != nil {
+		row.Err = shortErr(err)
+		return row
+	}
+	row.Strategy = res.Strategy.String()
+	row.Answers = len(res.Answers)
+	row.Inferences = res.Stats.Inferences
+	row.DerivedFacts = res.Stats.DerivedFacts
+	row.CountingNodes = res.Stats.CountingNodes
+	row.AnswerTuples = res.Stats.AnswerTuples
+	row.Probes = res.Stats.Probes
+	return row
+}
+
+func shortErr(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, ':'); i > 0 && strings.HasPrefix(s, "engine: evaluation budget") {
+		return "diverges (budget guard)"
+	}
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

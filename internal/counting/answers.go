@@ -1,0 +1,66 @@
+package counting
+
+import (
+	"lincount/internal/database"
+	"lincount/internal/term"
+)
+
+// OriginalTuple rebuilds an original-goal tuple from the query's bound
+// constants and an answer's free values, interleaved by the adornment
+// pattern.
+func OriginalTuple(pattern string, bound, frees []term.Value) database.Tuple {
+	out := make(database.Tuple, 0, len(bound)+len(frees))
+	bi, fi := 0, 0
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == 'b' {
+			out = append(out, bound[bi])
+			bi++
+		} else {
+			out = append(out, frees[fi])
+			fi++
+		}
+	}
+	return out
+}
+
+// GoalBoundValues extracts the ground values of the analysis' goal bound
+// arguments.
+func (an *Analysis) GoalBoundValues() []term.Value {
+	out := make([]term.Value, len(an.GoalBound))
+	for i, t := range an.GoalBound {
+		out[i] = t.Value
+	}
+	return out
+}
+
+// ReconstructAnswers maps answers of the rewritten query back to
+// original-goal tuples. Rewritten answers carry the goal's free arguments
+// followed, unless the reduction removed it, by the path argument; hasPath
+// is derived from the rewritten query's arity.
+func (rw *Rewritten) ReconstructAnswers(tuples []database.Tuple) []database.Tuple {
+	an := rw.Analysis
+	pattern := an.Adorned.GoalAdornment
+	bound := an.GoalBoundValues()
+	hasPath := len(rw.Query.Goal.Args) == len(an.GoalFree)+1
+	out := make([]database.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		frees := t
+		if hasPath {
+			frees = t[:len(t)-1]
+		}
+		out = append(out, OriginalTuple(pattern, bound, frees))
+	}
+	return out
+}
+
+// ReconstructRuntimeAnswers maps runtime answers (plain free tuples) back
+// to original-goal tuples.
+func ReconstructRuntimeAnswers(an *Analysis, tuples []database.Tuple) []database.Tuple {
+	pattern := an.Adorned.GoalAdornment
+	bound := an.GoalBoundValues()
+	out := make([]database.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		out = append(out, OriginalTuple(pattern, bound, t))
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package counting
+
+import (
+	"testing"
+
+	"lincount/internal/database"
+	"lincount/internal/engine"
+	"lincount/internal/term"
+)
+
+func TestOriginalTupleInterleaving(t *testing.T) {
+	b1, b2 := term.Int(1), term.Int(2)
+	f1, f2 := term.Int(10), term.Int(20)
+	cases := []struct {
+		pattern string
+		bound   []term.Value
+		frees   []term.Value
+		want    database.Tuple
+	}{
+		{"bf", []term.Value{b1}, []term.Value{f1}, database.Tuple{b1, f1}},
+		{"fb", []term.Value{b1}, []term.Value{f1}, database.Tuple{f1, b1}},
+		{"bfbf", []term.Value{b1, b2}, []term.Value{f1, f2}, database.Tuple{b1, f1, b2, f2}},
+		{"ff", nil, []term.Value{f1, f2}, database.Tuple{f1, f2}},
+		{"bb", []term.Value{b1, b2}, nil, database.Tuple{b1, b2}},
+	}
+	for _, c := range cases {
+		got := OriginalTuple(c.pattern, c.bound, c.frees)
+		if !got.Equal(c.want) {
+			t.Errorf("pattern %s: got %v want %v", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestReconstructAnswersDropsPath(t *testing.T) {
+	f := newRW(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`, "?- sg(a,Y).", "up(a,b). flat(b,f). down(f,g).")
+	rw := f.extended(t)
+	res, err := engine.Eval(rw.Program, f.db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := engine.Answers(res, f.db, rw.Query)
+	full := rw.ReconstructAnswers(raw)
+	if len(full) != 1 {
+		t.Fatalf("answers = %v", full)
+	}
+	if len(full[0]) != 2 {
+		t.Errorf("reconstructed arity = %d, want 2", len(full[0]))
+	}
+	if f.bank.Format(full[0][0]) != "a" || f.bank.Format(full[0][1]) != "g" {
+		t.Errorf("tuple = [%s %s]", f.bank.Format(full[0][0]), f.bank.Format(full[0][1]))
+	}
+}
+
+func TestReconstructAnswersReducedNoPath(t *testing.T) {
+	f := newRW(t, `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), p(X1,Y).
+`, "?- p(a,Y).", "up(a,b). flat(b,leaf).")
+	rw := Reduce(f.extended(t))
+	// The reduced query has no path argument.
+	if len(rw.Query.Goal.Args) != 1 {
+		t.Fatalf("reduced goal arity = %d", len(rw.Query.Goal.Args))
+	}
+	res, err := engine.Eval(rw.Program, f.db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := engine.Answers(res, f.db, rw.Query)
+	full := rw.ReconstructAnswers(raw)
+	if len(full) != 1 || f.bank.Format(full[0][1]) != "leaf" {
+		t.Errorf("answers = %v", full)
+	}
+}
+
+func TestReconstructRuntimeAnswers(t *testing.T) {
+	f := newRW(t, sgProgram, "?- sg(a,Y).", "flat(a,z).")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(an, f.db, RuntimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ReconstructRuntimeAnswers(an, res.Answers)
+	if len(full) != 1 || f.bank.Format(full[0][0]) != "a" || f.bank.Format(full[0][1]) != "z" {
+		t.Errorf("answers = %v", full)
+	}
+}
+
+func TestGoalBoundValues(t *testing.T) {
+	f := newRW(t, `
+p(X,Z,Y) :- e(X,Z,Y).
+p(X,Z,Y) :- up(X,X1), p(X1,Z,Y1), down(Y1,Y).
+`, "?- p(a,b,Y).", "")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := an.GoalBoundValues()
+	if len(vals) != 2 {
+		t.Fatalf("bound values = %d", len(vals))
+	}
+	if f.bank.Format(vals[0]) != "a" || f.bank.Format(vals[1]) != "b" {
+		t.Errorf("values = %s, %s", f.bank.Format(vals[0]), f.bank.Format(vals[1]))
+	}
+}

@@ -1,0 +1,160 @@
+package counting
+
+import (
+	"fmt"
+	"strings"
+
+	"lincount/internal/ast"
+)
+
+// RewriteCyclicText renders the declarative form of Algorithm 2 (the
+// extended counting rewriting for cyclic databases) for an analyzed query.
+// Following §4, each recursive rule's left part a(A) is first reified as
+//
+//	left_rI(X, X1, C_r, rI) :- a(A).
+//
+// whose relation is partitioned into ahead arcs left_rI_a and back arcs
+// left_rI_b by a depth-first search from the query constants. The output
+// uses the paper's LDL-flavoured notation — object identifiers
+// (Id : p(...)), set terms (<...>, ∈) and an if/then/else for the f
+// predicate — which the engine does not evaluate directly; the counting
+// Runtime implements this program procedurally, as the end of §4
+// prescribes. The text is produced for inspection and the explain tool.
+func RewriteCyclicText(an *Analysis) string {
+	bank := an.Adorned.Program.Bank
+	syms := bank.Symbols()
+	var sb strings.Builder
+
+	name := func(p ast.Literal) string { return syms.String(p.Pred) }
+	terms := func(ts []ast.Term) string {
+		parts := make([]string, len(ts))
+		for i, t := range ts {
+			parts[i] = ast.FormatTerm(bank, t)
+		}
+		return strings.Join(parts, ",")
+	}
+	lits := func(idx []int, body []ast.Literal) string {
+		parts := make([]string, len(idx))
+		for i, j := range idx {
+			parts[i] = ast.FormatLiteral(bank, body[j])
+		}
+		return strings.Join(parts, ", ")
+	}
+	shared := func(r *RecRule) string {
+		parts := make([]string, len(r.Shared))
+		for i, v := range r.Shared {
+			parts[i] = syms.String(v)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	}
+
+	sb.WriteString("% Algorithm 2: extended counting for cyclic databases.\n")
+	sb.WriteString("% left_rI_a / left_rI_b are the ahead/back partitions of each reified\n")
+	sb.WriteString("% left part with respect to the query binding (depth-first search).\n")
+
+	goal := syms.String(an.GoalPred)
+	fmt.Fprintf(&sb, "c_%s(%s,{(r0,[],nil)}).\n", goal, terms(an.GoalBound))
+
+	// Reified left parts (the paper's a' rules).
+	for i := range an.Rec {
+		r := &an.Rec[i]
+		if r.SkipCounting {
+			continue
+		}
+		left := lits(r.Left, r.Rule.Body)
+		if left == "" {
+			left = "true"
+		}
+		fmt.Fprintf(&sb, "left_r%d(%s,%s,%s,r%d) :- %s.\n",
+			r.ID, terms(r.HeadBound), terms(r.RecBound), shared(r), r.ID, left)
+	}
+
+	// Counting rules over ahead arcs.
+	for i := range an.Rec {
+		r := &an.Rec[i]
+		if r.SkipCounting {
+			continue
+		}
+		headPred := syms.String(r.Rule.Head.Pred)
+		recPred := name(r.Rule.Body[r.RecIndex])
+		guard := fmt.Sprintf("not (left_r%d_a(W,%s,_,_), W != %s, not c_%s(W,_))",
+			r.ID, terms(r.RecBound), terms(r.HeadBound), headPred)
+		if r.PushesCounting {
+			fmt.Fprintf(&sb, "c_%s(%s,<(r%d,%s,Id)>) :- Id : c_%s(%s,_), left_r%d_a(%s,%s,%s,r%d), %s.\n",
+				recPred, terms(r.RecBound), r.ID, shared(r), headPred, terms(r.HeadBound),
+				r.ID, terms(r.HeadBound), terms(r.RecBound), shared(r), r.ID, guard)
+		} else {
+			fmt.Fprintf(&sb, "c_%s(%s,<(R,C,Id)>) :- c_%s(%s,T), (R,C,Id) ∈ T, left_r%d_a(%s,%s,_,_), %s.\n",
+				recPred, terms(r.RecBound), headPred, terms(r.HeadBound),
+				r.ID, terms(r.HeadBound), terms(r.RecBound), guard)
+		}
+	}
+
+	// Cycle rules over back arcs.
+	for i := range an.Rec {
+		r := &an.Rec[i]
+		if r.SkipCounting {
+			continue
+		}
+		headPred := syms.String(r.Rule.Head.Pred)
+		recPred := name(r.Rule.Body[r.RecIndex])
+		if r.PushesCounting {
+			fmt.Fprintf(&sb, "cycle_%s(%s,<(r%d,%s,Id)>) :- Id : c_%s(%s,_), left_r%d_b(%s,%s,%s,r%d).\n",
+				recPred, terms(r.RecBound), r.ID, shared(r), headPred, terms(r.HeadBound),
+				r.ID, terms(r.HeadBound), terms(r.RecBound), shared(r), r.ID)
+		} else {
+			fmt.Fprintf(&sb, "cycle_%s(%s,<(R,C,Id)>) :- c_%s(%s,T), (R,C,Id) ∈ T, left_r%d_b(%s,%s,_,_).\n",
+				recPred, terms(r.RecBound), headPred, terms(r.HeadBound),
+				r.ID, terms(r.HeadBound), terms(r.RecBound))
+		}
+	}
+
+	// The f predicate.
+	fmt.Fprintf(&sb, "f(A,S) :- A : c_%s(X,S1), if(cycle_%s(X,S2) then S = S1 ∪ S2 else S = S1).\n",
+		goal, goal)
+
+	// Modified exit rules.
+	for i := range an.Exit {
+		e := &an.Exit[i]
+		headPred := syms.String(e.Rule.Head.Pred)
+		body := make([]int, len(e.Rule.Body))
+		for j := range e.Rule.Body {
+			body[j] = j
+		}
+		exit := lits(body, e.Rule.Body)
+		if exit == "" {
+			exit = "true"
+		}
+		fmt.Fprintf(&sb, "%s(%s,S) :- A : c_%s(%s,_), f(A,S), %s.\n",
+			headPred, terms(e.Free), headPred, terms(e.Bound), exit)
+	}
+
+	// Modified recursive rules.
+	for i := range an.Rec {
+		r := &an.Rec[i]
+		if r.SkipModified {
+			continue
+		}
+		headPred := syms.String(r.Rule.Head.Pred)
+		recPred := name(r.Rule.Body[r.RecIndex])
+		right := lits(r.Right, r.Rule.Body)
+		if right == "" {
+			right = "true"
+		}
+		cnt := ""
+		if len(r.BoundInRight) > 0 {
+			cnt = fmt.Sprintf(", Id : c_%s(%s,_)", headPred, terms(r.HeadBound))
+		}
+		if r.PushesModified {
+			fmt.Fprintf(&sb, "%s(%s,S) :- %s(%s,T), (r%d,%s,Id) ∈ T, f(Id,S)%s, %s.\n",
+				headPred, terms(r.HeadFree), recPred, terms(r.RecFree),
+				r.ID, shared(r), cnt, right)
+		} else {
+			fmt.Fprintf(&sb, "%s(%s,T) :- %s(%s,T)%s, %s.\n",
+				headPred, terms(r.HeadFree), recPred, terms(r.RecFree), cnt, right)
+		}
+	}
+
+	fmt.Fprintf(&sb, "%% query: %s(%s,S), (r0,[],nil) ∈ S.\n", goal, terms(an.GoalFree))
+	return sb.String()
+}

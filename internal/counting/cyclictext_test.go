@@ -1,0 +1,95 @@
+package counting
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCyclicTextExample5Shape: the declarative Algorithm 2 listing for the
+// same-generation program has the structure of the paper's Example 5
+// program — reified left part, counting rule with the weak-stratification
+// guard, cycle rule, the f predicate and the set-navigating modified rules.
+func TestCyclicTextExample5Shape(t *testing.T) {
+	f := newRW(t, sgProgram, "?- sg(a,Y).", "")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RewriteCyclicText(an)
+	for _, want := range []string{
+		"c_sg_bf(a,{(r0,[],nil)}).",
+		"left_r1(X,X1,[],r1) :- up(X,X1).",
+		"left_r1_a(X,X1,[],r1)",
+		"not (left_r1_a(W,X1,_,_), W != X, not c_sg_bf(W,_))",
+		"cycle_sg_bf(X1,<(r1,[],Id)>) :- Id : c_sg_bf(X,_), left_r1_b(X,X1,[],r1).",
+		"f(A,S) :- A : c_sg_bf(X,S1), if(cycle_sg_bf(X,S2) then S = S1 ∪ S2 else S = S1).",
+		"sg_bf(Y,S) :- A : c_sg_bf(X,_), f(A,S), flat(X,Y).",
+		"sg_bf(Y,S) :- sg_bf(Y1,T), (r1,[],Id) ∈ T, f(Id,S), down(Y1,Y).",
+		"% query: sg_bf(Y,S), (r0,[],nil) ∈ S.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCyclicTextSharedVariables(t *testing.T) {
+	f := newRW(t, `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1,W), p(X1,Y1), down(Y1,Y,W).
+`, "?- p(a,Y).", "")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RewriteCyclicText(an)
+	if !strings.Contains(text, "left_r1(X,X1,[W],r1) :- up(X,X1,W).") {
+		t.Errorf("shared variable not reified:\n%s", text)
+	}
+	if !strings.Contains(text, "(r1,[W],Id) ∈ T") {
+		t.Errorf("modified rule does not read the shared values:\n%s", text)
+	}
+}
+
+func TestCyclicTextMixedLinearSpecialCases(t *testing.T) {
+	f := newRW(t, `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), p(X1,Y).
+p(X,Y) :- p(X,Y1), down(Y1,Y).
+`, "?- p(a,Y).", "")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RewriteCyclicText(an)
+	// The right-linear rule's counting rule copies entry sets
+	// ((R,C,Id) ∈ T form); the left-linear rule's modified rule copies T.
+	if !strings.Contains(text, "(R,C,Id) ∈ T") {
+		t.Errorf("right-linear set copy missing:\n%s", text)
+	}
+	if !strings.Contains(text, "p_bf(Y,T) :- p_bf(Y1,T)") {
+		t.Errorf("left-linear pass-through missing:\n%s", text)
+	}
+	// Exactly one cycle rule (from the right-linear rule; the left-linear
+	// one generates none) plus the reference inside the f rule.
+	if strings.Count(text, "cycle_p_bf") != 2 {
+		t.Errorf("cycle rules:\n%s", text)
+	}
+}
+
+func TestCyclicTextBoundHeadVariable(t *testing.T) {
+	f := newRW(t, `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), p(X1,Y1), down(Y1,Y,X).
+`, "?- p(a,Y).", "")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RewriteCyclicText(an)
+	// D_r ≠ ∅: the modified rule keeps the identifier-joined counting
+	// literal (sound here: identifiers name nodes, not paths).
+	if !strings.Contains(text, "Id : c_p_bf(X,_), down(Y1,Y,X)") {
+		t.Errorf("counting literal missing for D_r:\n%s", text)
+	}
+}

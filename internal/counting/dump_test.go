@@ -1,0 +1,89 @@
+package counting
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDumpExample5 checks the dump against the paper's Example 5 trace:
+// counting set {o1:(a,{nil}), o2:(b,{o1}), o3:(c,{o2}), o4:(d,{o3}),
+// o5:(e,{o2,o4})} (ahead entries), cycle(d)={o5}, f(o4)={o3,o5}.
+func TestDumpExample5(t *testing.T) {
+	f := newRW(t, sgProgram, "?- sg(a,Y).", example5Facts)
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DumpCountingSet(an, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"o1 : (a, {nil})",
+		"o2 : (b, {o1})",
+		"o3 : (c, {o2})",
+		"o4 : (d, {o3})",
+		"o5 : (e, {o4,o2})",
+		"cycle(d) = {o5}",
+		"f(o4) = {o3,o5}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpAcyclicNote(t *testing.T) {
+	f := newRW(t, sgProgram, "?- sg(a,Y).", "up(a,b). up(b,c). flat(c,x). down(x,y).")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DumpCountingSet(an, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no back arcs") {
+		t.Errorf("dump:\n%s", out)
+	}
+	if strings.Contains(out, "cycle(") {
+		t.Errorf("acyclic dump has cycle links:\n%s", out)
+	}
+}
+
+func TestDumpSharedVariablesShowEntries(t *testing.T) {
+	f := newRW(t, `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1,W), p(X1,Y1), down(Y1,Y,W).
+`, "?- p(a,Y).", "up(a,b,7). flat(b,x).")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DumpCountingSet(an, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(r1,[7],o1)") {
+		t.Errorf("shared-variable entry missing:\n%s", out)
+	}
+}
+
+func TestDumpMutualRecursionShowsPredicates(t *testing.T) {
+	f := newRW(t, `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), q(X1,Y1), down(Y1,Y).
+q(X,Y) :- over(X,X1), p(X1,Y1), under(Y1,Y).
+`, "?- p(a,Y).", "up(a,b). over(b,c).")
+	an, err := Analyze(f.adorned(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DumpCountingSet(an, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "p_bf:") || !strings.Contains(out, "q_bf:") {
+		t.Errorf("predicate tags missing:\n%s", out)
+	}
+}

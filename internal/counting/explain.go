@@ -1,0 +1,172 @@
+package counting
+
+import (
+	"fmt"
+	"strings"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/term"
+)
+
+// Provenance support: because every answer-phase tuple is produced by
+// either an exit rule at a counting node or by undoing one recursive rule
+// from another tuple, recording the first parent of each tuple yields a
+// derivation witness for every answer at negligible cost — a benefit of
+// the pointer-based counting structure the paper's §3.4 representation
+// makes explicit.
+
+// StepKind classifies one derivation step.
+type StepKind uint8
+
+const (
+	// StepExit: the tuple was seeded by an exit rule at a counting node.
+	StepExit StepKind = iota
+	// StepMove: the tuple was derived by undoing a recursive rule's left
+	// step (consuming a predecessor entry).
+	StepMove
+	// StepSame: the tuple was derived by a left-linear rule at the same
+	// node.
+	StepSame
+)
+
+// DerivationStep is one step of a witness, in derivation order (exit
+// first, answer last).
+type DerivationStep struct {
+	Kind StepKind
+	// Rule is the source rule (exit or recursive) of this step.
+	Rule ast.Rule
+	// Node renders the counting node the step landed on.
+	Node string
+	// Tuple renders the answer tuple after the step.
+	Tuple string
+}
+
+// Derivation is a full witness for one answer.
+type Derivation struct {
+	Steps []DerivationStep
+}
+
+// Format renders the derivation as indented text.
+func (d *Derivation) Format(bank *term.Bank) string {
+	var sb strings.Builder
+	for i, s := range d.Steps {
+		switch s.Kind {
+		case StepExit:
+			fmt.Fprintf(&sb, "%2d. exit  %-30s at node %s -> %s\n",
+				i+1, ast.FormatRule(bank, s.Rule), s.Node, s.Tuple)
+		case StepMove:
+			fmt.Fprintf(&sb, "%2d. undo  %-30s back to node %s -> %s\n",
+				i+1, ast.FormatRule(bank, s.Rule), s.Node, s.Tuple)
+		default:
+			fmt.Fprintf(&sb, "%2d. apply %-30s at node %s -> %s\n",
+				i+1, ast.FormatRule(bank, s.Rule), s.Node, s.Tuple)
+		}
+	}
+	return sb.String()
+}
+
+// tupleMeta records how a tuple was first derived.
+type tupleMeta struct {
+	kind      StepKind
+	rule      int    // Exit: index into an.Exit; Move/Same: index into an.Rec
+	parentKey string // empty for exits
+}
+
+// enableProvenance switches the runtime into recording mode; it must be
+// called before Run.
+func (rt *Runtime) enableProvenance() {
+	if rt.meta == nil {
+		rt.meta = map[string]tupleMeta{}
+	}
+}
+
+// Explain returns a derivation witness for one goal answer (a tuple of the
+// goal's free arguments, as returned in RunResult.Answers). Run must have
+// been executed with provenance enabled (see RunWithProvenance).
+func (rt *Runtime) Explain(answer database.Tuple) (*Derivation, error) {
+	if rt.meta == nil {
+		return nil, fmt.Errorf("counting: provenance was not recorded; use RunWithProvenance")
+	}
+	key := rt.tupleKey(tuple{pred: rt.an.GoalPred, frees: answer, node: 0})
+	if !rt.tupleSeen[key] {
+		return nil, fmt.Errorf("counting: no such answer")
+	}
+	// Walk parents back to the exit seed, collecting steps in reverse.
+	var rev []DerivationStep
+	cur := key
+	for {
+		m, ok := rt.meta[cur]
+		if !ok {
+			return nil, fmt.Errorf("counting: provenance chain broken at %q", cur)
+		}
+		t := rt.tupleOfKey[cur]
+		step := DerivationStep{
+			Kind:  m.kind,
+			Node:  rt.formatNode(t.node),
+			Tuple: rt.formatTuple(t),
+		}
+		switch m.kind {
+		case StepExit:
+			step.Rule = rt.an.Exit[m.rule].Rule
+		default:
+			step.Rule = rt.an.Rec[m.rule].Rule
+		}
+		rev = append(rev, step)
+		if m.kind == StepExit {
+			break
+		}
+		cur = m.parentKey
+	}
+	// Reverse into derivation order.
+	d := &Derivation{Steps: make([]DerivationStep, len(rev))}
+	for i, s := range rev {
+		d.Steps[len(rev)-1-i] = s
+	}
+	return d, nil
+}
+
+func (rt *Runtime) formatNode(id int32) string {
+	n := rt.nodes[id]
+	parts := make([]string, len(n.vals))
+	for i, v := range n.vals {
+		parts[i] = rt.bank.Format(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func (rt *Runtime) formatTuple(t tuple) string {
+	parts := make([]string, len(t.frees))
+	for i, v := range t.frees {
+		parts[i] = rt.bank.Format(v)
+	}
+	return rt.bank.Symbols().String(t.pred) + "(" + strings.Join(parts, ",") + ")@" + rt.formatNode(t.node)
+}
+
+// RunWithProvenance runs the query recording derivation parents, and
+// returns the runtime (for Explain) along with the result.
+func RunWithProvenance(an *Analysis, db *database.Database, opts RuntimeOptions) (*Runtime, *RunResult, error) {
+	rt, err := NewRuntime(an, db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt.enableProvenance()
+	res, err := rt.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rt, res, nil
+}
+
+// ExplainAll formats a witness for every answer.
+func ExplainAll(rt *Runtime, res *RunResult) ([]string, error) {
+	out := make([]string, 0, len(res.Answers))
+	for _, a := range res.Answers {
+		d, err := rt.Explain(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d.Format(rt.bank))
+	}
+	return out, nil
+}

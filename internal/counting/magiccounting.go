@@ -1,0 +1,68 @@
+package counting
+
+import (
+	"lincount/internal/database"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// The magic-counting method (Saccà & Zaniolo, SIGMOD 1987 — reference [16]
+// of the paper) combines the counting and magic-set methods so that
+// counting's speed is obtained where the data permits it and magic's
+// safety where it does not. The paper positions Algorithm 2 against it.
+//
+// We implement the method's decision procedure in its practical form: probe
+// the left-part graph reachable from the query constants with a bounded
+// depth-first search; if it is acyclic, the (fast, level-collapsing)
+// extended counting program is safe and is used; if a back arc is found,
+// fall back to the magic-set program. The probe reuses the runtime's arc
+// expansion, so its cost is one traversal of the reachable left graph —
+// the same work the counting phase would do anyway.
+
+// LeftGraphProbe is the result of probing the left-part graph.
+type LeftGraphProbe struct {
+	// Acyclic reports whether the reachable left graph has no back arc.
+	Acyclic bool
+	// Nodes is the number of reachable counting nodes visited.
+	Nodes int
+	// BackArcs counts the back arcs found (0 when Acyclic).
+	BackArcs int
+}
+
+// ProbeLeftGraph explores the left-part graph of the analyzed query over
+// db and classifies it. maxNodes bounds the exploration (0 = default).
+func ProbeLeftGraph(an *Analysis, db *database.Database, maxNodes int) (*LeftGraphProbe, error) {
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxRuntimeTuples
+	}
+	rt, err := NewRuntime(an, db, RuntimeOptions{MaxTuples: maxNodes})
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.buildCountingSet(); err != nil {
+		return nil, err
+	}
+	probe := &LeftGraphProbe{Nodes: len(rt.nodes)}
+	for _, n := range rt.nodes {
+		probe.BackArcs += len(n.back)
+	}
+	probe.Acyclic = probe.BackArcs == 0
+	return probe, nil
+}
+
+// CountingNodeValues exposes the probed counting nodes (bound-argument
+// tuples per adorned predicate); useful for diagnostics and tests.
+func CountingNodeValues(an *Analysis, db *database.Database) (map[symtab.Sym][][]term.Value, error) {
+	rt, err := NewRuntime(an, db, RuntimeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.buildCountingSet(); err != nil {
+		return nil, err
+	}
+	out := map[symtab.Sym][][]term.Value{}
+	for _, n := range rt.nodes {
+		out[n.pred] = append(out[n.pred], n.vals)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package counting
+
+import (
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+)
+
+// Reduce applies Algorithm 3 (program reduction) to a counting-rewritten
+// query:
+//
+//  1. The path argument (by construction the last argument) of a recursive
+//     clique of the rewritten program — the counting predicates or the
+//     answer predicates — is deleted when no rule of that clique modifies
+//     it, i.e. every rule propagates the path unchanged from its recursive
+//     body literal to its head.
+//  2. A counting literal in a rule body is deleted when it shares no
+//     variable with the head or any other body literal (it is a semijoin
+//     against a provably non-empty relation, so dropping it preserves the
+//     answers).
+//
+// For right-linear, left-linear and mixed-linear programs this reproduces
+// the specialized optimizations of Naughton et al. (§5, Fact 1); for
+// general linear programs it returns the input unchanged.
+func Reduce(rw *Rewritten) *Rewritten {
+	out := &Rewritten{
+		Program:       rw.Program.Clone(),
+		Query:         rw.Query,
+		CountingPreds: rw.CountingPreds,
+		AnswerPreds:   rw.AnswerPreds,
+		Analysis:      rw.Analysis,
+	}
+
+	countingSet := map[symtab.Sym]bool{}
+	for c := range rw.CountingPreds {
+		countingSet[c] = true
+	}
+
+	// Rule 1, applied independently to the counting clique and to the
+	// answer clique.
+	if !modifiesPath(out.Program, countingSet) {
+		deletePathArg(out, countingSet)
+	}
+	if !modifiesPath(out.Program, rw.AnswerPreds) {
+		deletePathArg(out, rw.AnswerPreds)
+	}
+
+	// Rule 2: drop unconnected counting literals.
+	for ri := range out.Program.Rules {
+		r := &out.Program.Rules[ri]
+		var kept []ast.Literal
+		for i, l := range r.Body {
+			if countingSet[l.Pred] && !connected(*r, i) {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		r.Body = kept
+	}
+
+	dedupeRules(out.Program)
+	return out
+}
+
+// modifiesPath reports whether any rule whose head predicate is in clique
+// changes the path argument between a same-clique body literal and the
+// head. Rules without a same-clique body literal (seeds, exit-modified
+// rules) introduce the path rather than modify it.
+func modifiesPath(p *ast.Program, clique map[symtab.Sym]bool) bool {
+	for _, r := range p.Rules {
+		if !clique[r.Head.Pred] || len(r.Head.Args) == 0 {
+			continue
+		}
+		headPath := r.Head.Args[len(r.Head.Args)-1]
+		for _, l := range r.Body {
+			if !clique[l.Pred] || len(l.Args) == 0 {
+				continue
+			}
+			if !l.Args[len(l.Args)-1].Equal(headPath) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deletePathArg removes the last argument of every literal over a clique
+// predicate, program-wide, and fixes the query goal.
+func deletePathArg(rw *Rewritten, clique map[symtab.Sym]bool) {
+	strip := func(l ast.Literal) ast.Literal {
+		if clique[l.Pred] && len(l.Args) > 0 {
+			l.Args = l.Args[:len(l.Args)-1]
+		}
+		return l
+	}
+	for ri := range rw.Program.Rules {
+		r := &rw.Program.Rules[ri]
+		r.Head = strip(r.Head)
+		for i := range r.Body {
+			r.Body[i] = strip(r.Body[i])
+		}
+	}
+	rw.Query.Goal = strip(rw.Query.Goal)
+}
+
+// connected reports whether body literal i shares a variable with the head
+// or another body literal of r.
+func connected(r ast.Rule, i int) bool {
+	mine := map[symtab.Sym]bool{}
+	for _, v := range r.Body[i].Vars() {
+		mine[v] = true
+	}
+	if len(mine) == 0 {
+		return false // fully ground literal constrains nothing shared
+	}
+	for _, v := range r.Head.Vars() {
+		if mine[v] {
+			return true
+		}
+	}
+	for j, l := range r.Body {
+		if j == i {
+			continue
+		}
+		for _, v := range l.Vars() {
+			if mine[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dedupeRules removes structurally identical rules (they arise when
+// deleting the path argument collapses push and no-push variants).
+func dedupeRules(p *ast.Program) {
+	var kept []ast.Rule
+	for _, r := range p.Rules {
+		dup := false
+		for _, k := range kept {
+			if r.Equal(k) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, r)
+		}
+	}
+	p.Rules = kept
+}

@@ -1,0 +1,690 @@
+package counting
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/engine"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// The counting runtime is the practical form of Algorithm 2 (§4): instead
+// of evaluating the declarative rewriting with set terms and weak
+// stratification, it performs the Bushy-Depth-First computation the paper
+// describes at the end of §4:
+//
+//   - Phase 1 explores the left-part graph from the query constants. Nodes
+//     are (predicate, bound-argument tuple) pairs; arcs are instantiations
+//     of the recursive rules' left parts, labelled with the rule and the
+//     values of its shared variables C_r. The depth-first search classifies
+//     arcs into ahead (tree/forward/cross) and back arcs on the fly; each
+//     node accumulates its set of predecessor entries (rule, C_r, node).
+//     Ahead entries are the counting set; back entries are the cycle links
+//     the paper's `cycle` predicate holds; f(node) is their union.
+//
+//   - Phase 2 computes answers as tuples (predicate, free-argument tuple,
+//     node): the tuple's node is the paper's counting-tuple address — the
+//     object identifier of §3.4. Exit rules seed tuples at every node;
+//     consuming a predecessor entry (r, c, id) applies rule r's right part
+//     with the recursive answer's bindings, C_r = c and (when D_r ≠ ∅)
+//     the head's bound arguments taken from node id, yielding a tuple at
+//     node id. Left-linear rules (which generate no arcs) apply their
+//     right part at the same node. A tuple at the source node for the goal
+//     predicate is an answer.
+//
+// Because nodes and database constants are finite the computation always
+// terminates, even on cyclic data (Theorem 2.3).
+
+// ErrRuntimeBudget is returned when the runtime exceeds its tuple budget.
+var ErrRuntimeBudget = errors.New("counting: runtime budget exceeded")
+
+// RuntimeStats describes the work done by one runtime evaluation.
+type RuntimeStats struct {
+	// CountingNodes is the size of the counting set (distinct nodes).
+	CountingNodes int
+	// AheadEntries and BackEntries count predecessor entries by class.
+	AheadEntries int
+	BackEntries  int
+	// AnswerTuples is the number of distinct (pred, frees, node) tuples.
+	AnswerTuples int
+	// Moves is the number of successful answer-phase derivations,
+	// including rederivations (the inference metric).
+	Moves int64
+	// Solves and Probes aggregate the conjunction-matcher work.
+	Solves int64
+	Probes int64
+}
+
+// RunResult is the outcome of a runtime evaluation.
+type RunResult struct {
+	// Answers holds the goal's free-argument tuples, deterministically
+	// ordered.
+	Answers []database.Tuple
+	Stats   RuntimeStats
+}
+
+// RuntimeOptions bounds a runtime evaluation.
+type RuntimeOptions struct {
+	// MaxTuples bounds counting nodes + answer tuples (0 = default).
+	MaxTuples int
+}
+
+// DefaultMaxRuntimeTuples bounds runaway evaluations.
+const DefaultMaxRuntimeTuples = 50_000_000
+
+// entry is one predecessor record (r, C_r, Id) of §4.
+type entry struct {
+	rule int // index into Analysis.Rec, -1 for the source's nil entry
+	c    term.Value
+	node int32
+}
+
+const nilNode = int32(-1)
+
+type node struct {
+	pred symtab.Sym
+	vals []term.Value
+	// ahead and back are the predecessor entries by arc class.
+	ahead []entry
+	back  []entry
+}
+
+// varsOrdered returns the distinct variables of the terms in first-
+// occurrence order.
+func varsOrdered(ts []ast.Term) []symtab.Sym {
+	var out []symtab.Sym
+	seen := map[symtab.Sym]bool{}
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch t.Kind {
+		case ast.Var:
+			if !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		case ast.Comp:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, t := range ts {
+		walk(t)
+	}
+	return out
+}
+
+func appendNew(dst []symtab.Sym, src []symtab.Sym) []symtab.Sym {
+	for _, v := range src {
+		dup := false
+		for _, d := range dst {
+			if d == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// preparedRec holds the compiled solvers of one recursive rule.
+type preparedRec struct {
+	r   *RecRule
+	idx int // position in Runtime.recs (= Analysis.Rec index)
+	// Left part: given the head's bound variables, produce the recursive
+	// call's bound variables and the shared variables.
+	left      *engine.PreparedSolve
+	leftBound []symtab.Sym
+	leftWant  []symtab.Sym
+	// Right part: given the recursive answer's variables, the shared
+	// variables and (when needed) the head's bound variables, produce the
+	// free head arguments' variables.
+	right      *engine.PreparedSolve
+	rightBound []symtab.Sym
+	rightWant  []symtab.Sym
+	needsDest  bool // head bound vars must be matched against the landing node
+}
+
+// preparedExit holds the compiled solver of one exit rule.
+type preparedExit struct {
+	e     *ExitRule
+	ps    *engine.PreparedSolve
+	bound []symtab.Sym
+	want  []symtab.Sym
+}
+
+// Runtime evaluates one analyzed query over one database.
+type Runtime struct {
+	an      *Analysis
+	bank    *term.Bank
+	db      *database.Database
+	matcher *engine.Matcher
+	opts    RuntimeOptions
+
+	recs  []preparedRec
+	exits []preparedExit
+
+	nodes   []*node
+	nodeIDs map[string]int32
+	// discovery lists node ids in depth-first discovery order (the
+	// paper's o1, o2, … numbering).
+	discovery []int32
+
+	// answer tuples, deduplicated by (pred, frees, node).
+	tupleSeen map[string]bool
+
+	// provenance (nil unless enabled): first derivation of each tuple.
+	meta       map[string]tupleMeta
+	tupleOfKey map[string]tuple
+
+	stats RuntimeStats
+}
+
+// NewRuntime prepares a runtime for the analyzed query an over db. The
+// passthrough rules of the analysis (lower strata) are evaluated eagerly
+// with the standard engine so the left/exit/right conjunctions can read
+// them; the conjunction solvers are compiled once here.
+func NewRuntime(an *Analysis, db *database.Database, opts RuntimeOptions) (*Runtime, error) {
+	bank := an.Adorned.Program.Bank
+	var derived map[symtab.Sym]*database.Relation
+	if len(an.Passthrough) > 0 {
+		sub := ast.NewProgram(bank)
+		sub.Add(an.Passthrough...)
+		res, err := engine.Eval(sub, db, engine.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("counting: evaluating lower strata: %w", err)
+		}
+		derived = res.Derived
+	}
+	if opts.MaxTuples == 0 {
+		opts.MaxTuples = DefaultMaxRuntimeTuples
+	}
+	rt := &Runtime{
+		an:        an,
+		bank:      bank,
+		db:        db,
+		matcher:   engine.NewMatcher(bank, db, derived),
+		opts:      opts,
+		nodeIDs:   map[string]int32{},
+		tupleSeen: map[string]bool{},
+	}
+
+	for i := range an.Rec {
+		r := &an.Rec[i]
+		pr := preparedRec{r: r, idx: i}
+		if !r.SkipCounting {
+			pr.leftBound = varsOrdered(r.HeadBound)
+			pr.leftWant = appendNew(varsOrdered(r.RecBound), r.Shared)
+			var body []ast.Literal
+			for _, li := range r.Left {
+				body = append(body, r.Rule.Body[li])
+			}
+			ps, err := rt.matcher.Prepare(body, pr.leftBound, pr.leftWant)
+			if err != nil {
+				return nil, fmt.Errorf("counting: preparing left part of %s: %w",
+					ast.FormatRule(bank, r.Rule), err)
+			}
+			pr.left = ps
+		}
+		if !r.SkipModified {
+			pr.needsDest = len(r.BoundInRight) > 0
+			pr.rightBound = appendNew(varsOrdered(r.RecFree), r.Shared)
+			if pr.needsDest {
+				// The head's bound arguments are matched against the
+				// landing node (for left-linear rules, the same node).
+				pr.rightBound = appendNew(pr.rightBound, varsOrdered(r.HeadBound))
+			}
+			pr.rightWant = varsOrdered(r.HeadFree)
+			var body []ast.Literal
+			for _, ri := range r.Right {
+				body = append(body, r.Rule.Body[ri])
+			}
+			ps, err := rt.matcher.Prepare(body, pr.rightBound, pr.rightWant)
+			if err != nil {
+				return nil, fmt.Errorf("counting: preparing right part of %s: %w",
+					ast.FormatRule(bank, r.Rule), err)
+			}
+			pr.right = ps
+		}
+		rt.recs = append(rt.recs, pr)
+	}
+	for i := range an.Exit {
+		e := &an.Exit[i]
+		pe := preparedExit{
+			e:     e,
+			bound: varsOrdered(e.Bound),
+			want:  varsOrdered(e.Free),
+		}
+		ps, err := rt.matcher.Prepare(e.Rule.Body, pe.bound, pe.want)
+		if err != nil {
+			return nil, fmt.Errorf("counting: preparing exit rule %s: %w",
+				ast.FormatRule(bank, e.Rule), err)
+		}
+		pe.ps = ps
+		rt.exits = append(rt.exits, pe)
+	}
+	return rt, nil
+}
+
+// Run executes both phases and returns the goal answers.
+func Run(an *Analysis, db *database.Database, opts RuntimeOptions) (*RunResult, error) {
+	rt, err := NewRuntime(an, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run()
+}
+
+// Run executes the two phases.
+func (rt *Runtime) Run() (*RunResult, error) {
+	if err := rt.buildCountingSet(); err != nil {
+		return nil, err
+	}
+	answers, err := rt.answerPhase()
+	if err != nil {
+		return nil, err
+	}
+	rt.stats.Solves = rt.matcher.Solves
+	rt.stats.Probes = rt.matcher.Probes
+	rt.stats.CountingNodes = len(rt.nodes)
+	for _, n := range rt.nodes {
+		rt.stats.AheadEntries += len(n.ahead)
+		rt.stats.BackEntries += len(n.back)
+	}
+	rt.stats.AnswerTuples = len(rt.tupleSeen)
+	engine.SortTuplesFormatted(rt.bank, answers)
+	return &RunResult{Answers: answers, Stats: rt.stats}, nil
+}
+
+func valsKey(pred symtab.Sym, vals []term.Value) string {
+	buf := make([]byte, 0, 8+len(vals)*4)
+	buf = binary.AppendVarint(buf, int64(pred))
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return string(buf)
+}
+
+// internNode returns the id for (pred, vals), creating the node if new.
+func (rt *Runtime) internNode(pred symtab.Sym, vals []term.Value) (int32, bool, error) {
+	k := valsKey(pred, vals)
+	if id, ok := rt.nodeIDs[k]; ok {
+		return id, false, nil
+	}
+	if len(rt.nodes)+len(rt.tupleSeen) >= rt.opts.MaxTuples {
+		return 0, false, ErrRuntimeBudget
+	}
+	id := int32(len(rt.nodes))
+	rt.nodes = append(rt.nodes, &node{pred: pred, vals: append([]term.Value(nil), vals...)})
+	rt.nodeIDs[k] = id
+	return id, true, nil
+}
+
+// arcTarget is one instantiation of a rule's left part from a given node.
+type arcTarget struct {
+	rule int
+	c    term.Value
+	to   int32
+}
+
+// expand computes the outgoing arcs of node id by instantiating every
+// applicable recursive rule's left part.
+func (rt *Runtime) expand(id int32) ([]arcTarget, error) {
+	n := rt.nodes[id]
+	var out []arcTarget
+	seen := map[arcTarget]bool{}
+	for ri := range rt.recs {
+		pr := &rt.recs[ri]
+		r := pr.r
+		if r.SkipCounting || r.Rule.Head.Pred != n.pred {
+			continue
+		}
+		bound := map[symtab.Sym]term.Value{}
+		if !engine.MatchTerms(rt.bank, r.HeadBound, n.vals, bound) {
+			continue
+		}
+		boundVals := make([]term.Value, len(pr.leftBound))
+		for i, v := range pr.leftBound {
+			boundVals[i] = bound[v]
+		}
+		recPred := r.Rule.Body[r.RecIndex].Pred
+		sol := map[symtab.Sym]term.Value{}
+		err := pr.left.Solve(boundVals, func(vals []term.Value) error {
+			for i, v := range pr.leftWant {
+				sol[v] = vals[i]
+			}
+			for v, val := range bound {
+				sol[v] = val
+			}
+			x1 := make([]term.Value, len(r.RecBound))
+			for i, t := range r.RecBound {
+				v, ok := engine.InstantiateTerm(rt.bank, t, sol)
+				if !ok {
+					return fmt.Errorf("counting: left part did not bind the recursive call in rule %s",
+						ast.FormatRule(rt.bank, r.Rule))
+				}
+				x1[i] = v
+			}
+			cvals := make([]term.Value, len(r.Shared))
+			for i, v := range r.Shared {
+				cvals[i] = sol[v]
+			}
+			cList := rt.bank.List(cvals...)
+			to, _, err := rt.internNode(recPred, x1)
+			if err != nil {
+				return err
+			}
+			a := arcTarget{rule: ri, c: cList, to: to}
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// buildCountingSet runs the depth-first exploration with on-the-fly arc
+// classification, filling each node's ahead and back entry sets.
+func (rt *Runtime) buildCountingSet() error {
+	goalBound := make([]term.Value, len(rt.an.GoalBound))
+	for i, t := range rt.an.GoalBound {
+		if !t.IsGround() {
+			return fmt.Errorf("counting: query bound argument %s is not ground",
+				ast.FormatTerm(rt.bank, t))
+		}
+		goalBound[i] = t.Value
+	}
+	src, _, err := rt.internNode(rt.an.GoalPred, goalBound)
+	if err != nil {
+		return err
+	}
+	// The source carries the paper's (r0, [], nil) entry.
+	rt.nodes[src].ahead = append(rt.nodes[src].ahead, entry{rule: -1, c: rt.bank.Nil(), node: nilNode})
+
+	type frame struct {
+		id   int32
+		arcs []arcTarget
+		idx  int
+	}
+	onStack := map[int32]bool{}
+	visited := map[int32]bool{}
+	type entryKey struct {
+		to   int32
+		e    entry
+		back bool
+	}
+	entrySeen := map[entryKey]bool{}
+
+	addEntry := func(to int32, e entry, back bool) {
+		k := entryKey{to, e, back}
+		if entrySeen[k] {
+			return
+		}
+		entrySeen[k] = true
+		n := rt.nodes[to]
+		if back {
+			n.back = append(n.back, e)
+		} else {
+			n.ahead = append(n.ahead, e)
+		}
+	}
+
+	arcs, err := rt.expand(src)
+	if err != nil {
+		return err
+	}
+	stack := []frame{{id: src, arcs: arcs}}
+	onStack[src] = true
+	visited[src] = true
+	rt.discovery = append(rt.discovery, src)
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx >= len(f.arcs) {
+			onStack[f.id] = false
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		a := f.arcs[f.idx]
+		f.idx++
+		e := entry{rule: a.rule, c: a.c, node: f.id}
+		switch {
+		case onStack[a.to]:
+			addEntry(a.to, e, true)
+		case visited[a.to]:
+			addEntry(a.to, e, false)
+		default:
+			addEntry(a.to, e, false)
+			visited[a.to] = true
+			onStack[a.to] = true
+			rt.discovery = append(rt.discovery, a.to)
+			arcs, err := rt.expand(a.to)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, frame{id: a.to, arcs: arcs})
+		}
+	}
+	return nil
+}
+
+// tuple is one answer-phase fact: the original predicate holds between the
+// node's bound values and frees.
+type tuple struct {
+	pred  symtab.Sym
+	frees []term.Value
+	node  int32
+}
+
+func (rt *Runtime) tupleKey(t tuple) string {
+	buf := make([]byte, 0, 16+len(t.frees)*4)
+	buf = binary.AppendVarint(buf, int64(t.node))
+	buf = binary.AppendVarint(buf, int64(t.pred))
+	for _, v := range t.frees {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return string(buf)
+}
+
+// pushTuple records a derived tuple; kind/rule/parent describe the
+// derivation for provenance (parent is nil for exit seeds).
+func (rt *Runtime) pushTuple(t tuple, queue *[]tuple, kind StepKind, rule int, parent *tuple) error {
+	rt.stats.Moves++
+	k := rt.tupleKey(t)
+	if rt.tupleSeen[k] {
+		return nil
+	}
+	if len(rt.nodes)+len(rt.tupleSeen) >= rt.opts.MaxTuples {
+		return ErrRuntimeBudget
+	}
+	rt.tupleSeen[k] = true
+	if rt.meta != nil {
+		m := tupleMeta{kind: kind, rule: rule}
+		if parent != nil {
+			m.parentKey = rt.tupleKey(*parent)
+		}
+		rt.meta[k] = m
+		if rt.tupleOfKey == nil {
+			rt.tupleOfKey = map[string]tuple{}
+		}
+		rt.tupleOfKey[k] = t
+	}
+	*queue = append(*queue, t)
+	return nil
+}
+
+// answerPhase seeds tuples from the exit rules at every counting node and
+// saturates the move relation.
+func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
+	var queue []tuple
+
+	// Exit seeds.
+	for id := int32(0); int(id) < len(rt.nodes); id++ {
+		n := rt.nodes[id]
+		for ei := range rt.exits {
+			pe := &rt.exits[ei]
+			if pe.e.Rule.Head.Pred != n.pred {
+				continue
+			}
+			bound := map[symtab.Sym]term.Value{}
+			if !engine.MatchTerms(rt.bank, pe.e.Bound, n.vals, bound) {
+				continue
+			}
+			boundVals := make([]term.Value, len(pe.bound))
+			for i, v := range pe.bound {
+				boundVals[i] = bound[v]
+			}
+			err := pe.ps.Solve(boundVals, func(vals []term.Value) error {
+				sol := map[symtab.Sym]term.Value{}
+				for i, v := range pe.want {
+					sol[v] = vals[i]
+				}
+				for v, val := range bound {
+					sol[v] = val
+				}
+				frees, err := rt.instantiateFrees(pe.e.Free, sol, pe.e.Rule)
+				if err != nil {
+					return err
+				}
+				return rt.pushTuple(tuple{pred: n.pred, frees: frees, node: id}, &queue, StepExit, ei, nil)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var answers []database.Tuple
+	srcID := int32(0) // the source is always node 0
+
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if t.node == srcID && t.pred == rt.an.GoalPred {
+			answers = append(answers, append(database.Tuple(nil), t.frees...))
+		}
+
+		n := rt.nodes[t.node]
+
+		// Entry consumption: undo one left-part step.
+		for _, e := range n.ahead {
+			if e.rule < 0 {
+				continue // the nil entry: nothing to undo
+			}
+			if err := rt.applyMove(&rt.recs[e.rule], t, e.node, e.c, StepMove, &queue); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range n.back {
+			if err := rt.applyMove(&rt.recs[e.rule], t, e.node, e.c, StepMove, &queue); err != nil {
+				return nil, err
+			}
+		}
+
+		// Left-linear moves: rules that generate no arcs apply their
+		// right part at the same node.
+		for ri := range rt.recs {
+			pr := &rt.recs[ri]
+			if !pr.r.SkipCounting || pr.r.SkipModified {
+				continue
+			}
+			if pr.r.Rule.Body[pr.r.RecIndex].Pred != t.pred {
+				continue
+			}
+			if err := rt.applyMove(pr, t, t.node, rt.bank.Nil(), StepSame, &queue); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return answers, nil
+}
+
+// applyMove consumes rule pr from tuple t, landing at node dest with shared
+// values c.
+func (rt *Runtime) applyMove(pr *preparedRec, t tuple, dest int32, c term.Value, kind StepKind, queue *[]tuple) error {
+	r := pr.r
+	// The entry was created by an arc of rule r, whose target predicate is
+	// the recursive literal's; it must match the tuple's predicate.
+	if r.Rule.Body[r.RecIndex].Pred != t.pred {
+		return nil
+	}
+	bound := map[symtab.Sym]term.Value{}
+	if !engine.MatchTerms(rt.bank, r.RecFree, t.frees, bound) {
+		return nil
+	}
+	cvals, ok := rt.bank.ListElems(c)
+	if !ok || len(cvals) != len(r.Shared) {
+		return fmt.Errorf("counting: malformed shared-variable record %s", rt.bank.Format(c))
+	}
+	for i, v := range r.Shared {
+		if old, exists := bound[v]; exists {
+			if old != cvals[i] {
+				return nil
+			}
+			continue
+		}
+		bound[v] = cvals[i]
+	}
+	if len(r.BoundInRight) > 0 || r.SkipModified {
+		// The head's bound arguments come from the destination node.
+		if !engine.MatchTerms(rt.bank, r.HeadBound, rt.nodes[dest].vals, bound) {
+			return nil
+		}
+	}
+	if r.SkipModified {
+		// Right-linear: the free arguments pass through unchanged.
+		return rt.pushTuple(tuple{pred: r.Rule.Head.Pred, frees: t.frees, node: dest},
+			queue, kind, pr.idx, &t)
+	}
+	boundVals := make([]term.Value, len(pr.rightBound))
+	for i, v := range pr.rightBound {
+		val, ok := bound[v]
+		if !ok {
+			return fmt.Errorf("counting: internal error: variable %s unbound in right part of %s",
+				rt.bank.Symbols().String(v), ast.FormatRule(rt.bank, r.Rule))
+		}
+		boundVals[i] = val
+	}
+	return pr.right.Solve(boundVals, func(vals []term.Value) error {
+		sol := map[symtab.Sym]term.Value{}
+		for i, v := range pr.rightWant {
+			sol[v] = vals[i]
+		}
+		for v, val := range bound {
+			sol[v] = val
+		}
+		frees, err := rt.instantiateFrees(r.HeadFree, sol, r.Rule)
+		if err != nil {
+			return err
+		}
+		return rt.pushTuple(tuple{pred: r.Rule.Head.Pred, frees: frees, node: dest},
+			queue, kind, pr.idx, &t)
+	})
+}
+
+// instantiateFrees grounds the free head arguments under sol.
+func (rt *Runtime) instantiateFrees(freeTerms []ast.Term, sol map[symtab.Sym]term.Value, srcRule ast.Rule) ([]term.Value, error) {
+	frees := make([]term.Value, len(freeTerms))
+	for i, ft := range freeTerms {
+		v, ok := engine.InstantiateTerm(rt.bank, ft, sol)
+		if !ok {
+			return nil, fmt.Errorf("counting: free head argument %s not bound in rule %s",
+				ast.FormatTerm(rt.bank, ft), ast.FormatRule(rt.bank, srcRule))
+		}
+		frees[i] = v
+	}
+	return frees, nil
+}

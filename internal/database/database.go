@@ -1,0 +1,319 @@
+// Package database implements the extensional store: named relations of
+// ground tuples with lazily built hash indexes keyed by any subset of
+// columns. It is the substrate every evaluation strategy reads base facts
+// from; derived (intensional) facts live in engine-local Relations of the
+// same type.
+package database
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lincount/internal/ast"
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// Tuple is one row of a relation. All values are ground.
+type Tuple []term.Value
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// key builds the map key for the columns selected by mask (bit i ⇒ column
+// i participates). With mask covering all columns it is the dedup key.
+func (t Tuple) key(mask uint64) string {
+	buf := make([]byte, 0, len(t)*3)
+	for i, v := range t {
+		if mask&(1<<uint(i)) != 0 {
+			buf = binary.AppendVarint(buf, int64(v))
+		}
+	}
+	return string(buf)
+}
+
+// maskKey builds a key from the given values for a probe against an index
+// on mask; vals must contain exactly the masked columns, in column order.
+func maskKey(vals []term.Value) string {
+	buf := make([]byte, 0, len(vals)*3)
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return string(buf)
+}
+
+// Relation is a set of same-arity tuples with optional column indexes.
+// The zero value is not usable; call NewRelation.
+//
+// Concurrency: a Relation has a single writer. Concurrent readers are safe
+// (index construction is internally synchronized), but reading while the
+// writer inserts is not; the engine's parallel mode relies on completed
+// relations being read-only.
+type Relation struct {
+	arity   int
+	tuples  []Tuple
+	present map[string]bool
+	indexMu sync.Mutex
+	indexes map[uint64]map[string][]int32
+}
+
+// NewRelation returns an empty relation of the given arity.
+// Arity must be between 0 and 63 (index masks are 64-bit).
+func NewRelation(arity int) *Relation {
+	if arity < 0 || arity > 63 {
+		panic(fmt.Sprintf("database: unsupported arity %d", arity))
+	}
+	return &Relation{
+		arity:   arity,
+		present: make(map[string]bool),
+		indexes: make(map[uint64]map[string][]int32),
+	}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Reset removes all tuples but keeps allocated capacity, including index
+// map storage. Used by evaluators that refill a scratch relation in a hot
+// loop.
+func (r *Relation) Reset() {
+	r.tuples = r.tuples[:0]
+	clear(r.present)
+	for _, ix := range r.indexes {
+		clear(ix)
+	}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// fullMask covers all columns.
+func (r *Relation) fullMask() uint64 { return (1 << uint(r.arity)) - 1 }
+
+// Insert adds a tuple and reports whether it was new. The tuple is copied.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("database: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	k := t.key(r.fullMask())
+	if r.present[k] {
+		return false
+	}
+	r.present[k] = true
+	idx := int32(len(r.tuples))
+	r.tuples = append(r.tuples, t.Clone())
+	for mask, ix := range r.indexes {
+		pk := t.key(mask)
+		ix[pk] = append(ix[pk], idx)
+	}
+	return true
+}
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	return r.present[t.key(r.fullMask())]
+}
+
+// At returns the i-th tuple (insertion order). The returned slice must not
+// be mutated.
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the backing slice of tuples in insertion order. Callers
+// must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// ensureIndex builds (once) the index on mask. Safe for concurrent
+// readers; the mutex also orders the lazily built map against them.
+func (r *Relation) ensureIndex(mask uint64) map[string][]int32 {
+	r.indexMu.Lock()
+	defer r.indexMu.Unlock()
+	if ix, ok := r.indexes[mask]; ok {
+		return ix
+	}
+	ix := make(map[string][]int32, len(r.tuples))
+	for i, t := range r.tuples {
+		k := t.key(mask)
+		ix[k] = append(ix[k], int32(i))
+	}
+	r.indexes[mask] = ix
+	return ix
+}
+
+// Probe returns the indices (into Tuples) of tuples whose masked columns
+// equal vals. vals must list exactly the masked columns, in column order.
+// The returned slice must not be mutated.
+func (r *Relation) Probe(mask uint64, vals []term.Value) []int32 {
+	if mask == 0 {
+		// Full scan request: callers should iterate Tuples directly, but
+		// keep this correct for uniformity.
+		out := make([]int32, len(r.tuples))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	ix := r.ensureIndex(mask)
+	return ix[maskKey(vals)]
+}
+
+// Sorted returns the tuples sorted by term.Compare column-major; useful for
+// deterministic test output.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if c := term.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Database is a set of named relations over one term bank.
+type Database struct {
+	bank *term.Bank
+	rels map[symtab.Sym]*Relation
+}
+
+// New returns an empty database over the given bank.
+func New(b *term.Bank) *Database {
+	return &Database{bank: b, rels: make(map[symtab.Sym]*Relation)}
+}
+
+// Bank returns the term bank the database interns values in.
+func (db *Database) Bank() *term.Bank { return db.bank }
+
+// Relation returns the relation for pred, or nil if absent.
+func (db *Database) Relation(pred symtab.Sym) *Relation { return db.rels[pred] }
+
+// Ensure returns the relation for pred, creating it with the given arity if
+// absent. It returns an error on arity mismatch with an existing relation.
+func (db *Database) Ensure(pred symtab.Sym, arity int) (*Relation, error) {
+	if r, ok := db.rels[pred]; ok {
+		if r.arity != arity {
+			return nil, fmt.Errorf("database: predicate %s used with arity %d and %d",
+				db.bank.Symbols().String(pred), r.arity, arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(arity)
+	db.rels[pred] = r
+	return r, nil
+}
+
+// Assert inserts a fact, creating the relation as needed, and reports
+// whether the tuple was new.
+func (db *Database) Assert(pred symtab.Sym, t Tuple) (bool, error) {
+	r, err := db.Ensure(pred, len(t))
+	if err != nil {
+		return false, err
+	}
+	return r.Insert(t), nil
+}
+
+// AssertStrings is a convenience for tests and examples: every argument is
+// interned as a symbol constant.
+func (db *Database) AssertStrings(pred string, args ...string) error {
+	t := make(Tuple, len(args))
+	for i, a := range args {
+		t[i] = term.Symbol(db.bank.Symbols().Intern(a))
+	}
+	_, err := db.Assert(db.bank.Symbols().Intern(pred), t)
+	return err
+}
+
+// Predicates returns the database's predicate symbols sorted by name.
+func (db *Database) Predicates() []symtab.Sym {
+	out := make([]symtab.Sym, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	syms := db.bank.Symbols()
+	sort.Slice(out, func(i, j int) bool {
+		return syms.String(out[i]) < syms.String(out[j])
+	})
+	return out
+}
+
+// FactCount returns the total number of tuples across all relations.
+func (db *Database) FactCount() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// LoadText parses src (facts only) into the database. It returns an error
+// if src contains rules with bodies, non-ground facts, or queries.
+func (db *Database) LoadText(src string) error {
+	res, err := parser.Parse(db.bank, src)
+	if err != nil {
+		return err
+	}
+	if len(res.Queries) != 0 {
+		return fmt.Errorf("database: queries are not allowed in fact files")
+	}
+	for _, r := range res.Program.Rules {
+		if !r.IsFact() {
+			return fmt.Errorf("database: %s is not a ground fact",
+				ast.FormatRule(db.bank, r))
+		}
+		t := make(Tuple, len(r.Head.Args))
+		for i, a := range r.Head.Args {
+			t[i] = a.Value
+		}
+		if _, err := db.Assert(r.Head.Pred, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the database as fact text, predicates sorted by name and
+// tuples in deterministic order.
+func (db *Database) Format() string {
+	var out []byte
+	for _, p := range db.Predicates() {
+		rel := db.rels[p]
+		name := db.bank.Symbols().String(p)
+		for _, t := range rel.Sorted() {
+			out = append(out, name...)
+			if len(t) > 0 {
+				out = append(out, '(')
+				for i, v := range t {
+					if i > 0 {
+						out = append(out, ',')
+					}
+					out = append(out, db.bank.Format(v)...)
+				}
+				out = append(out, ')')
+			}
+			out = append(out, '.', '\n')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,59 @@
+package database
+
+import (
+	"bytes"
+	"testing"
+
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// FuzzLoadSnapshot checks the snapshot reader never panics or accepts
+// structurally invalid input silently. Seeds include valid snapshots and
+// systematic corruptions of one.
+func FuzzLoadSnapshot(f *testing.F) {
+	// A valid snapshot as the primary seed.
+	src := New(term.NewBank(symtab.New()))
+	if err := src.LoadText("up(a,b). n(7). l([1,2])."); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncations.
+	for _, n := range []int{0, 3, 5, 8, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Single-byte corruptions.
+	for i := 5; i < len(valid); i += 7 {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0xff
+		f.Add(c)
+	}
+	f.Add([]byte("LCDB1"))
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := New(term.NewBank(symtab.New()))
+		if err := Load(bytes.NewReader(data), db); err != nil {
+			return // rejection is fine
+		}
+		// Anything accepted must re-save and re-load to identical text.
+		var out bytes.Buffer
+		if err := Save(&out, db); err != nil {
+			t.Fatalf("accepted snapshot does not re-save: %v", err)
+		}
+		db2 := New(term.NewBank(symtab.New()))
+		if err := Load(bytes.NewReader(out.Bytes()), db2); err != nil {
+			t.Fatalf("re-saved snapshot does not load: %v", err)
+		}
+		if db.Format() != db2.Format() {
+			t.Fatal("snapshot round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package database
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// Binary snapshot format for databases. The format externalizes the term
+// universe (symbol strings and hash-consed compounds) so a snapshot can be
+// loaded into any bank: values are remapped on load, not assumed to share
+// intern ids with the writer.
+//
+// Layout (all integers varint-encoded):
+//
+//	magic "LCDB1"
+//	nsyms, then nsyms length-prefixed strings   (index = writer Sym id)
+//	ncomps, then per compound: functor sym index, arity, arg values
+//	nrels, then per relation: name sym index, arity, ntuples, tuples
+//
+// Values are encoded as (tag, payload): tag 0 integer (payload = value),
+// tag 1 symbol (payload = writer sym index), tag 2 compound (payload =
+// writer compound index). Compound args always reference earlier
+// compounds, because the writer emits them in bank interning order.
+
+const snapshotMagic = "LCDB1"
+
+// Save writes a snapshot of db to w.
+func Save(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+
+	bank := db.bank
+	syms := bank.Symbols()
+	nsyms := syms.Len()
+	writeUvarint(bw, uint64(nsyms))
+	for i := 0; i < nsyms; i++ {
+		s := syms.String(symtab.Sym(i))
+		writeUvarint(bw, uint64(len(s)))
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+
+	ncomps := bank.Len()
+	writeUvarint(bw, uint64(ncomps))
+	for i := 0; i < ncomps; i++ {
+		c := bank.DerefIndex(i)
+		writeUvarint(bw, uint64(c.Functor))
+		writeUvarint(bw, uint64(len(c.Args)))
+		for _, a := range c.Args {
+			writeValue(bw, a)
+		}
+	}
+
+	preds := db.Predicates()
+	writeUvarint(bw, uint64(len(preds)))
+	for _, p := range preds {
+		rel := db.rels[p]
+		writeUvarint(bw, uint64(p))
+		writeUvarint(bw, uint64(rel.Arity()))
+		writeUvarint(bw, uint64(rel.Len()))
+		for _, t := range rel.Tuples() {
+			for _, v := range t {
+				writeValue(bw, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func writeValue(bw *bufio.Writer, v term.Value) {
+	switch {
+	case v.IsInt():
+		bw.WriteByte(0)
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v.AsInt())
+		bw.Write(buf[:n])
+	case v.IsSymbol():
+		bw.WriteByte(1)
+		writeUvarint(bw, uint64(v.AsSymbol()))
+	default:
+		bw.WriteByte(2)
+		writeUvarint(bw, uint64(v.CompIndex()))
+	}
+}
+
+// Load reads a snapshot from r into db (which may already hold facts; the
+// snapshot's tuples are merged). Symbols and compounds are re-interned
+// into db's bank, so the snapshot may come from a different universe.
+func Load(r io.Reader, db *Database) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("database: reading snapshot header: %w", err)
+	}
+	if string(head) != snapshotMagic {
+		return fmt.Errorf("database: not a snapshot file (bad magic %q)", head)
+	}
+	bank := db.bank
+	syms := bank.Symbols()
+
+	nsyms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	symMap := make([]symtab.Sym, nsyms)
+	for i := range symMap {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		symMap[i] = syms.Intern(string(buf))
+	}
+
+	ncomps, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	compMap := make([]term.Value, ncomps)
+	readValue := func() (term.Value, error) {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch tag {
+		case 0:
+			n, err := binary.ReadVarint(br)
+			if err != nil {
+				return 0, err
+			}
+			return term.Int(n), nil
+		case 1:
+			s, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, err
+			}
+			if s >= nsyms {
+				return 0, fmt.Errorf("database: snapshot symbol index %d out of range", s)
+			}
+			return term.Symbol(symMap[s]), nil
+		case 2:
+			c, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, err
+			}
+			// compMap entries are filled in writer order, so a valid
+			// snapshot never references a compound before defining it.
+			if c >= ncomps {
+				return 0, fmt.Errorf("database: snapshot compound index %d out of range", c)
+			}
+			return compMap[c], nil
+		default:
+			return 0, fmt.Errorf("database: bad value tag %d", tag)
+		}
+	}
+	// Caps guard against corrupt headers demanding absurd allocations;
+	// genuine data stays far below them (relation arity is limited to 63
+	// by the index masks anyway).
+	const maxCompoundArity = 1 << 16
+	for i := range compMap {
+		f, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if f >= nsyms {
+			return fmt.Errorf("database: snapshot functor index %d out of range", f)
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if arity > maxCompoundArity {
+			return fmt.Errorf("database: snapshot compound arity %d out of range", arity)
+		}
+		args := make([]term.Value, arity)
+		for j := range args {
+			v, err := readValue()
+			if err != nil {
+				return err
+			}
+			args[j] = v
+		}
+		compMap[i] = bank.Compound(symMap[f], args...)
+	}
+
+	nrels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nrels; i++ {
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if p >= nsyms {
+			return fmt.Errorf("database: snapshot predicate index %d out of range", p)
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if arity > 63 {
+			return fmt.Errorf("database: snapshot relation arity %d out of range", arity)
+		}
+		ntuples, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		rel, err := db.Ensure(symMap[p], int(arity))
+		if err != nil {
+			return err
+		}
+		for t := uint64(0); t < ntuples; t++ {
+			tuple := make(Tuple, arity)
+			for j := range tuple {
+				v, err := readValue()
+				if err != nil {
+					return err
+				}
+				tuple[j] = v
+			}
+			rel.Insert(tuple)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package database
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText(`
+up(a,b). up(b,c). flat(c,d).
+n(7). n(-3).
+pair(x,[1,2,[nested]]).
+deep(f(g(h(1)),x)).
+zero.
+`); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newDB()
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if src.Format() != dst.Format() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", src.Format(), dst.Format())
+	}
+}
+
+func TestSnapshotLoadIntoDifferentUniverse(t *testing.T) {
+	// The destination bank has different intern ids for everything.
+	src := newDB()
+	if err := src.LoadText("up(a,b). pt(p(1,2))."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newDB()
+	// Pollute the destination universe first.
+	if err := dst.LoadText("unrelated(z,q,w). other(k(9))."); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dst.Format(), "up(a,b).") ||
+		!strings.Contains(dst.Format(), "pt(p(1,2)).") ||
+		!strings.Contains(dst.Format(), "unrelated(z,q,w).") {
+		t.Errorf("merged database:\n%s", dst.Format())
+	}
+}
+
+func TestSnapshotMergeDedups(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText("up(a,b)."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newDB()
+	if err := dst.LoadText("up(a,b). up(b,c)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	up, _ := dst.Bank().Symbols().Lookup("up")
+	if dst.Relation(up).Len() != 2 {
+		t.Errorf("up has %d tuples after merge, want 2", dst.Relation(up).Len())
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	dst := newDB()
+	if err := Load(strings.NewReader("not a snapshot"), dst); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := Load(strings.NewReader("LCDB1\xff\xff\xff"), dst); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if err := Load(strings.NewReader(""), dst); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSnapshotArityConflict(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText("p(a,b)."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newDB()
+	if err := dst.LoadText("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, dst); err == nil {
+		t.Error("arity conflict not reported")
+	}
+}
+
+// Property: random databases survive the round trip bit-exactly (by text).
+func TestSnapshotRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := newDB()
+		bank := src.Bank()
+		preds := []string{"p", "q", "r"}
+		for i := 0; i < 40; i++ {
+			pred := preds[r.Intn(len(preds))]
+			arity := 1 + r.Intn(3)
+			tpl := make(Tuple, arity)
+			for j := range tpl {
+				switch r.Intn(3) {
+				case 0:
+					tpl[j] = term.Int(int64(r.Intn(100) - 50))
+				case 1:
+					tpl[j] = term.Symbol(bank.Symbols().Intern(string(rune('a' + r.Intn(6)))))
+				default:
+					tpl[j] = bank.List(term.Int(int64(r.Intn(5))),
+						term.Symbol(bank.Symbols().Intern("x")))
+				}
+			}
+			// Keep arities consistent per predicate: suffix name.
+			name := pred + string(rune('0'+arity))
+			if _, err := src.Assert(bank.Symbols().Intern(name), tpl); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, src); err != nil {
+			return false
+		}
+		dst := New(term.NewBank(symtab.New()))
+		if err := Load(&buf, dst); err != nil {
+			return false
+		}
+		return src.Format() == dst.Format()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,784 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// ErrBudget is returned when an evaluation exceeds its iteration or fact
+// budget. A counting-rewritten program run over cyclic data is unsafe and
+// trips this guard instead of looping forever.
+var ErrBudget = errors.New("engine: evaluation budget exceeded (program may be unsafe on this database)")
+
+// Options configures an evaluation.
+type Options struct {
+	// Naive selects the naive fixpoint (recompute everything each
+	// iteration) instead of semi-naive. Used as a baseline.
+	Naive bool
+	// MaxIterations bounds fixpoint iterations per recursive component;
+	// 0 means DefaultMaxIterations.
+	MaxIterations int
+	// MaxDerivedFacts bounds the total number of derived tuples;
+	// 0 means DefaultMaxDerivedFacts.
+	MaxDerivedFacts int
+	// Parallel evaluates independent strata concurrently. Components
+	// whose rules contain non-ground compound patterns still run
+	// sequentially (their evaluation interns terms; see parallel.go),
+	// and the fact budget becomes per-component.
+	Parallel bool
+	// Trace, when non-nil, receives one event per component and per
+	// fixpoint iteration — the engine's EXPLAIN ANALYZE. In parallel
+	// mode callbacks are serialized but may interleave across strata.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent is one step of an evaluation trace.
+type TraceEvent struct {
+	// Kind is "component" (a stratum starts) or "iteration".
+	Kind string
+	// Preds names the component's predicates.
+	Preds []string
+	// Iteration is the 0-based fixpoint round within the component.
+	Iteration int
+	// DeltaFacts is the number of new tuples this round produced.
+	DeltaFacts int64
+	// TotalFacts is the cumulative number of derived tuples.
+	TotalFacts int64
+}
+
+// Default budgets: generous enough for every experiment in the repository,
+// small enough that an unsafe program fails in well under a second.
+const (
+	DefaultMaxIterations   = 1_000_000
+	DefaultMaxDerivedFacts = 50_000_000
+)
+
+// Stats counts evaluation work. Inferences is the classic deductive-database
+// cost metric: the number of successful rule instantiations, including those
+// that rederive known facts.
+type Stats struct {
+	Iterations   int
+	Components   int
+	Inferences   int64
+	DerivedFacts int64
+	Probes       int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Iterations += other.Iterations
+	s.Components += other.Components
+	s.Inferences += other.Inferences
+	s.DerivedFacts += other.DerivedFacts
+	s.Probes += other.Probes
+}
+
+// Result holds the derived relations of an evaluation.
+type Result struct {
+	bank    *term.Bank
+	Derived map[symtab.Sym]*database.Relation
+	Stats   Stats
+}
+
+// Relation returns the derived relation for pred, or nil.
+func (r *Result) Relation(pred symtab.Sym) *database.Relation { return r.Derived[pred] }
+
+// Bank returns the term bank of the evaluated program.
+func (r *Result) Bank() *term.Bank { return r.bank }
+
+type evaluator struct {
+	bank    *term.Bank
+	db      *database.Database
+	derived map[symtab.Sym]*database.Relation
+	arity   map[symtab.Sym]int
+	opts    Options
+	stats   Stats
+
+	maxIter  int
+	maxFacts int64
+}
+
+// Eval computes the minimal model of p over db. Facts embedded in the
+// program (rules with empty bodies and ground heads) are treated as initial
+// derived tuples. db is not modified.
+func Eval(p *ast.Program, db *database.Database, opts Options) (*Result, error) {
+	ev := &evaluator{
+		bank:    p.Bank,
+		db:      db,
+		derived: make(map[symtab.Sym]*database.Relation),
+		arity:   make(map[symtab.Sym]int),
+		opts:    opts,
+		maxIter: opts.MaxIterations,
+	}
+	if ev.maxIter == 0 {
+		ev.maxIter = DefaultMaxIterations
+	}
+	ev.maxFacts = int64(opts.MaxDerivedFacts)
+	if ev.maxFacts == 0 {
+		ev.maxFacts = DefaultMaxDerivedFacts
+	}
+	if db != nil && db.Bank() != p.Bank {
+		return nil, errors.New("engine: program and database use different term banks")
+	}
+
+	if err := ev.checkArities(p); err != nil {
+		return nil, err
+	}
+	comps, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed derived relations: program facts, plus db tuples for predicates
+	// that are also rule heads (so reads see the union).
+	for _, r := range p.Rules {
+		rel, err := ev.derivedRel(r.Head.Pred, r.Head.Arity())
+		if err != nil {
+			return nil, err
+		}
+		if r.IsFact() {
+			t := make(database.Tuple, len(r.Head.Args))
+			for i, a := range r.Head.Args {
+				t[i] = a.Value
+			}
+			if rel.Insert(t) {
+				ev.stats.DerivedFacts++
+			}
+		}
+	}
+	for pred, rel := range ev.derived {
+		if ev.db == nil {
+			break
+		}
+		if base := ev.db.Relation(pred); base != nil {
+			if base.Arity() != rel.Arity() {
+				return nil, fmt.Errorf("engine: predicate %s has arity %d in program but %d in database",
+					ev.bank.Symbols().String(pred), rel.Arity(), base.Arity())
+			}
+			for _, t := range base.Tuples() {
+				if rel.Insert(t) {
+					ev.stats.DerivedFacts++
+				}
+			}
+		}
+	}
+
+	if ev.opts.Parallel {
+		for _, layer := range layerComponents(comps) {
+			var par, seq []Component
+			for _, ci := range layer {
+				c := comps[ci]
+				ev.stats.Components++
+				if len(layer) > 1 && flatComponent(c) {
+					par = append(par, c)
+				} else {
+					seq = append(seq, c)
+				}
+			}
+			if len(par) == 1 {
+				seq = append(seq, par[0])
+				par = nil
+			}
+			for _, c := range seq {
+				if err := ev.evalComponent(c); err != nil {
+					return nil, err
+				}
+			}
+			if len(par) > 0 {
+				if err := ev.evalComponentsParallel(par); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats}, nil
+	}
+
+	for _, comp := range comps {
+		ev.stats.Components++
+		if err := ev.evalComponent(comp); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats}, nil
+}
+
+// checkArities verifies consistent predicate arities across the program.
+func (ev *evaluator) checkArities(p *ast.Program) error {
+	syms := ev.bank.Symbols()
+	note := func(pred symtab.Sym, n int) error {
+		if ast.IsBuiltinName(syms.String(pred)) {
+			return nil
+		}
+		if prev, ok := ev.arity[pred]; ok && prev != n {
+			return fmt.Errorf("engine: predicate %s used with arities %d and %d",
+				syms.String(pred), prev, n)
+		}
+		ev.arity[pred] = n
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := note(r.Head.Pred, r.Head.Arity()); err != nil {
+			return err
+		}
+		for _, l := range r.Body {
+			if err := note(l.Pred, l.Arity()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) derivedRel(pred symtab.Sym, arity int) (*database.Relation, error) {
+	if rel, ok := ev.derived[pred]; ok {
+		if rel.Arity() != arity {
+			return nil, fmt.Errorf("engine: predicate %s used with arities %d and %d",
+				ev.bank.Symbols().String(pred), rel.Arity(), arity)
+		}
+		return rel, nil
+	}
+	rel := database.NewRelation(arity)
+	ev.derived[pred] = rel
+	return rel, nil
+}
+
+// readRel returns the relation a body literal reads (derived if the
+// predicate is a rule head, else base), or nil if empty.
+func (ev *evaluator) readRel(pred symtab.Sym) *database.Relation {
+	if rel, ok := ev.derived[pred]; ok {
+		return rel
+	}
+	if ev.db != nil {
+		return ev.db.Relation(pred)
+	}
+	return nil
+}
+
+func (ev *evaluator) trace(e TraceEvent) {
+	if ev.opts.Trace != nil {
+		ev.opts.Trace(e)
+	}
+}
+
+func (ev *evaluator) predNames(preds []symtab.Sym) []string {
+	syms := ev.bank.Symbols()
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		out[i] = syms.String(p)
+	}
+	return out
+}
+
+func (ev *evaluator) evalComponent(comp Component) error {
+	ev.trace(TraceEvent{Kind: "component", Preds: ev.predNames(comp.Preds)})
+	inComp := make(map[symtab.Sym]bool, len(comp.Preds))
+	for _, p := range comp.Preds {
+		inComp[p] = true
+	}
+	var rules []*compiledRule
+	for _, r := range comp.Rules {
+		if r.IsFact() {
+			continue // already seeded
+		}
+		cr, err := compileRule(ev.bank, r, inComp, func(pred symtab.Sym) int {
+			if rel := ev.readRel(pred); rel != nil {
+				return rel.Len()
+			}
+			return 0
+		})
+		if err != nil {
+			return err
+		}
+		rules = append(rules, cr)
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+
+	if !comp.Recursive {
+		// All body predicates are fully computed: one pass suffices.
+		for _, cr := range rules {
+			if err := ev.runRule(cr, -1, nil, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if ev.opts.Naive {
+		return ev.naiveFixpoint(rules)
+	}
+	return ev.semiNaiveFixpoint(comp, rules)
+}
+
+// naiveFixpoint re-evaluates every rule against the full relations until no
+// new facts appear.
+func (ev *evaluator) naiveFixpoint(rules []*compiledRule) error {
+	for iter := 0; ; iter++ {
+		if iter >= ev.maxIter {
+			return fmt.Errorf("%w: %d iterations", ErrBudget, iter)
+		}
+		ev.stats.Iterations++
+		before := ev.stats.DerivedFacts
+		newFacts := false
+		for _, cr := range rules {
+			grew := false
+			if err := ev.runRule(cr, -1, nil, &grew); err != nil {
+				return err
+			}
+			newFacts = newFacts || grew
+		}
+		ev.trace(TraceEvent{
+			Kind: "iteration", Iteration: iter,
+			DeltaFacts: ev.stats.DerivedFacts - before,
+			TotalFacts: ev.stats.DerivedFacts,
+		})
+		if !newFacts {
+			return nil
+		}
+	}
+}
+
+// semiNaiveFixpoint runs the standard differential fixpoint: iteration 0
+// evaluates every rule naively to seed the deltas; afterwards each
+// recursive rule is evaluated once per recursive body occurrence with the
+// delta relation substituted at that occurrence.
+func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) error {
+	delta := make(map[symtab.Sym]*database.Relation, len(comp.Preds))
+
+	collect := func() map[symtab.Sym]*database.Relation {
+		m := make(map[symtab.Sym]*database.Relation, len(comp.Preds))
+		for _, p := range comp.Preds {
+			m[p] = database.NewRelation(ev.arity[p])
+		}
+		return m
+	}
+
+	// Iteration 0: naive pass over all rules.
+	ev.stats.Iterations++
+	next := collect()
+	for _, cr := range rules {
+		if err := ev.runRuleInto(cr, -1, nil, next); err != nil {
+			return err
+		}
+	}
+	delta = next
+
+	deltaLen := func() int64 {
+		var n int64
+		for _, r := range delta {
+			n += int64(r.Len())
+		}
+		return n
+	}
+	ev.trace(TraceEvent{
+		Kind: "iteration", Iteration: 0,
+		DeltaFacts: deltaLen(), TotalFacts: ev.stats.DerivedFacts,
+	})
+
+	for iter := 1; deltaLen() > 0; iter++ {
+		if iter >= ev.maxIter {
+			return fmt.Errorf("%w: %d iterations", ErrBudget, iter)
+		}
+		ev.stats.Iterations++
+		next = collect()
+		for _, cr := range rules {
+			for occ := 0; occ < cr.nRecOccur(); occ++ {
+				if err := ev.runRuleInto(cr, occ, delta, next); err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
+		ev.trace(TraceEvent{
+			Kind: "iteration", Iteration: iter,
+			DeltaFacts: deltaLen(), TotalFacts: ev.stats.DerivedFacts,
+		})
+	}
+	return nil
+}
+
+// runRuleInto evaluates one rule variant, inserting new tuples into the
+// head's full relation and recording them in nextDelta.
+func (ev *evaluator) runRuleInto(cr *compiledRule, deltaOcc int, delta, nextDelta map[symtab.Sym]*database.Relation) error {
+	headRel := ev.derived[cr.headPred]
+	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
+		ev.stats.Inferences++
+		if headRel.Insert(t) {
+			ev.stats.DerivedFacts++
+			if ev.stats.DerivedFacts > ev.maxFacts {
+				return fmt.Errorf("%w: %d facts", ErrBudget, ev.stats.DerivedFacts)
+			}
+			if nextDelta != nil {
+				nextDelta[cr.headPred].Insert(t)
+			}
+		}
+		return nil
+	})
+}
+
+// runRule evaluates one rule variant into the head relation; grew, if non-
+// nil, is set when a new tuple appeared.
+func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*database.Relation, grew *bool) error {
+	headRel := ev.derived[cr.headPred]
+	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
+		ev.stats.Inferences++
+		if headRel.Insert(t) {
+			ev.stats.DerivedFacts++
+			if ev.stats.DerivedFacts > ev.maxFacts {
+				return fmt.Errorf("%w: %d facts", ErrBudget, ev.stats.DerivedFacts)
+			}
+			if grew != nil {
+				*grew = true
+			}
+		}
+		return nil
+	})
+}
+
+// join runs the nested-loop index join for one rule variant, calling out for
+// every successful body instantiation.
+func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*database.Relation, out func(database.Tuple) error) error {
+	order, deltaBodyIdx := cr.orderFor(deltaOcc)
+	frame := make([]term.Value, cr.nslots)
+	for i := range frame {
+		frame[i] = noValue
+	}
+	var trail []int
+
+	var step func(i int) error
+	step = func(i int) error {
+		if i == len(order) {
+			t := make(database.Tuple, len(cr.head))
+			for j, hp := range cr.head {
+				t[j] = ev.instantiate(hp, frame)
+			}
+			return out(t)
+		}
+		cl := &order[i]
+		switch cl.kind {
+		case litBuiltin:
+			return ev.stepBuiltin(cl, frame, &trail, func() error { return step(i + 1) })
+		case litNegated:
+			probe := make(database.Tuple, len(cl.args))
+			for j, a := range cl.args {
+				probe[j] = ev.instantiate(a, frame)
+			}
+			rel := ev.readRel(cl.pred)
+			if rel != nil && rel.Contains(probe) {
+				return nil
+			}
+			return step(i + 1)
+		default:
+			var rel *database.Relation
+			if deltaBodyIdx >= 0 && cl.bodyIdx == deltaBodyIdx {
+				rel = delta[cl.pred]
+			} else {
+				rel = ev.readRel(cl.pred)
+			}
+			if rel == nil || rel.Len() == 0 {
+				return nil
+			}
+			mark := len(trail)
+			if cl.probeMask != 0 {
+				probe := make([]term.Value, 0, len(cl.args))
+				for j, a := range cl.args {
+					if cl.probeMask&(1<<uint(j)) != 0 {
+						probe = append(probe, ev.instantiate(a, frame))
+					}
+				}
+				ev.stats.Probes++
+				for _, ix := range rel.Probe(cl.probeMask, probe) {
+					if ev.matchTuple(cl, rel.At(int(ix)), frame, &trail) {
+						if err := step(i + 1); err != nil {
+							return err
+						}
+					}
+					unwind(frame, &trail, mark)
+				}
+				return nil
+			}
+			ev.stats.Probes++
+			for _, t := range rel.Tuples() {
+				if ev.matchTuple(cl, t, frame, &trail) {
+					if err := step(i + 1); err != nil {
+						return err
+					}
+				}
+				unwind(frame, &trail, mark)
+			}
+			return nil
+		}
+	}
+	return step(0)
+}
+
+func unwind(frame []term.Value, trail *[]int, mark int) {
+	for len(*trail) > mark {
+		s := (*trail)[len(*trail)-1]
+		*trail = (*trail)[:len(*trail)-1]
+		frame[s] = noValue
+	}
+}
+
+// matchTuple unifies every literal argument with the tuple, extending frame
+// and trail. On failure the caller unwinds to its mark.
+func (ev *evaluator) matchTuple(cl *compiledLit, t database.Tuple, frame []term.Value, trail *[]int) bool {
+	if len(t) != len(cl.args) {
+		return false
+	}
+	for j, a := range cl.args {
+		if !ev.match(a, t[j], frame, trail) {
+			return false
+		}
+	}
+	return true
+}
+
+// match unifies a pattern with a ground value.
+func (ev *evaluator) match(p pat, v term.Value, frame []term.Value, trail *[]int) bool {
+	switch p.kind {
+	case ast.Const:
+		return p.val == v
+	case ast.Var:
+		if frame[p.slot] != noValue {
+			return frame[p.slot] == v
+		}
+		frame[p.slot] = v
+		*trail = append(*trail, p.slot)
+		return true
+	default:
+		if !v.IsCompound() {
+			return false
+		}
+		c := ev.bank.Deref(v)
+		if c.Functor != p.functor || len(c.Args) != len(p.args) {
+			return false
+		}
+		for j, a := range p.args {
+			if !ev.match(a, c.Args[j], frame, trail) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// instantiate builds the ground value of a pattern; every variable in it
+// must be bound (guaranteed by the compile-time ordering and safety check).
+func (ev *evaluator) instantiate(p pat, frame []term.Value) term.Value {
+	switch p.kind {
+	case ast.Const:
+		return p.val
+	case ast.Var:
+		v := frame[p.slot]
+		if v == noValue {
+			panic("engine: internal error: instantiating unbound variable")
+		}
+		return v
+	default:
+		args := make([]term.Value, len(p.args))
+		for j, a := range p.args {
+			args[j] = ev.instantiate(a, frame)
+		}
+		return ev.bank.Compound(p.functor, args...)
+	}
+}
+
+// stepBuiltin evaluates a builtin literal, possibly binding one variable,
+// then calls cont. The binding is recorded on the trail.
+func (ev *evaluator) stepBuiltin(cl *compiledLit, frame []term.Value, trail *[]int, cont func() error) error {
+	x, y := cl.args[0], cl.args[1]
+	gx, gy := x.groundIn(frame), y.groundIn(frame)
+
+	bindVar := func(p pat, v term.Value) bool {
+		if frame[p.slot] != noValue {
+			return frame[p.slot] == v
+		}
+		frame[p.slot] = v
+		*trail = append(*trail, p.slot)
+		return true
+	}
+
+	switch cl.op {
+	case opEq:
+		switch {
+		case gx && gy:
+			if ev.instantiate(x, frame) == ev.instantiate(y, frame) {
+				return cont()
+			}
+			return nil
+		case gx:
+			// y is a plain variable by the ordering precondition.
+			mark := len(*trail)
+			if bindVar(y, ev.instantiate(x, frame)) {
+				if err := cont(); err != nil {
+					return err
+				}
+			}
+			unwind(frame, trail, mark)
+			return nil
+		default:
+			mark := len(*trail)
+			if bindVar(x, ev.instantiate(y, frame)) {
+				if err := cont(); err != nil {
+					return err
+				}
+			}
+			unwind(frame, trail, mark)
+			return nil
+		}
+	case opSucc:
+		// The 62-bit Value encoding bounds the successor's range; at the
+		// boundary the builtin simply fails instead of overflowing.
+		const maxTermInt = 1<<61 - 1
+		const minTermInt = -(1 << 61)
+		switch {
+		case gx && gy:
+			a, b := ev.instantiate(x, frame), ev.instantiate(y, frame)
+			if a.IsInt() && b.IsInt() && a.AsInt() < maxTermInt && b.AsInt() == a.AsInt()+1 {
+				return cont()
+			}
+			return nil
+		case gx:
+			a := ev.instantiate(x, frame)
+			if !a.IsInt() || a.AsInt() >= maxTermInt {
+				return nil
+			}
+			mark := len(*trail)
+			if bindVar(y, term.Int(a.AsInt()+1)) {
+				if err := cont(); err != nil {
+					return err
+				}
+			}
+			unwind(frame, trail, mark)
+			return nil
+		default:
+			b := ev.instantiate(y, frame)
+			if !b.IsInt() || b.AsInt() <= minTermInt {
+				return nil
+			}
+			mark := len(*trail)
+			if bindVar(x, term.Int(b.AsInt()-1)) {
+				if err := cont(); err != nil {
+					return err
+				}
+			}
+			unwind(frame, trail, mark)
+			return nil
+		}
+	default:
+		a, b := ev.instantiate(x, frame), ev.instantiate(y, frame)
+		var c int
+		if a.IsInt() && b.IsInt() {
+			switch {
+			case a.AsInt() < b.AsInt():
+				c = -1
+			case a.AsInt() > b.AsInt():
+				c = 1
+			}
+		} else {
+			c = term.Compare(a, b)
+		}
+		ok := false
+		switch cl.op {
+		case opNeq:
+			ok = c != 0
+		case opLt:
+			ok = c < 0
+		case opLe:
+			ok = c <= 0
+		case opGt:
+			ok = c > 0
+		case opGe:
+			ok = c >= 0
+		}
+		if ok {
+			return cont()
+		}
+		return nil
+	}
+}
+
+// Answers matches a query goal against an evaluation result (falling back
+// to the base database for purely extensional goals) and returns the
+// matching tuples in deterministic order.
+func Answers(res *Result, db *database.Database, q ast.Query) []database.Tuple {
+	var rel *database.Relation
+	if res != nil {
+		rel = res.Derived[q.Goal.Pred]
+	}
+	if rel == nil && db != nil {
+		rel = db.Relation(q.Goal.Pred)
+	}
+	if rel == nil {
+		return nil
+	}
+	bank := res.bank
+	inComp := map[symtab.Sym]bool{}
+	cr, err := compileRule(bank, ast.Rule{
+		Head: q.Goal,
+		Body: []ast.Literal{q.Goal},
+	}, inComp, nil)
+	if err != nil {
+		return nil
+	}
+	frame := make([]term.Value, cr.nslots)
+	var out []database.Tuple
+	var trail []int
+	cl := &cr.defaultOrder[0]
+	for i := range frame {
+		frame[i] = noValue
+	}
+	ev := &evaluator{bank: bank}
+	for _, t := range rel.Tuples() {
+		mark := len(trail)
+		if ev.matchTuple(cl, t, frame, &trail) {
+			out = append(out, t.Clone())
+		}
+		unwind(frame, &trail, mark)
+	}
+	SortTuplesFormatted(bank, out)
+	return out
+}
+
+// SortTuplesFormatted orders tuples by their rendered text (integers still
+// compare numerically within a column). Slower than SortTuples but gives
+// the alphabetical order humans expect from query output.
+func SortTuplesFormatted(bank *term.Bank, ts []database.Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] == b[k] {
+				continue
+			}
+			if a[k].IsInt() && b[k].IsInt() {
+				return a[k].AsInt() < b[k].AsInt()
+			}
+			fa, fb := bank.Format(a[k]), bank.Format(b[k])
+			if fa != fb {
+				return fa < fb
+			}
+		}
+		return false
+	})
+}
+
+// SortTuples orders tuples deterministically (column-major term.Compare).
+func SortTuples(ts []database.Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if c := term.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

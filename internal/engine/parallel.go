@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sync"
+
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+)
+
+// Parallel evaluation of independent strata. Components in the same
+// topological layer of the stratum graph do not read each other's
+// relations, so they can be evaluated concurrently: each component's
+// goroutine writes only its own head relations and reads only completed
+// ones (which are read-only, with index construction synchronized inside
+// database.Relation).
+//
+// The one shared mutable structure would be the term bank: instantiating
+// a non-ground compound pattern interns a new term. Components containing
+// such patterns are therefore evaluated sequentially; flat components —
+// the common case for plain Datalog and every magic rewriting — run in
+// parallel. The fact budget is enforced per component in parallel mode,
+// so the global cap is approximate there.
+
+// layerComponents groups the (topologically ordered) components into
+// dependency layers: a component's layer is one more than the maximum
+// layer among the components it reads.
+func layerComponents(comps []Component) [][]int {
+	compOf := map[symtab.Sym]int{}
+	for i, c := range comps {
+		for _, p := range c.Preds {
+			compOf[p] = i
+		}
+	}
+	layer := make([]int, len(comps))
+	maxLayer := 0
+	for i, c := range comps {
+		l := 0
+		for _, r := range c.Rules {
+			for _, lit := range r.Body {
+				if j, ok := compOf[lit.Pred]; ok && j != i {
+					if layer[j]+1 > l {
+						l = layer[j] + 1
+					}
+				}
+			}
+		}
+		layer[i] = l
+		if l > maxLayer {
+			maxLayer = l
+		}
+	}
+	out := make([][]int, maxLayer+1)
+	for i := range comps {
+		out[layer[i]] = append(out[layer[i]], i)
+	}
+	return out
+}
+
+// flatComponent reports whether every rule of the component is free of
+// non-ground compound patterns, so its evaluation never interns terms.
+func flatComponent(c Component) bool {
+	flatTerm := func(t ast.Term) bool { return t.Kind != ast.Comp }
+	for _, r := range c.Rules {
+		for _, a := range r.Head.Args {
+			if !flatTerm(a) {
+				return false
+			}
+		}
+		for _, l := range r.Body {
+			for _, a := range l.Args {
+				if !flatTerm(a) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// evalComponentsParallel evaluates the given components (one dependency
+// layer) concurrently, each on a child evaluator with private statistics.
+func (ev *evaluator) evalComponentsParallel(comps []Component) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	children := make([]*evaluator, len(comps))
+	for i := range comps {
+		child := &evaluator{
+			bank:     ev.bank,
+			db:       ev.db,
+			derived:  ev.derived,
+			arity:    ev.arity,
+			opts:     ev.opts,
+			maxIter:  ev.maxIter,
+			maxFacts: ev.maxFacts,
+		}
+		// Serialize trace callbacks across goroutines.
+		if ev.opts.Trace != nil {
+			outer := ev.opts.Trace
+			child.opts.Trace = func(e TraceEvent) {
+				mu.Lock()
+				outer(e)
+				mu.Unlock()
+			}
+		}
+		children[i] = child
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := children[i].evalComponent(comps[i]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, child := range children {
+		ev.stats.Add(child.stats)
+	}
+	return firstErr
+}

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// branchyProgram defines many independent recursive cliques over shared
+// base data plus a top stratum depending on all of them.
+func branchyProgram(branches int) string {
+	var sb strings.Builder
+	for b := 0; b < branches; b++ {
+		fmt.Fprintf(&sb, "tc%d(X,Y) :- e%d(X,Y).\n", b, b)
+		fmt.Fprintf(&sb, "tc%d(X,Y) :- e%d(X,Z), tc%d(Z,Y).\n", b, b, b)
+	}
+	sb.WriteString("top(X,Y) :- tc0(X,Y).\n")
+	for b := 1; b < branches; b++ {
+		fmt.Fprintf(&sb, "top(X,Y) :- tc%d(X,Y).\n", b)
+	}
+	return sb.String()
+}
+
+func branchyFacts(branches, depth int) string {
+	var sb strings.Builder
+	for b := 0; b < branches; b++ {
+		for i := 0; i < depth; i++ {
+			fmt.Fprintf(&sb, "e%d(n%d_%d,n%d_%d). ", b, b, i, b, i+1)
+		}
+	}
+	return sb.String()
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const branches, depth = 6, 20
+	f := newFixture(t, branchyFacts(branches, depth))
+	src := branchyProgram(branches)
+	seqRes := eval(t, f, src, Options{})
+	parRes := eval(t, f, src, Options{Parallel: true})
+
+	top := f.bank.Symbols().Intern("top")
+	a, b := seqRes.Relation(top), parRes.Relation(top)
+	if a.Len() != b.Len() {
+		t.Fatalf("sequential %d tuples, parallel %d", a.Len(), b.Len())
+	}
+	for _, tu := range a.Tuples() {
+		if !b.Contains(tu) {
+			t.Errorf("parallel missing %v", tu)
+		}
+	}
+	if seqRes.Stats.DerivedFacts != parRes.Stats.DerivedFacts {
+		t.Errorf("derived facts differ: %d vs %d",
+			seqRes.Stats.DerivedFacts, parRes.Stats.DerivedFacts)
+	}
+	if seqRes.Stats.Inferences != parRes.Stats.Inferences {
+		t.Errorf("inferences differ: %d vs %d",
+			seqRes.Stats.Inferences, parRes.Stats.Inferences)
+	}
+}
+
+func TestParallelWithNegationStrata(t *testing.T) {
+	f := newFixture(t, "e0(a,b). e1(a,c). node(a). node(b). node(c). node(d).")
+	src := `
+tc0(X,Y) :- e0(X,Y).
+tc0(X,Y) :- e0(X,Z), tc0(Z,Y).
+tc1(X,Y) :- e1(X,Y).
+tc1(X,Y) :- e1(X,Z), tc1(Z,Y).
+lonely(X) :- node(X), not tc0(a,X), not tc1(a,X).
+`
+	res := eval(t, f, src, Options{Parallel: true})
+	got := f.answers(t, res, "?- lonely(X).")
+	if fmt.Sprint(got) != "[a d]" {
+		t.Errorf("lonely = %v", got)
+	}
+}
+
+func TestParallelCompoundCliqueStaysSequential(t *testing.T) {
+	// The list-building clique interns terms, so it must be excluded
+	// from parallel execution but still evaluate correctly.
+	f := newFixture(t, "e(a,b). e(b,c). f0(x,y).")
+	src := `
+walk(X,[X]) :- startw(X).
+walk(Y,[Y|P]) :- walk(X,P), e(X,Y).
+startw(a).
+other(X,Y) :- f0(X,Y).
+`
+	res := eval(t, f, src, Options{Parallel: true})
+	got := f.answers(t, res, "?- walk(c,P).")
+	if fmt.Sprint(got) != "[c,[c,b,a]]" {
+		t.Errorf("walk = %v", got)
+	}
+}
+
+func TestLayerComponentsShape(t *testing.T) {
+	f := newFixture(t, "")
+	p := f.program(t, `
+a1(X) :- base(X).
+a2(X) :- base(X).
+b1(X) :- a1(X), a2(X).
+c1(X) :- b1(X).
+`)
+	comps, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := layerComponents(comps)
+	if len(layers) != 3 {
+		t.Fatalf("layers = %d: %v", len(layers), layers)
+	}
+	if len(layers[0]) != 2 || len(layers[1]) != 1 || len(layers[2]) != 1 {
+		t.Errorf("layer sizes: %v", layers)
+	}
+}
+
+func TestFlatComponentDetection(t *testing.T) {
+	f := newFixture(t, "")
+	p := f.program(t, `
+flatrule(X,Y) :- e(X,Y), not g(X).
+listy(X,[X|T]) :- listy(X,T).
+grounded(X) :- e(X,[1,2]).
+`)
+	comps, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range comps {
+		got[f.bank.Symbols().String(c.Preds[0])] = flatComponent(c)
+	}
+	if !got["flatrule"] {
+		t.Error("flat rule classified non-flat")
+	}
+	if got["listy"] {
+		t.Error("list-building rule classified flat")
+	}
+	if !got["grounded"] {
+		t.Error("ground compound constant should be flat (already interned)")
+	}
+}
+
+func TestParallelManyLayersStress(t *testing.T) {
+	// A deeper pyramid: 8 leaves, pairwise joined upward.
+	var src strings.Builder
+	var facts strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&src, "l%d(X,Y) :- base%d(X,Y).\nl%d(X,Y) :- base%d(X,Z), l%d(Z,Y).\n", i, i, i, i, i)
+		for j := 0; j < 10; j++ {
+			fmt.Fprintf(&facts, "base%d(m%d_%d,m%d_%d). ", i, i, j, i, j+1)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&src, "m%d(X,Y) :- l%d(X,Y).\nm%d(X,Y) :- l%d(X,Y).\n", i, 2*i, i, 2*i+1)
+	}
+	src.WriteString("top(X,Y) :- m0(X,Y).\ntop(X,Y) :- m3(X,Y).\n")
+	f := newFixture(t, facts.String())
+	seqRes := eval(t, f, src.String(), Options{})
+	parRes := eval(t, f, src.String(), Options{Parallel: true})
+	top := f.bank.Symbols().Intern("top")
+	if seqRes.Relation(top).Len() != parRes.Relation(top).Len() {
+		t.Errorf("top differs: %d vs %d",
+			seqRes.Relation(top).Len(), parRes.Relation(top).Len())
+	}
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/symtab"
+)
+
+// PlanText renders the evaluation plan of a program: its strata in
+// execution order and, for every rule, the compiled body join order with
+// the index probe pattern of each literal — the engine's EXPLAIN. When db
+// is non-nil its relation cardinalities participate in join ordering, as
+// they do during evaluation.
+func PlanText(p *ast.Program, db *database.Database) (string, error) {
+	comps, err := Stratify(p)
+	if err != nil {
+		return "", err
+	}
+	bank := p.Bank
+	syms := bank.Symbols()
+	sizeOf := func(pred symtab.Sym) int {
+		if db != nil {
+			if rel := db.Relation(pred); rel != nil {
+				return rel.Len()
+			}
+		}
+		return 0
+	}
+
+	var sb strings.Builder
+	for ci, comp := range comps {
+		names := make([]string, len(comp.Preds))
+		for i, pr := range comp.Preds {
+			names[i] = syms.String(pr)
+		}
+		kind := "non-recursive"
+		if comp.Recursive {
+			kind = "recursive (semi-naive fixpoint)"
+		}
+		fmt.Fprintf(&sb, "stratum %d: {%s} — %s\n", ci+1, strings.Join(names, ", "), kind)
+
+		inComp := map[symtab.Sym]bool{}
+		for _, pr := range comp.Preds {
+			inComp[pr] = true
+		}
+		for _, r := range comp.Rules {
+			if r.IsFact() {
+				fmt.Fprintf(&sb, "  fact  %s\n", ast.FormatRule(bank, r))
+				continue
+			}
+			cr, err := compileRule(bank, r, inComp, sizeOf)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "  rule  %s\n", ast.FormatRule(bank, r))
+			writeOrder(&sb, bank, "order", cr.defaultOrder, -1)
+			for i, o := range cr.deltaOrders {
+				writeOrder(&sb, bank, fmt.Sprintf("Δ#%d  ", i+1), o, cr.recBodyIdx[i])
+			}
+		}
+	}
+	return sb.String(), nil
+}
+
+// writeOrder renders one literal ordering with probe patterns.
+func writeOrder(sb *strings.Builder, bank interface {
+	Symbols() *symtab.Table
+}, label string, order []compiledLit, deltaIdx int) {
+	syms := bank.Symbols()
+	parts := make([]string, len(order))
+	for i, cl := range order {
+		name := syms.String(cl.pred)
+		probe := make([]byte, len(cl.args))
+		for j := range cl.args {
+			if cl.probeMask&(1<<uint(j)) != 0 {
+				probe[j] = 'b'
+			} else {
+				probe[j] = 'f'
+			}
+		}
+		tag := ""
+		switch cl.kind {
+		case litNegated:
+			tag = "¬"
+		case litBuiltin:
+			tag = "⊕"
+		}
+		delta := ""
+		if cl.bodyIdx == deltaIdx && deltaIdx >= 0 && cl.kind == litRelation {
+			delta = "Δ"
+		}
+		if len(cl.args) == 0 {
+			parts[i] = tag + delta + name
+		} else {
+			parts[i] = fmt.Sprintf("%s%s%s/%s", tag, delta, name, probe)
+		}
+	}
+	fmt.Fprintf(sb, "        %s: %s\n", label, strings.Join(parts, " ⋈ "))
+}

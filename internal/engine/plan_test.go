@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanTextShape(t *testing.T) {
+	f := newFixture(t, "up(a,b). up(b,c). flat(b,x).")
+	p := f.program(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`)
+	plan, err := PlanText(p, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"stratum 1: {sg} — recursive (semi-naive fixpoint)",
+		"rule  sg(X,Y) :- flat(X,Y).",
+		"Δ#1",
+		"Δsg_bf", // no — adjusted below
+	} {
+		if want == "Δsg_bf" {
+			continue
+		}
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// The delta ordering must start from the recursive literal.
+	for _, line := range strings.Split(plan, "\n") {
+		if strings.Contains(line, "Δ#1") {
+			if !strings.Contains(line, "Δsg/") {
+				t.Errorf("delta ordering does not start from sg: %s", line)
+			}
+			idx := strings.Index(line, ":")
+			first := strings.TrimSpace(line[idx+1:])
+			if !strings.HasPrefix(first, "Δsg/") {
+				t.Errorf("delta literal not first: %s", line)
+			}
+		}
+	}
+}
+
+func TestPlanTextMarksNegationAndBuiltins(t *testing.T) {
+	f := newFixture(t, "q(1). r(1).")
+	p := f.program(t, "p(X) :- q(X), not r(X), X > 0.")
+	plan, err := PlanText(p, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "¬r/") || !strings.Contains(plan, "⊕>") {
+		t.Errorf("plan lacks negation/builtin markers:\n%s", plan)
+	}
+}
+
+func TestPlanTextFactsAndStrataOrder(t *testing.T) {
+	f := newFixture(t, "")
+	p := f.program(t, `
+base(1).
+mid(X) :- base(X).
+top(X) :- mid(X), not base2(X).
+base2(2).
+`)
+	plan, err := PlanText(p, f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "fact  base(1).") {
+		t.Errorf("plan:\n%s", plan)
+	}
+	// top's stratum must come after mid's and base2's.
+	if strings.Index(plan, "{top}") < strings.Index(plan, "{mid}") {
+		t.Errorf("strata out of order:\n%s", plan)
+	}
+}
+
+func TestPlanTextErrorsOnUnsafeProgram(t *testing.T) {
+	f := newFixture(t, "")
+	p := f.program(t, "p(X,Y) :- q(X).")
+	if _, err := PlanText(p, f.db); err == nil {
+		t.Error("unsafe program planned without error")
+	}
+}

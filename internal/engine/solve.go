@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"fmt"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// Matcher evaluates body conjunctions against a base database plus a set of
+// derived relations. It is the engine primitive the counting runtime
+// (Algorithm 2) uses to instantiate left parts, exit bodies and right parts
+// under externally supplied bindings.
+type Matcher struct {
+	bank    *term.Bank
+	db      *database.Database
+	derived map[symtab.Sym]*database.Relation
+	// Solves and Probes count work for the benchmark harness.
+	Solves int64
+	Probes int64
+}
+
+// NewMatcher returns a matcher reading from db and derived (either may be
+// nil).
+func NewMatcher(bank *term.Bank, db *database.Database, derived map[symtab.Sym]*database.Relation) *Matcher {
+	return &Matcher{bank: bank, db: db, derived: derived}
+}
+
+// solvePredName and givenPredName are the reserved predicates of the
+// synthetic rule a PreparedSolve compiles.
+const (
+	solvePredName = "$solve"
+	givenPredName = "$given"
+)
+
+// PreparedSolve is a compiled conjunction query: body literals evaluated
+// under a fixed set of pre-bound variables, producing the values of the
+// want variables. Prepare once per rule site, Solve once per binding.
+type PreparedSolve struct {
+	m         *Matcher
+	cr        *compiledRule
+	boundVars []symtab.Sym
+	want      []symtab.Sym
+	givenPred symtab.Sym
+	givenRel  *database.Relation
+	derived   map[symtab.Sym]*database.Relation
+	ev        *evaluator
+	delta     map[symtab.Sym]*database.Relation
+}
+
+// Prepare compiles body for repeated evaluation. boundVars lists the
+// variables whose values each Solve call supplies; want lists the variables
+// whose values are reported (they may overlap boundVars). The compiled
+// ordering starts from the binding, so index probes see the bound values.
+func (m *Matcher) Prepare(body []ast.Literal, boundVars, want []symtab.Sym) (*PreparedSolve, error) {
+	syms := m.bank.Symbols()
+	givenPred := syms.Intern(givenPredName)
+	givenArgs := make([]ast.Term, len(boundVars))
+	for i, v := range boundVars {
+		givenArgs[i] = ast.V(v)
+	}
+	headArgs := make([]ast.Term, len(want))
+	for i, v := range want {
+		headArgs[i] = ast.V(v)
+	}
+	fullBody := make([]ast.Literal, 0, len(body)+1)
+	fullBody = append(fullBody, ast.Atom(givenPred, givenArgs...))
+	fullBody = append(fullBody, body...)
+	// Marking $given as "recursive" makes compileRule emit an ordering
+	// that starts from it, so every Solve call begins fully bound.
+	cr, err := compileRule(m.bank, ast.Rule{
+		Head: ast.Literal{Pred: syms.Intern(solvePredName), Args: headArgs},
+		Body: fullBody,
+	}, map[symtab.Sym]bool{givenPred: true}, func(pred symtab.Sym) int {
+		if rel, ok := m.derived[pred]; ok {
+			return rel.Len()
+		}
+		if m.db != nil {
+			if rel := m.db.Relation(pred); rel != nil {
+				return rel.Len()
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: Prepare: %w", err)
+	}
+	ps := &PreparedSolve{
+		m:         m,
+		cr:        cr,
+		boundVars: boundVars,
+		want:      want,
+		givenPred: givenPred,
+		givenRel:  database.NewRelation(len(boundVars)),
+		derived:   m.derived,
+	}
+	ps.ev = &evaluator{bank: m.bank, db: m.db, derived: ps.derived}
+	ps.delta = map[symtab.Sym]*database.Relation{givenPred: ps.givenRel}
+	return ps, nil
+}
+
+// Solve evaluates the prepared conjunction under the given values for
+// boundVars (in Prepare order) and calls out with the want values for each
+// solution. The out slice is reused across calls.
+func (ps *PreparedSolve) Solve(boundVals []term.Value, out func([]term.Value) error) error {
+	if len(boundVals) != len(ps.boundVars) {
+		return fmt.Errorf("engine: Solve: got %d bound values, want %d", len(boundVals), len(ps.boundVars))
+	}
+	ps.m.Solves++
+	// Reset the $given relation to exactly this binding; it is fed to the
+	// join as the delta of the $given occurrence, which the prepared
+	// ordering evaluates first.
+	ps.givenRel.Reset()
+	ps.givenRel.Insert(database.Tuple(boundVals))
+
+	before := ps.ev.stats.Probes
+	err := ps.ev.join(ps.cr, 0, ps.delta,
+		func(t database.Tuple) error { return out(t) })
+	ps.m.Probes += ps.ev.stats.Probes - before
+	return err
+}
+
+// Solve is the one-shot form: it compiles and evaluates body under the
+// bound map, calling out with the values of want (pre-bound want variables
+// are passed through). Prefer Prepare for hot paths.
+func (m *Matcher) Solve(body []ast.Literal, bound map[symtab.Sym]term.Value, want []symtab.Sym, out func([]term.Value) error) error {
+	boundVars := make([]symtab.Sym, 0, len(bound))
+	for v := range bound {
+		boundVars = append(boundVars, v)
+	}
+	// Deterministic order for reproducibility.
+	syms := m.bank.Symbols()
+	for i := 1; i < len(boundVars); i++ {
+		for j := i; j > 0 && syms.String(boundVars[j]) < syms.String(boundVars[j-1]); j-- {
+			boundVars[j], boundVars[j-1] = boundVars[j-1], boundVars[j]
+		}
+	}
+	ps, err := m.Prepare(body, boundVars, want)
+	if err != nil {
+		return err
+	}
+	vals := make([]term.Value, len(boundVars))
+	for i, v := range boundVars {
+		vals[i] = bound[v]
+	}
+	return ps.Solve(vals, out)
+}
+
+// MatchTerms unifies a list of patterns (possibly sharing variables)
+// against ground values, extending the bound map in place. It reports
+// whether unification succeeded; on failure bound may contain partial
+// bindings and should be discarded.
+func MatchTerms(bank *term.Bank, pats []ast.Term, vals []term.Value, bound map[symtab.Sym]term.Value) bool {
+	if len(pats) != len(vals) {
+		return false
+	}
+	for i := range pats {
+		if !matchTerm(bank, pats[i], vals[i], bound) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchTerm(bank *term.Bank, p ast.Term, v term.Value, bound map[symtab.Sym]term.Value) bool {
+	switch p.Kind {
+	case ast.Const:
+		return p.Value == v
+	case ast.Var:
+		if old, ok := bound[p.Name]; ok {
+			return old == v
+		}
+		bound[p.Name] = v
+		return true
+	default:
+		if !v.IsCompound() {
+			return false
+		}
+		c := bank.Deref(v)
+		if c.Functor != p.Name || len(c.Args) != len(p.Args) {
+			return false
+		}
+		for i := range p.Args {
+			if !matchTerm(bank, p.Args[i], c.Args[i], bound) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// InstantiateTerm grounds a term under the given bindings; ok is false if
+// an unbound variable remains.
+func InstantiateTerm(bank *term.Bank, t ast.Term, bound map[symtab.Sym]term.Value) (term.Value, bool) {
+	switch t.Kind {
+	case ast.Const:
+		return t.Value, true
+	case ast.Var:
+		v, ok := bound[t.Name]
+		return v, ok
+	default:
+		args := make([]term.Value, len(t.Args))
+		for i, a := range t.Args {
+			v, ok := InstantiateTerm(bank, a, bound)
+			if !ok {
+				return 0, false
+			}
+			args[i] = v
+		}
+		return bank.Compound(t.Name, args...), true
+	}
+}

@@ -1,0 +1,442 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildExample2 is the graph of the paper's Example 2: nodes a,b,c,d mapped
+// to 0..3, arcs in the paper's listing order.
+func buildExample2() (*Digraph, map[string]int, []string) {
+	g := New(4)
+	names := map[string]int{"a": 0, "b": 1, "c": 2, "d": 3}
+	arcs := []string{"ab", "ac", "db", "cb", "bc", "ad"}
+	for _, a := range arcs {
+		g.AddArc(names[string(a[0])], names[string(a[1])])
+	}
+	return g, names, arcs
+}
+
+// TestExample2Classification reproduces Example 2 of the paper exactly:
+// (a,b), (b,c), (a,d) are tree arcs, (a,c) forward, (d,b) cross, (c,b) back.
+func TestExample2Classification(t *testing.T) {
+	g, names, arcs := buildExample2()
+	c := g.ClassifyDFS(names["a"])
+	want := map[string]ArcClass{
+		"ab": Tree, "bc": Tree, "ad": Tree,
+		"ac": Forward, "db": Cross, "cb": Back,
+	}
+	for id, arc := range arcs {
+		if got := c.Class[id]; got != want[arc] {
+			t.Errorf("arc %s classified %v, want %v", arc, got, want[arc])
+		}
+	}
+	if got := len(c.BackArcs()); got != 1 {
+		t.Errorf("back arcs = %d, want 1", got)
+	}
+	if got := len(c.AheadArcs()); got != 5 {
+		t.Errorf("ahead arcs = %d, want 5", got)
+	}
+}
+
+// TestExample2Multiplicity checks the paper's node taxonomy: a and d are
+// single, b and c recurring.
+func TestExample2Multiplicity(t *testing.T) {
+	g, names, _ := buildExample2()
+	m := g.NodeMultiplicity(names["a"])
+	want := map[string]Multiplicity{
+		"a": Single, "d": Single, "b": Recurring, "c": Recurring,
+	}
+	for n, id := range names {
+		if m[id] != want[n] {
+			t.Errorf("node %s multiplicity %v, want %v", n, m[id], want[n])
+		}
+	}
+}
+
+func TestMultipleWithoutCycle(t *testing.T) {
+	// Diamond: 0→1, 0→2, 1→3, 2→3. Node 3 has two paths, no cycles.
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	m := g.NodeMultiplicity(0)
+	if m[0] != Single || m[1] != Single || m[2] != Single {
+		t.Errorf("diamond prefix multiplicities wrong: %v", m)
+	}
+	if m[3] != Multiple {
+		t.Errorf("diamond sink = %v, want Multiple", m[3])
+	}
+}
+
+func TestNotReached(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	m := g.NodeMultiplicity(0)
+	if m[2] != NotReached {
+		t.Errorf("isolated node = %v, want NotReached", m[2])
+	}
+	c := g.ClassifyDFS(0)
+	if c.Reached[2] {
+		t.Error("isolated node marked reached")
+	}
+}
+
+func TestSelfLoopIsBackArcAndRecurring(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 0)
+	g.AddArc(0, 1)
+	c := g.ClassifyDFS(0)
+	if c.Class[0] != Back {
+		t.Errorf("self loop classified %v", c.Class[0])
+	}
+	m := g.NodeMultiplicity(0)
+	if m[0] != Recurring || m[1] != Recurring {
+		t.Errorf("self loop multiplicities = %v", m)
+	}
+}
+
+func TestChainAllSingle(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.AddArc(i, i+1)
+	}
+	if !g.IsAcyclicFrom(0) {
+		t.Error("chain reported cyclic")
+	}
+	for v, m := range g.NodeMultiplicity(0) {
+		if m != Single {
+			t.Errorf("chain node %d = %v", v, m)
+		}
+	}
+}
+
+func TestParallelArcsMakeMultiple(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	m := g.NodeMultiplicity(0)
+	if m[1] != Multiple {
+		t.Errorf("parallel arcs target = %v, want Multiple", m[1])
+	}
+	c := g.ClassifyDFS(0)
+	if c.Class[0] != Tree || c.Class[1] != Forward {
+		t.Errorf("parallel arcs classified %v, %v", c.Class[0], c.Class[1])
+	}
+}
+
+func TestSCC(t *testing.T) {
+	// 0↔1 cycle, 2→0, 2→3.
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(2, 0)
+	g.AddArc(2, 3)
+	comps := g.SCC()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	var cyc []int
+	for _, c := range comps {
+		if len(c) == 2 {
+			cyc = c
+		}
+	}
+	if len(cyc) != 2 || cyc[0] != 0 || cyc[1] != 1 {
+		t.Errorf("cycle component = %v", cyc)
+	}
+	// Reverse topological: the {0,1} component must appear before {2}.
+	pos := map[int]int{}
+	for i, c := range comps {
+		for _, v := range c {
+			pos[v] = i
+		}
+	}
+	if !(pos[0] < pos[2] && pos[3] < pos[2]) {
+		t.Errorf("component order not reverse-topological: %v", comps)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(3, 0)
+	r := g.ReachableFrom(0)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("reach[%d] = %v", i, r[i])
+		}
+	}
+}
+
+// TestExample2ElementaryCycle: the arcs (b,c) and (c,b) form the unique
+// elementary cycle of Example 2.
+func TestExample2ElementaryCycle(t *testing.T) {
+	g, names, _ := buildExample2()
+	cycles := g.ElementaryCycles(0)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	c := cycles[0]
+	if len(c) != 2 {
+		t.Fatalf("cycle length = %d", len(c))
+	}
+	has := map[int]bool{c[0]: true, c[1]: true}
+	if !has[names["b"]] || !has[names["c"]] {
+		t.Errorf("cycle = %v, want {b,c}", c)
+	}
+	if got := g.CycleLengthsThrough(names["b"], 0); len(got) != 1 || got[0] != 2 {
+		t.Errorf("lengths through b = %v", got)
+	}
+	if got := g.CycleLengthsThrough(names["a"], 0); len(got) != 0 {
+		t.Errorf("lengths through a = %v", got)
+	}
+}
+
+func TestElementaryCyclesSelfLoopAndBound(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 0)
+	g.AddArc(1, 2)
+	g.AddArc(2, 1)
+	cycles := g.ElementaryCycles(0)
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if len(cycles[0]) != 1 || cycles[0][0] != 0 {
+		t.Errorf("self loop not found: %v", cycles)
+	}
+	if got := g.ElementaryCycles(1); len(got) != 1 {
+		t.Errorf("bound not respected: %v", got)
+	}
+}
+
+func TestElementaryCyclesOverlapping(t *testing.T) {
+	// Two cycles sharing node 0: 0→1→0 and 0→2→0.
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(0, 2)
+	g.AddArc(2, 0)
+	if got := g.ElementaryCycles(0); len(got) != 2 {
+		t.Errorf("cycles = %v", got)
+	}
+	if got := g.CycleLengthsThrough(0, 0); len(got) != 1 || got[0] != 2 {
+		t.Errorf("lengths = %v", got)
+	}
+	// Add a long cycle 0→1→2→0 as well.
+	g.AddArc(1, 2)
+	if got := g.CycleLengthsThrough(0, 0); len(got) != 2 || got[1] != 3 {
+		t.Errorf("lengths = %v", got)
+	}
+}
+
+// Property: every returned cycle is a genuine elementary cycle (distinct
+// nodes, consecutive arcs exist, closing arc exists), and a graph has
+// cycles iff some classification finds a back arc.
+func TestElementaryCyclesAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(7)
+		g := randomGraph(r, n, r.Intn(2*n))
+		hasArc := func(a, b int) bool {
+			for _, id := range g.ArcsFrom(a) {
+				if _, to := g.Arc(int(id)); to == b {
+					return true
+				}
+			}
+			return false
+		}
+		cycles := g.ElementaryCycles(500)
+		for _, c := range cycles {
+			nodes := map[int]bool{}
+			for _, v := range c {
+				if nodes[v] {
+					return false // not elementary
+				}
+				nodes[v] = true
+			}
+			for i := range c {
+				if !hasArc(c[i], c[(i+1)%len(c)]) {
+					return false
+				}
+			}
+		}
+		// Consistency with back-arc detection.
+		anyBack := false
+		for v := 0; v < n; v++ {
+			if len(g.ClassifyDFS(v).BackArcs()) > 0 {
+				anyBack = true
+				break
+			}
+		}
+		return anyBack == (len(cycles) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementaryCyclesParallelArcsDedup(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	if got := g.ElementaryCycles(0); len(got) != 1 {
+		t.Errorf("parallel arcs duplicated cycles: %v", got)
+	}
+}
+
+func TestElementaryCyclesAcyclic(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(0, 2)
+	if got := g.ElementaryCycles(0); len(got) != 0 {
+		t.Errorf("acyclic graph has cycles: %v", got)
+	}
+}
+
+func randomGraph(r *rand.Rand, n, arcs int) *Digraph {
+	g := New(n)
+	for i := 0; i < arcs; i++ {
+		g.AddArc(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Property: ahead arcs from any classification form an acyclic subgraph.
+func TestAheadSubgraphAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := randomGraph(r, n, r.Intn(3*n))
+		src := r.Intn(n)
+		c := g.ClassifyDFS(src)
+		sub := New(n)
+		for _, id := range c.AheadArcs() {
+			from, to := g.Arc(id)
+			sub.AddArc(from, to)
+		}
+		// Check from every node: no back arcs anywhere in the subgraph.
+		for v := 0; v < n; v++ {
+			if !sub.IsAcyclicFrom(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every arc whose tail is reached gets a non-Unreached class, and
+// arcs from unreached tails stay Unreached.
+func TestClassificationCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		g := randomGraph(r, n, r.Intn(3*n))
+		c := g.ClassifyDFS(r.Intn(n))
+		for id := 0; id < g.NumArcs(); id++ {
+			from, _ := g.Arc(id)
+			if c.Reached[from] != (c.Class[id] != Unreached) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: acyclic-from-source iff no reachable node is Recurring.
+func TestAcyclicIffNoRecurring(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		g := randomGraph(r, n, r.Intn(3*n))
+		src := r.Intn(n)
+		anyRecurring := false
+		for _, m := range g.NodeMultiplicity(src) {
+			if m == Recurring {
+				anyRecurring = true
+			}
+		}
+		return g.IsAcyclicFrom(src) == !anyRecurring
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplicities agree with explicit saturating path counting on
+// small acyclic graphs.
+func TestMultiplicityMatchesPathCountOnDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := New(n)
+		// Only forward arcs i<j: guaranteed acyclic.
+		for i := 0; i < 2*n; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a < b {
+				g.AddArc(a, b)
+			}
+		}
+		src := 0
+		// Brute-force path counting by DFS enumeration (saturating at 3).
+		var count func(v int) int
+		count = func(v int) int {
+			if v == src {
+				return 1
+			}
+			total := 0
+			for id := 0; id < g.NumArcs(); id++ {
+				from, to := g.Arc(id)
+				if to == v {
+					total += count(from)
+					if total > 3 {
+						return 3
+					}
+				}
+			}
+			return total
+		}
+		m := g.NodeMultiplicity(src)
+		for v := 0; v < n; v++ {
+			c := count(v)
+			switch {
+			case c == 0 && m[v] != NotReached:
+				return false
+			case c == 1 && m[v] != Single:
+				return false
+			case c >= 2 && m[v] != Multiple:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNodeAndArcBounds(t *testing.T) {
+	g := New(1)
+	id := g.AddNode()
+	if id != 1 || g.NumNodes() != 2 {
+		t.Errorf("AddNode = %d, nodes = %d", id, g.NumNodes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range arc did not panic")
+		}
+	}()
+	g.AddArc(0, 5)
+}

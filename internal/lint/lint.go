@@ -1,0 +1,367 @@
+// Package lint provides static diagnostics for Datalog programs: safety
+// problems that would fail at evaluation time, style warnings (singleton
+// variables, duplicate rules), and structural analysis notes (recursive
+// cliques and their linearity, which determines whether the counting
+// methods apply).
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lincount/internal/ast"
+	"lincount/internal/engine"
+	"lincount/internal/symtab"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info findings are structural notes (clique classification etc.).
+	Info Severity = iota
+	// Warning findings are probably bugs but do not stop evaluation.
+	Warning
+	// Error findings will fail evaluation.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	Severity Severity
+	// RuleIndex is the program rule the finding refers to, or -1 for
+	// program-level findings.
+	RuleIndex int
+	Message   string
+}
+
+// Format renders the finding with its rule when available.
+func (f Finding) Format(p *ast.Program) string {
+	if f.RuleIndex < 0 {
+		return fmt.Sprintf("%s: %s", f.Severity, f.Message)
+	}
+	return fmt.Sprintf("%s: rule %d (%s): %s",
+		f.Severity, f.RuleIndex+1, ast.FormatRule(p.Bank, p.Rules[f.RuleIndex]), f.Message)
+}
+
+// Check runs every diagnostic over the program and returns the findings,
+// errors first, in deterministic order.
+func Check(p *ast.Program) []Finding {
+	var out []Finding
+	out = append(out, checkBuiltinHeads(p)...)
+	out = append(out, checkArities(p)...)
+	out = append(out, checkSafety(p)...)
+	out = append(out, checkSingletons(p)...)
+	out = append(out, checkDuplicateRules(p)...)
+	out = append(out, checkCartesian(p)...)
+	out = append(out, checkDeadRules(p)...)
+	out = append(out, checkUndefined(p)...)
+	out = append(out, checkCliques(p)...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Severity > out[j].Severity
+	})
+	return out
+}
+
+func checkBuiltinHeads(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	for i, r := range p.Rules {
+		if ast.IsBuiltinName(syms.String(r.Head.Pred)) {
+			out = append(out, Finding{Error, i,
+				fmt.Sprintf("rule head redefines the builtin predicate %q", syms.String(r.Head.Pred))})
+		}
+	}
+	return out
+}
+
+func checkArities(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	seen := map[symtab.Sym]int{}
+	note := func(i int, pred symtab.Sym, n int) {
+		if ast.IsBuiltinName(syms.String(pred)) {
+			return
+		}
+		if prev, ok := seen[pred]; ok && prev != n {
+			out = append(out, Finding{Error, i,
+				fmt.Sprintf("predicate %s used with arities %d and %d", syms.String(pred), prev, n)})
+			return
+		}
+		seen[pred] = n
+	}
+	for i, r := range p.Rules {
+		note(i, r.Head.Pred, r.Head.Arity())
+		for _, l := range r.Body {
+			note(i, l.Pred, l.Arity())
+		}
+	}
+	return out
+}
+
+// checkSafety flags head variables not bound by a positive body literal
+// and negated-literal variables that no positive literal binds.
+func checkSafety(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	for i, r := range p.Rules {
+		positive := map[symtab.Sym]bool{}
+		for _, l := range r.Body {
+			name := syms.String(l.Pred)
+			if l.Negated || (ast.IsBuiltinName(name) && name != ast.BuiltinEq && name != ast.BuiltinSucc) {
+				continue
+			}
+			for _, v := range l.Vars() {
+				positive[v] = true
+			}
+		}
+		for _, v := range r.Head.Vars() {
+			if !positive[v] {
+				out = append(out, Finding{Error, i,
+					fmt.Sprintf("head variable %s is not bound by a positive body literal", syms.String(v))})
+			}
+		}
+		for _, l := range r.Body {
+			if !l.Negated {
+				continue
+			}
+			for _, v := range l.Vars() {
+				if !positive[v] {
+					out = append(out, Finding{Error, i,
+						fmt.Sprintf("variable %s occurs only under negation", syms.String(v))})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSingletons warns about named variables used exactly once — usually
+// a typo. Parser-generated anonymous variables (_G…) are exempt.
+func checkSingletons(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	for i, r := range p.Rules {
+		count := map[symtab.Sym]int{}
+		countOcc := func(l ast.Literal) {
+			for _, a := range l.Args {
+				countTermOcc(a, count)
+			}
+		}
+		countOcc(r.Head)
+		for _, l := range r.Body {
+			countOcc(l)
+		}
+		var singles []string
+		for v, n := range count {
+			name := syms.String(v)
+			if n == 1 && !strings.HasPrefix(name, "_") {
+				singles = append(singles, name)
+			}
+		}
+		sort.Strings(singles)
+		for _, s := range singles {
+			out = append(out, Finding{Warning, i,
+				fmt.Sprintf("variable %s occurs only once (use _ if intentional)", s)})
+		}
+	}
+	return out
+}
+
+func countTermOcc(t ast.Term, count map[symtab.Sym]int) {
+	switch t.Kind {
+	case ast.Var:
+		count[t.Name]++
+	case ast.Comp:
+		for _, a := range t.Args {
+			countTermOcc(a, count)
+		}
+	}
+}
+
+func checkDuplicateRules(p *ast.Program) []Finding {
+	var out []Finding
+	for i := range p.Rules {
+		for j := 0; j < i; j++ {
+			if p.Rules[i].Equal(p.Rules[j]) {
+				out = append(out, Finding{Warning, i,
+					fmt.Sprintf("duplicate of rule %d", j+1)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkCartesian warns when a rule's positive body literals fall apart
+// into several variable-disjoint groups: the join degenerates into a
+// cartesian product, which is almost always unintended (and expensive).
+func checkCartesian(p *ast.Program) []Finding {
+	var out []Finding
+	for i, r := range p.Rules {
+		// Union-find over body literals sharing variables; ground
+		// literals and builtins/negations are guards, not join parts.
+		type group struct{ vars map[symtab.Sym]bool }
+		var groups []*group
+		joinLits := 0
+		for _, l := range r.Body {
+			if l.Negated || ast.IsBuiltinName(p.Bank.Symbols().String(l.Pred)) {
+				continue
+			}
+			vs := l.Vars()
+			if len(vs) == 0 {
+				continue
+			}
+			joinLits++
+			var merged *group
+			for _, g := range groups {
+				touches := false
+				for _, v := range vs {
+					if g.vars[v] {
+						touches = true
+						break
+					}
+				}
+				if !touches {
+					continue
+				}
+				if merged == nil {
+					merged = g
+					for _, v := range vs {
+						g.vars[v] = true
+					}
+				} else {
+					for v := range g.vars {
+						merged.vars[v] = true
+					}
+					g.vars = map[symtab.Sym]bool{} // absorbed
+				}
+			}
+			if merged == nil {
+				g := &group{vars: map[symtab.Sym]bool{}}
+				for _, v := range vs {
+					g.vars[v] = true
+				}
+				groups = append(groups, g)
+			}
+		}
+		live := 0
+		for _, g := range groups {
+			if len(g.vars) > 0 {
+				live++
+			}
+		}
+		if joinLits > 1 && live > 1 {
+			out = append(out, Finding{Warning, i,
+				fmt.Sprintf("body splits into %d unconnected groups (cartesian product)", live)})
+		}
+	}
+	return out
+}
+
+// checkDeadRules notes derived predicates that nothing uses: no rule body
+// mentions them. (A program's "entry points" are usually queried from
+// outside, so this is informational.)
+func checkDeadRules(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	used := map[symtab.Sym]bool{}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			used[l.Pred] = true
+		}
+	}
+	reported := map[symtab.Sym]bool{}
+	for i, r := range p.Rules {
+		if used[r.Head.Pred] || reported[r.Head.Pred] || r.IsFact() {
+			continue
+		}
+		reported[r.Head.Pred] = true
+		out = append(out, Finding{Info, i,
+			fmt.Sprintf("predicate %s is defined but never used in a body (query entry point?)",
+				syms.String(r.Head.Pred))})
+	}
+	return out
+}
+
+// checkUndefined notes body predicates with neither rules nor facts in the
+// program; they may be extensional (supplied at load time), so this is
+// informational.
+func checkUndefined(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	defined := map[symtab.Sym]bool{}
+	for _, r := range p.Rules {
+		defined[r.Head.Pred] = true
+	}
+	reported := map[symtab.Sym]bool{}
+	for i, r := range p.Rules {
+		for _, l := range r.Body {
+			name := syms.String(l.Pred)
+			if ast.IsBuiltinName(name) || defined[l.Pred] || reported[l.Pred] {
+				continue
+			}
+			reported[l.Pred] = true
+			out = append(out, Finding{Info, i,
+				fmt.Sprintf("predicate %s has no rules or facts here (extensional?)", name)})
+		}
+	}
+	return out
+}
+
+// checkCliques reports each recursive clique with its linearity: linear
+// cliques are eligible for the counting methods, non-linear ones are not.
+func checkCliques(p *ast.Program) []Finding {
+	var out []Finding
+	syms := p.Bank.Symbols()
+	comps, err := engine.Stratify(p)
+	if err != nil {
+		out = append(out, Finding{Error, -1, err.Error()})
+		return out
+	}
+	for _, c := range comps {
+		if !c.Recursive {
+			continue
+		}
+		inComp := map[symtab.Sym]bool{}
+		for _, pr := range c.Preds {
+			inComp[pr] = true
+		}
+		linear := true
+		for _, r := range c.Rules {
+			n := 0
+			for _, l := range r.Body {
+				if inComp[l.Pred] {
+					n++
+				}
+			}
+			if n > 1 {
+				linear = false
+			}
+		}
+		names := make([]string, len(c.Preds))
+		for i, pr := range c.Preds {
+			names[i] = syms.String(pr)
+		}
+		kind := "linear (counting methods applicable)"
+		if !linear {
+			kind = "non-linear (magic sets will be used)"
+		}
+		out = append(out, Finding{Info, -1,
+			fmt.Sprintf("recursive clique {%s} is %s", strings.Join(names, ", "), kind)})
+	}
+	return out
+}

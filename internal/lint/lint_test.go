@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"lincount/internal/ast"
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func check(t *testing.T, src string) (*ast.Program, []Finding) {
+	t.Helper()
+	b := term.NewBank(symtab.New())
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Program, Check(res.Program)
+}
+
+func hasFinding(fs []Finding, sev Severity, substr string) bool {
+	for _, f := range fs {
+		if f.Severity == sev && strings.Contains(f.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanProgram(t *testing.T) {
+	_, fs := check(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`)
+	for _, f := range fs {
+		if f.Severity != Info {
+			t.Errorf("clean program produced %v", f)
+		}
+	}
+	if !hasFinding(fs, Info, "linear (counting methods applicable)") {
+		t.Errorf("missing clique note: %v", fs)
+	}
+}
+
+func TestUnsafeHeadVariable(t *testing.T) {
+	_, fs := check(t, "p(X,Y) :- q(X).")
+	if !hasFinding(fs, Error, "head variable Y") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestNegationOnlyVariable(t *testing.T) {
+	_, fs := check(t, "p(X) :- q(X), not r(X,Z).")
+	if !hasFinding(fs, Error, "occurs only under negation") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestSingletonVariable(t *testing.T) {
+	_, fs := check(t, "p(X) :- q(X,Extra).")
+	if !hasFinding(fs, Warning, "Extra occurs only once") {
+		t.Errorf("findings: %v", fs)
+	}
+	// Anonymous variables are exempt.
+	_, fs = check(t, "p(X) :- q(X,_).")
+	if hasFinding(fs, Warning, "occurs only once") {
+		t.Errorf("anonymous variable flagged: %v", fs)
+	}
+}
+
+func TestArityConflict(t *testing.T) {
+	_, fs := check(t, "p(X) :- q(X).\nr(X) :- q(X,X).")
+	if !hasFinding(fs, Error, "arities 1 and 2") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestBuiltinHead(t *testing.T) {
+	_, fs := check(t, "succ(X,X) :- q(X).")
+	if !hasFinding(fs, Error, "redefines the builtin") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestDuplicateRule(t *testing.T) {
+	_, fs := check(t, "p(X) :- q(X).\np(X) :- q(X).")
+	if !hasFinding(fs, Warning, "duplicate of rule 1") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestUndefinedPredicateInfo(t *testing.T) {
+	_, fs := check(t, "p(X) :- mystery(X).")
+	if !hasFinding(fs, Info, "mystery has no rules or facts") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestCartesianProductWarning(t *testing.T) {
+	_, fs := check(t, "p(X,Y) :- q(X), r(Y).")
+	if !hasFinding(fs, Warning, "cartesian product") {
+		t.Errorf("findings: %v", fs)
+	}
+	// Connected bodies are fine.
+	_, fs = check(t, "p(X,Y) :- q(X,Z), r(Z,Y).")
+	if hasFinding(fs, Warning, "cartesian product") {
+		t.Errorf("connected body flagged: %v", fs)
+	}
+	// A transitively connected three-way join is fine.
+	_, fs = check(t, "p(X,Y) :- q(X,Z), s(Z,W), r(W,Y).")
+	if hasFinding(fs, Warning, "cartesian product") {
+		t.Errorf("chained body flagged: %v", fs)
+	}
+	// Ground guards do not count as product factors.
+	_, fs = check(t, "p(X) :- q(X), mode(strict).")
+	if hasFinding(fs, Warning, "cartesian product") {
+		t.Errorf("ground guard flagged: %v", fs)
+	}
+}
+
+func TestDeadRuleInfo(t *testing.T) {
+	_, fs := check(t, `
+helper(X) :- base(X).
+entry(X) :- helper(X).
+`)
+	if !hasFinding(fs, Info, "entry is defined but never used") {
+		t.Errorf("findings: %v", fs)
+	}
+	if hasFinding(fs, Info, "helper is defined but never used") {
+		t.Errorf("used predicate flagged: %v", fs)
+	}
+}
+
+func TestNonLinearCliqueNote(t *testing.T) {
+	_, fs := check(t, `
+tc(X,Y) :- e(X,Y).
+tc(X,Y) :- tc(X,Z), tc(Z,Y).
+`)
+	if !hasFinding(fs, Info, "non-linear (magic sets will be used)") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestNonStratifiedReported(t *testing.T) {
+	_, fs := check(t, `
+p(X) :- q(X), not r(X).
+r(X) :- q(X), not p(X).
+`)
+	if !hasFinding(fs, Error, "not stratified") {
+		t.Errorf("findings: %v", fs)
+	}
+}
+
+func TestErrorsSortFirst(t *testing.T) {
+	_, fs := check(t, `
+sg(X,Y) :- flat(X,Y).
+broken(X,Y) :- q(X).
+`)
+	if len(fs) == 0 || fs[0].Severity != Error {
+		t.Errorf("findings not sorted by severity: %v", fs)
+	}
+}
+
+func TestFormatIncludesRule(t *testing.T) {
+	p, fs := check(t, "p(X,Y) :- q(X).")
+	found := false
+	for _, f := range fs {
+		text := f.Format(p)
+		if strings.Contains(text, "rule 1") && strings.Contains(text, "p(X,Y) :- q(X).") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Format lacks rule context: %v", fs)
+	}
+}

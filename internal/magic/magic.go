@@ -1,0 +1,135 @@
+// Package magic implements the magic-set rewriting of adorned programs —
+// the general binding-propagation baseline the paper compares the counting
+// methods against (§1).
+//
+// For an adorned rule p_α(t̄) ← B1,…,Bn the rewrite produces
+//
+//	p_α(t̄) ← m_p_α(bound(t̄)), B1, …, Bn.
+//
+// and, for every positive derived body literal Bi = q_β with at least one
+// bound argument,
+//
+//	m_q_β(bound(s̄)) ← m_p_α(bound(t̄)), B1, …, Bi−1.
+//
+// seeded by the fact m_goal(ā) built from the query constants.
+package magic
+
+import (
+	"errors"
+	"fmt"
+
+	"lincount/internal/adorn"
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+)
+
+// Prefix is prepended to an adorned predicate name to form its magic
+// predicate name.
+const Prefix = "m_"
+
+// ErrNoBoundArgs is returned when the query has no bound argument: binding
+// propagation has nothing to propagate and the original program should be
+// used as-is.
+var ErrNoBoundArgs = errors.New("magic: query has no bound arguments")
+
+// Rewritten is the output of the magic-set transformation.
+type Rewritten struct {
+	// Program holds seed fact, magic rules and modified rules.
+	Program *ast.Program
+	// Query is the goal over the adorned answer predicate.
+	Query ast.Query
+	// MagicPreds maps each magic predicate to the adorned predicate it
+	// restricts.
+	MagicPreds map[symtab.Sym]symtab.Sym
+}
+
+// Rewrite applies the magic-set transformation to an adorned program.
+func Rewrite(a *adorn.Adorned) (*Rewritten, error) {
+	bank := a.Program.Bank
+	syms := bank.Symbols()
+
+	goalPattern := a.GoalAdornment
+	hasBound := false
+	for i := 0; i < len(goalPattern); i++ {
+		if goalPattern[i] == 'b' {
+			hasBound = true
+		}
+	}
+	if !hasBound {
+		return nil, ErrNoBoundArgs
+	}
+
+	out := &Rewritten{
+		Program:    ast.NewProgram(bank),
+		Query:      a.Query,
+		MagicPreds: map[symtab.Sym]symtab.Sym{},
+	}
+	magicSym := func(adorned symtab.Sym) symtab.Sym {
+		m := syms.Intern(Prefix + syms.String(adorned))
+		out.MagicPreds[m] = adorned
+		return m
+	}
+
+	// Seed: the query's bound arguments are constants by construction.
+	goalBound, _ := adorn.BoundArgs(a.Query.Goal, goalPattern)
+	for _, t := range goalBound {
+		if !t.IsGround() {
+			return nil, fmt.Errorf("magic: query bound argument %s is not ground",
+				ast.FormatTerm(bank, t))
+		}
+	}
+	out.Program.Add(ast.Rule{Head: ast.Literal{
+		Pred: magicSym(a.Query.Goal.Pred),
+		Args: goalBound,
+	}})
+
+	for _, r := range a.Program.Rules {
+		headPattern := a.Patterns[r.Head.Pred]
+		headBound, _ := adorn.BoundArgs(r.Head, headPattern)
+		var magicLit *ast.Literal
+		if hasBoundArg(headPattern) {
+			l := ast.Literal{Pred: magicSym(r.Head.Pred), Args: headBound}
+			magicLit = &l
+		}
+
+		// Magic rules for derived body literals.
+		for i, l := range r.Body {
+			pat, isDerived := a.Patterns[l.Pred]
+			if !isDerived || !hasBoundArg(pat) {
+				continue
+			}
+			if l.Negated {
+				return nil, fmt.Errorf("magic: negated derived literal %s is not supported",
+					ast.FormatLiteral(bank, l))
+			}
+			litBound, _ := adorn.BoundArgs(l, pat)
+			mr := ast.Rule{Head: ast.Literal{
+				Pred: magicSym(l.Pred),
+				Args: litBound,
+			}}
+			if magicLit != nil {
+				mr.Body = append(mr.Body, *magicLit)
+			}
+			mr.Body = append(mr.Body, r.Body[:i]...)
+			out.Program.Add(mr)
+		}
+
+		// Modified rule.
+		modified := ast.Rule{Head: r.Head}
+		if magicLit != nil {
+			modified.Body = append(modified.Body, *magicLit)
+		}
+		modified.Body = append(modified.Body, r.Body...)
+		out.Program.Add(modified)
+	}
+	return out, nil
+}
+
+func hasBoundArg(pattern string) bool {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == 'b' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package magic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lincount/internal/adorn"
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/engine"
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func rewrite(t *testing.T, src, goal string) (*term.Bank, *Rewritten) {
+	t.Helper()
+	b := term.NewBank(symtab.New())
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Rewrite(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, rw
+}
+
+// TestExample1MagicProgram reproduces the magic-set program of the paper's
+// Example 1 (modulo the _bf adornment suffix our naming keeps explicit).
+func TestExample1MagicProgram(t *testing.T) {
+	b, rw := rewrite(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`, "?- sg(a,Y).")
+	want := map[string]bool{
+		"m_sg_bf(a).":                                                   true,
+		"m_sg_bf(X1) :- m_sg_bf(X), up(X,X1).":                          true,
+		"sg_bf(X,Y) :- m_sg_bf(X), flat(X,Y).":                          true,
+		"sg_bf(X,Y) :- m_sg_bf(X), up(X,X1), sg_bf(X1,Y1), down(Y1,Y).": true,
+	}
+	got := map[string]bool{}
+	for _, r := range rw.Program.Rules {
+		got[ast.FormatRule(b, r)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("program:\n%s", rw.Program.Format())
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing rule %s in:\n%s", w, rw.Program.Format())
+		}
+	}
+	if gq := ast.FormatQuery(b, rw.Query); gq != "?- sg_bf(a,Y)." {
+		t.Errorf("query = %s", gq)
+	}
+}
+
+func TestMagicEquivalentToPlainEvaluation(t *testing.T) {
+	b := term.NewBank(symtab.New())
+	db := database.New(b)
+	if err := db.LoadText(`
+up(a,b). up(b,c). up(c,d). up(z,w).
+flat(d,d2). flat(c,c2). flat(w,w2).
+down(d2,c3). down(c3,b3). down(b3,a3). down(c2,x).
+`); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, "?- sg(a,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := engine.Eval(res.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainAns := engine.Answers(plain, db, q)
+
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Rewrite(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	magicRes, err := engine.Eval(rw.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	magicAns := engine.Answers(magicRes, db, rw.Query)
+
+	if fmt.Sprint(plainAns) != fmt.Sprint(magicAns) {
+		t.Errorf("plain answers %v, magic answers %v", plainAns, magicAns)
+	}
+	// The magic evaluation must not touch the unreachable z/w branch.
+	sgbf := magicRes.Relation(b.Symbols().Intern("sg_bf"))
+	for _, tu := range sgbf.Tuples() {
+		if b.Format(tu[0]) == "w" {
+			t.Error("magic evaluation derived irrelevant sg tuple for w")
+		}
+	}
+	// The restriction shows up in the answer relation: magic computes
+	// fewer sg tuples than bottom-up (the z/w branch is skipped).
+	plainSG := plain.Relation(b.Symbols().Intern("sg"))
+	if sgbf.Len() >= plainSG.Len() {
+		t.Errorf("magic computed %d sg tuples, plain %d: no restriction happened",
+			sgbf.Len(), plainSG.Len())
+	}
+}
+
+func TestMagicNoBoundArgs(t *testing.T) {
+	b := term.NewBank(symtab.New())
+	res, err := parser.Parse(b, "p(X,Y) :- e(X,Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, "?- p(X,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rewrite(a); !errors.Is(err, ErrNoBoundArgs) {
+		t.Errorf("err = %v, want ErrNoBoundArgs", err)
+	}
+}
+
+func TestMagicMultipleRecursiveRules(t *testing.T) {
+	b, rw := rewrite(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up1(X,X1), sg(X1,Y1), down1(Y1,Y).
+sg(X,Y) :- up2(X,X1), sg(X1,Y1), down2(Y1,Y).
+`, "?- sg(a,Y).")
+	text := rw.Program.Format()
+	if !strings.Contains(text, "m_sg_bf(X1) :- m_sg_bf(X), up1(X,X1).") ||
+		!strings.Contains(text, "m_sg_bf(X1) :- m_sg_bf(X), up2(X,X1).") {
+		t.Errorf("missing magic rules:\n%s", text)
+	}
+	_ = b
+}
+
+func TestMagicNonLinearProgram(t *testing.T) {
+	// Magic sets must handle non-linear rules too (counting cannot).
+	b := term.NewBank(symtab.New())
+	db := database.New(b)
+	if err := db.LoadText("e(a,b). e(b,c). e(c,d)."); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+tc(X,Y) :- e(X,Y).
+tc(X,Y) :- tc(X,Z), tc(Z,Y).
+`
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, "?- tc(a,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Rewrite(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := engine.Eval(rw.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := engine.Answers(mres, db, rw.Query)
+	if len(ans) != 3 {
+		t.Errorf("tc(a,Y) via magic = %v", ans)
+	}
+}
+
+func TestMagicBoundSecondArgument(t *testing.T) {
+	b := term.NewBank(symtab.New())
+	db := database.New(b)
+	if err := db.LoadText("e(a,b). e(b,c)."); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parser.Parse(b, `
+tc(X,Y) :- e(X,Y).
+tc(X,Y) :- e(X,Z), tc(Z,Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, "?- tc(X,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Rewrite(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rw.Program.Format(), "tc_fb") {
+		t.Errorf("program:\n%s", rw.Program.Format())
+	}
+	mres, err := engine.Eval(rw.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := engine.Answers(mres, db, rw.Query)
+	if len(ans) != 2 { // a→c and b→c
+		t.Errorf("tc(X,c) = %v", ans)
+	}
+}

@@ -1,0 +1,166 @@
+package magic
+
+import (
+	"fmt"
+	"sort"
+
+	"lincount/internal/adorn"
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+)
+
+// RewriteSupplementary applies the supplementary magic-set transformation
+// (Beeri & Ramakrishnan, "On the power of magic" — reference [6] of the
+// paper). Plain magic rules re-evaluate the join prefix B1…Bi−1 once per
+// derived body literal; the supplementary variant materializes each prefix
+// once:
+//
+//	sup_r_0(V0)  ← m_p_α(bound(t̄)).
+//	sup_r_i(Vi)  ← sup_r_{i−1}(Vi−1), Bi.            (i = 1…n)
+//	m_q_β(bound(s̄)) ← sup_r_{i−1}(Vi−1).             (Bi = q_β derived)
+//	p_α(t̄)       ← sup_r_n(Vn).
+//
+// where Vi is the set of variables bound after B1…Bi that are still needed
+// by Bi+1…Bn or the head. Prefix predicates that would merely copy their
+// predecessor (no derived literal consumes them and the variable set is
+// unchanged) are elided, so simple rules come out close to the plain magic
+// form.
+func RewriteSupplementary(a *adorn.Adorned) (*Rewritten, error) {
+	bank := a.Program.Bank
+	syms := bank.Symbols()
+
+	if !hasBoundArg(a.GoalAdornment) {
+		return nil, ErrNoBoundArgs
+	}
+
+	out := &Rewritten{
+		Program:    ast.NewProgram(bank),
+		Query:      a.Query,
+		MagicPreds: map[symtab.Sym]symtab.Sym{},
+	}
+	magicSym := func(adorned symtab.Sym) symtab.Sym {
+		m := syms.Intern(Prefix + syms.String(adorned))
+		out.MagicPreds[m] = adorned
+		return m
+	}
+
+	goalBound, _ := adorn.BoundArgs(a.Query.Goal, a.GoalAdornment)
+	for _, t := range goalBound {
+		if !t.IsGround() {
+			return nil, fmt.Errorf("magic: query bound argument %s is not ground",
+				ast.FormatTerm(bank, t))
+		}
+	}
+	out.Program.Add(ast.Rule{Head: ast.Literal{
+		Pred: magicSym(a.Query.Goal.Pred),
+		Args: goalBound,
+	}})
+
+	for ri, r := range a.Program.Rules {
+		headPattern := a.Patterns[r.Head.Pred]
+		headBound, _ := adorn.BoundArgs(r.Head, headPattern)
+
+		// Variables needed at or after position i (by Bi..Bn or the head).
+		n := len(r.Body)
+		neededAt := make([]map[symtab.Sym]bool, n+1)
+		neededAt[n] = map[symtab.Sym]bool{}
+		for _, v := range r.Head.Vars() {
+			neededAt[n][v] = true
+		}
+		for i := n - 1; i >= 0; i-- {
+			neededAt[i] = map[symtab.Sym]bool{}
+			for v := range neededAt[i+1] {
+				neededAt[i][v] = true
+			}
+			for _, v := range r.Body[i].Vars() {
+				neededAt[i][v] = true
+			}
+		}
+
+		// Bound variables after the magic literal and each prefix.
+		bound := map[symtab.Sym]bool{}
+		for _, t := range headBound {
+			for _, v := range (ast.Literal{Args: []ast.Term{t}}).Vars() {
+				bound[v] = true
+			}
+		}
+
+		supVars := func(i int) []symtab.Sym {
+			var vs []symtab.Sym
+			for v := range bound {
+				if neededAt[i][v] {
+					vs = append(vs, v)
+				}
+			}
+			sort.Slice(vs, func(x, y int) bool {
+				return syms.String(vs[x]) < syms.String(vs[y])
+			})
+			return vs
+		}
+		supLit := func(i int, vs []symtab.Sym) ast.Literal {
+			name := fmt.Sprintf("sup_%d_%d_%s", ri, i, syms.String(r.Head.Pred))
+			args := make([]ast.Term, len(vs))
+			for j, v := range vs {
+				args[j] = ast.V(v)
+			}
+			return ast.Literal{Pred: syms.Intern(name), Args: args}
+		}
+
+		// The running "previous" literal: starts as the magic literal (or
+		// nothing if the head pattern has no bound argument).
+		var prev *ast.Literal
+		if hasBoundArg(headPattern) {
+			l := ast.Literal{Pred: magicSym(r.Head.Pred), Args: headBound}
+			prev = &l
+		}
+		// Pending body literals joined since the last materialized sup.
+		var pending []ast.Literal
+
+		flushInto := func(head ast.Literal) {
+			rule := ast.Rule{Head: head}
+			if prev != nil {
+				rule.Body = append(rule.Body, *prev)
+			}
+			rule.Body = append(rule.Body, pending...)
+			out.Program.Add(rule)
+		}
+
+		for i, l := range r.Body {
+			pat, isDerived := a.Patterns[l.Pred]
+			if isDerived && hasBoundArg(pat) {
+				if l.Negated {
+					return nil, fmt.Errorf("magic: negated derived literal %s is not supported",
+						ast.FormatLiteral(bank, l))
+				}
+				// Materialize the prefix sup_{i} if anything was joined
+				// since the previous materialization.
+				if len(pending) > 0 {
+					vs := supVars(i)
+					head := supLit(i, vs)
+					flushInto(head)
+					prev = &head
+					pending = nil
+				}
+				// Magic rule from the current prefix.
+				litBound, _ := adorn.BoundArgs(l, pat)
+				mr := ast.Rule{Head: ast.Literal{Pred: magicSym(l.Pred), Args: litBound}}
+				if prev != nil {
+					mr.Body = append(mr.Body, *prev)
+				} else {
+					// Degenerate: no binding context at all.
+					mr.Body = append(mr.Body, pending...)
+				}
+				out.Program.Add(mr)
+			}
+			pending = append(pending, l)
+			for _, v := range l.Vars() {
+				bound[v] = true
+			}
+			_ = i
+		}
+
+		// Modified rule from the final prefix.
+		flushInto(r.Head)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package magic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lincount/internal/adorn"
+	"lincount/internal/database"
+	"lincount/internal/engine"
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func rewriteSup(t *testing.T, src, goal string) (*term.Bank, *Rewritten) {
+	t.Helper()
+	b := term.NewBank(symtab.New())
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RewriteSupplementary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, rw
+}
+
+func TestSupplementaryStructure(t *testing.T) {
+	b, rw := rewriteSup(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`, "?- sg(a,Y).")
+	text := rw.Program.Format()
+	// The recursive rule materializes the prefix m_sg, up before the
+	// recursive call, and the magic rule reads the sup predicate.
+	if !strings.Contains(text, "sup_1_1_sg_bf(") {
+		t.Errorf("missing supplementary predicate in:\n%s", text)
+	}
+	if !strings.Contains(text, "m_sg_bf(X1) :- sup_1_1_sg_bf(") {
+		t.Errorf("magic rule does not read the supplementary predicate:\n%s", text)
+	}
+	_ = b
+}
+
+func TestSupplementaryExitRuleStaysSimple(t *testing.T) {
+	_, rw := rewriteSup(t, `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`, "?- sg(a,Y).")
+	// The exit rule has no derived body literal: no sup predicate is
+	// introduced for it.
+	for _, r := range rw.Program.Rules {
+		name := rw.Program.Bank.Symbols().String(r.Head.Pred)
+		if strings.HasPrefix(name, "sup_0_") {
+			t.Errorf("exit rule grew a supplementary predicate: %s", rw.Program.Format())
+		}
+	}
+}
+
+func supEvalAnswers(t *testing.T, src, goal, facts string, sup bool) []string {
+	t.Helper()
+	b := term.NewBank(symtab.New())
+	db := database.New(b)
+	if err := db.LoadText(facts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rw *Rewritten
+	if sup {
+		rw, err = RewriteSupplementary(a)
+	} else {
+		rw, err = Rewrite(a)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := engine.Eval(rw.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, tu := range engine.Answers(eres, db, rw.Query) {
+		parts := make([]string, len(tu))
+		for i, v := range tu {
+			parts[i] = b.Format(v)
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	return out
+}
+
+func TestSupplementaryAgreesWithPlainMagic(t *testing.T) {
+	cases := []struct{ src, goal, facts string }{
+		{
+			`sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).`,
+			"?- sg(a,Y).",
+			`up(a,b). up(b,c). flat(c,c2). flat(b,b2).
+down(c2,x1). down(x1,x2). down(b2,x3).`,
+		},
+		{
+			`tc(X,Y) :- e(X,Y).
+tc(X,Y) :- tc(X,Z), tc(Z,Y).`,
+			"?- tc(a,Y).",
+			"e(a,b). e(b,c). e(c,d). e(d,b).",
+		},
+		{
+			`p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), q(X1,Y1), down(Y1,Y).
+q(X,Y) :- over(X,X1), p(X1,Y1), under(Y1,Y).`,
+			"?- p(s,Y).",
+			`up(s,m). over(m,k). flat(k,k2). flat(s,s2).
+under(k2,u1). down(u1,v1).`,
+		},
+	}
+	for i, c := range cases {
+		plain := supEvalAnswers(t, c.src, c.goal, c.facts, false)
+		sup := supEvalAnswers(t, c.src, c.goal, c.facts, true)
+		if fmt.Sprint(plain) != fmt.Sprint(sup) {
+			t.Errorf("case %d: plain %v, supplementary %v", i, plain, sup)
+		}
+	}
+}
+
+func TestSupplementarySavesPrefixWork(t *testing.T) {
+	// A rule with two derived body literals re-joins the prefix twice in
+	// plain magic; the supplementary variant materializes it once.
+	src := `
+r(X,Y) :- e(X,Y).
+r(X,Y) :- a(X,W), b(W,X1), r(X1,M), c(M,X2), r(X2,Y).
+`
+	var facts strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&facts, "a(n%d,w%d). b(w%d,n%d). e(n%d,n%d). c(n%d,n%d). ",
+			i, i, i, i+1, i, i, i, i)
+	}
+	b := term.NewBank(symtab.New())
+	db := database.New(b)
+	if err := db.LoadText(facts.String()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parser.Parse(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, "?- r(n0,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := RewriteSupplementary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Rewrite(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supRes, err := engine.Eval(sup.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := engine.Eval(plain.Program, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	supAns := engine.Answers(supRes, db, sup.Query)
+	plainAns := engine.Answers(plainRes, db, plain.Query)
+	if fmt.Sprint(supAns) != fmt.Sprint(plainAns) {
+		t.Fatalf("answers differ: %v vs %v", supAns, plainAns)
+	}
+	if supRes.Stats.Probes >= plainRes.Stats.Probes {
+		t.Errorf("supplementary probes %d >= plain %d: prefix not shared",
+			supRes.Stats.Probes, plainRes.Stats.Probes)
+	}
+}
+
+func TestSupplementaryNoBoundArgs(t *testing.T) {
+	b := term.NewBank(symtab.New())
+	res, err := parser.Parse(b, "p(X,Y) :- e(X,Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(b, "?- p(X,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(res.Program, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RewriteSupplementary(a); err == nil {
+		t.Error("expected ErrNoBoundArgs")
+	}
+}

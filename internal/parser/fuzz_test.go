@@ -1,0 +1,56 @@
+package parser
+
+import (
+	"testing"
+
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// FuzzParse checks that the parser never panics and that everything it
+// accepts survives a format/re-parse round trip. The seeds cover every
+// syntactic construct; `go test` runs them as regular tests, and
+// `go test -fuzz=FuzzParse ./internal/parser` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"p(X) :- q(X).",
+		"sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).",
+		"?- sg(a,Y).",
+		"p(Y,L) :- q(Y1,[e(r1,[W])|L]), down1(Y1,Y,W).",
+		"f([1,2,3]). g([]). h([X|T]) :- h(T).",
+		"n(-42). m(0).",
+		"t(X) :- s(X), X != b, X >= 0, succ(X,Y).",
+		"p :- q, not r.",
+		"% comment only",
+		"p(X) :- q(X), not r(X,_).",
+		"weird( deep(f(g(h(1)),[a|T])) ).",
+		"p(X", "p(X) :-", ":-", "?-", "[", "]])(", "p..", "..",
+		"p(X) :- q(X)", "1 + 2.", "X.", "p(X,Y) :- X = Y.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		bank := term.NewBank(symtab.New())
+		res, err := Parse(bank, src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip through the printer.
+		text := res.Program.Format()
+		bank2 := term.NewBank(symtab.New())
+		res2, err := Parse(bank2, text)
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\noriginal: %q\nformatted: %q", err, src, text)
+		}
+		if len(res2.Program.Rules) != len(res.Program.Rules) {
+			t.Fatalf("rule count changed: %d vs %d", len(res.Program.Rules), len(res2.Program.Rules))
+		}
+		if res2.Program.Format() != text {
+			t.Fatalf("format not a fixpoint:\n%q\nvs\n%q", text, res2.Program.Format())
+		}
+		_ = ast.FormatQuery // keep import shape stable
+	})
+}

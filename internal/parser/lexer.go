@@ -1,0 +1,181 @@
+// Package parser turns Datalog source text into ast values.
+//
+// Syntax summary:
+//
+//	fact.                      % ground head, no body
+//	head :- lit, ..., lit.     % rule
+//	?- goal.                   % query
+//
+// Literals are atoms p(t,...), optionally prefixed with `not`, or infix
+// builtins t1 = t2, t1 != t2, t1 < t2, and so on. Terms are integers,
+// lowercase identifiers (constants), uppercase or `_`-prefixed identifiers
+// (variables), compounds f(t,...), and lists [a,b|T]. `%` starts a comment
+// running to end of line.
+package parser
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF   tokenKind = iota
+	tokIdent           // lowercase-leading identifier
+	tokVar             // uppercase- or underscore-leading identifier
+	tokInt
+	tokPunct // ( ) [ ] , . | and operators :- ?- = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == '%':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	c, ok := lx.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case unicode.IsDigit(rune(c)):
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !unicode.IsDigit(rune(c)) {
+				break
+			}
+			lx.advance()
+		}
+		return token{kind: tokInt, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case isIdentStart(c):
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if text[0] == '_' || unicode.IsUpper(rune(text[0])) {
+			kind = tokVar
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	}
+	// Punctuation and operators.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case ":-", "?-", "!=", "<=", ">=":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokPunct, text: two, line: line, col: col}, nil
+	}
+	switch c {
+	case '(', ')', '[', ']', ',', '.', '|', '=', '<', '>', '-', '+':
+		lx.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the entire input (used by the parser, which needs one
+// token of lookahead and benefits from a flat slice).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func newBank() *term.Bank { return term.NewBank(symtab.New()) }
+
+func TestParseFact(t *testing.T) {
+	b := newBank()
+	res := MustParse(b, "up(a, b).")
+	if len(res.Program.Rules) != 1 || len(res.Queries) != 0 {
+		t.Fatalf("got %d rules, %d queries", len(res.Program.Rules), len(res.Queries))
+	}
+	r := res.Program.Rules[0]
+	if !r.IsFact() {
+		t.Error("up(a,b) not recognized as fact")
+	}
+	if got := ast.FormatRule(b, r); got != "up(a,b)." {
+		t.Errorf("formatted %q", got)
+	}
+}
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	b := newBank()
+	cases := []string{
+		"sg(X,Y) :- flat(X,Y).",
+		"sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).",
+		"p(Y,L) :- q(Y1,[e(r1,[W])|L]), cp(X,L), down1(Y1,Y,W).",
+		"cp(a,[]).",
+		"t(X) :- s(X), X != b.",
+		"t(X,Y) :- s(X), succ(X,Y).",
+		"n(X) :- s(X), not t(X).",
+		"zero.",
+		"zero :- one, two.",
+		"f(-3).",
+		"g([1,2,3]).",
+		"h([X|T]) :- h(T).",
+		"cmp(X,Y) :- s(X), s(Y), X < Y.",
+		"cmp2(X,Y) :- s(X), s(Y), X >= Y.",
+	}
+	for _, src := range cases {
+		r, err := ParseRule(b, src)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", src, err)
+			continue
+		}
+		got := ast.FormatRule(b, r)
+		want := strings.ReplaceAll(src, ", ", ",")
+		got2 := strings.ReplaceAll(got, ", ", ",")
+		want = strings.ReplaceAll(want, " :- ", ":-")
+		got2 = strings.ReplaceAll(got2, " :- ", ":-")
+		if got2 != want {
+			t.Errorf("round trip %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	b := newBank()
+	q, err := ParseQuery(b, "?- sg(a, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ast.FormatQuery(b, q); got != "?- sg(a,Y)." {
+		t.Errorf("formatted %q", got)
+	}
+	if q.Goal.Args[0].Kind != ast.Const || q.Goal.Args[1].Kind != ast.Var {
+		t.Error("argument kinds wrong")
+	}
+}
+
+func TestParseProgramWithQueriesAndComments(t *testing.T) {
+	b := newBank()
+	src := `
+% same generation
+sg(X,Y) :- flat(X,Y).          % exit rule
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+up(a,b). flat(b,c). down(c,d).
+?- sg(a,Y).
+`
+	res := MustParse(b, src)
+	if len(res.Program.Rules) != 5 {
+		t.Errorf("rules = %d, want 5", len(res.Program.Rules))
+	}
+	if len(res.Queries) != 1 {
+		t.Errorf("queries = %d, want 1", len(res.Queries))
+	}
+}
+
+func TestAnonymousVarsAreFresh(t *testing.T) {
+	b := newBank()
+	r, err := ParseRule(b, "p(X) :- q(X,_), r(_,X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := r.Body[0].Args[1]
+	v2 := r.Body[1].Args[0]
+	if v1.Kind != ast.Var || v2.Kind != ast.Var {
+		t.Fatal("anonymous terms are not variables")
+	}
+	if v1.Name == v2.Name {
+		t.Error("two anonymous variables share a name")
+	}
+}
+
+func TestListParsing(t *testing.T) {
+	b := newBank()
+	r, err := ParseRule(b, "f([a,b|T]).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := r.Head.Args[0]
+	if arg.Kind != ast.Comp {
+		t.Fatalf("list with var tail should be a Comp term, got kind %d", arg.Kind)
+	}
+	if got := ast.FormatTerm(b, arg); got != "[a,b|T]" {
+		t.Errorf("formatted %q", got)
+	}
+	r2, err := ParseRule(b, "g([a,b]).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Head.Args[0].Kind != ast.Const {
+		t.Error("ground list should have been interned to a Const")
+	}
+	elems, ok := b.ListElems(r2.Head.Args[0].Value)
+	if !ok || len(elems) != 2 {
+		t.Errorf("ListElems = %v, %v", elems, ok)
+	}
+}
+
+func TestGroundCompoundArgsInLiteral(t *testing.T) {
+	b := newBank()
+	r, err := ParseRule(b, "cp(a,[e(r1,[1])]).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Head.Args) != 2 {
+		t.Fatalf("args = %d", len(r.Head.Args))
+	}
+	if !r.IsFact() {
+		t.Error("ground compound fact not recognized as fact")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	b := newBank()
+	cases := []string{
+		"p(X",            // unterminated
+		"p(X) :- .",      // empty body literal
+		"p(X) q(X).",     // missing :-
+		"?- not p(X).",   // negated query
+		"not p(X) :- q.", // negated head
+		"p(X) :- q(X)",   // missing period
+		"p(@).",          // bad character
+		"[a,b].",         // list is not a literal
+		"7.",             // integer is not a literal
+	}
+	for _, src := range cases {
+		if _, err := Parse(b, src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestInfixBuiltinsParseToReservedPreds(t *testing.T) {
+	b := newBank()
+	r, err := ParseRule(b, "p(X,Y) :- X != Y.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Symbols().String(r.Body[0].Pred); got != ast.BuiltinNeq {
+		t.Errorf("pred = %q", got)
+	}
+}
+
+func TestZeroArityAtomInBody(t *testing.T) {
+	b := newBank()
+	r, err := ParseRule(b, "p :- q, not r.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 || !r.Body[1].Negated {
+		t.Errorf("body parsed wrong: %+v", r.Body)
+	}
+}

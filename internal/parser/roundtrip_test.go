@@ -1,0 +1,135 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lincount/internal/ast"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// Property: formatting a randomly generated program and re-parsing it
+// yields a structurally equal program. This pins the printer and parser
+// to each other, which every rewriting test depends on.
+
+type progGen struct {
+	bank *term.Bank
+	r    *rand.Rand
+}
+
+func (g *progGen) ident(prefix string, n int) string {
+	return prefix + string(rune('a'+g.r.Intn(n)))
+}
+
+func (g *progGen) varName() string {
+	return "V" + string(rune('A'+g.r.Intn(6)))
+}
+
+func (g *progGen) term(depth int) ast.Term {
+	switch {
+	case depth == 0 || g.r.Intn(4) == 0:
+		switch g.r.Intn(3) {
+		case 0:
+			return ast.C(term.Int(int64(g.r.Intn(20) - 10)))
+		case 1:
+			return ast.C(term.Symbol(g.bank.Symbols().Intern(g.ident("c", 5))))
+		default:
+			return ast.V(g.bank.Symbols().Intern(g.varName()))
+		}
+	case g.r.Intn(3) == 0:
+		// A list with 0-2 elements and possibly a variable tail.
+		n := g.r.Intn(3)
+		elems := make([]ast.Term, n)
+		for i := range elems {
+			elems[i] = g.term(depth - 1)
+		}
+		tail := ast.NilTerm(g.bank)
+		if n > 0 && g.r.Intn(2) == 0 {
+			tail = ast.V(g.bank.Symbols().Intern(g.varName()))
+		}
+		return ast.MkList(g.bank, elems, tail)
+	default:
+		f := g.bank.Symbols().Intern(g.ident("f", 3))
+		n := 1 + g.r.Intn(2)
+		args := make([]ast.Term, n)
+		for i := range args {
+			args[i] = g.term(depth - 1)
+		}
+		return ast.Mk(g.bank, f, args...)
+	}
+}
+
+func (g *progGen) literal(negated bool) ast.Literal {
+	pred := g.bank.Symbols().Intern(g.ident("p", 4))
+	n := g.r.Intn(3)
+	args := make([]ast.Term, n)
+	for i := range args {
+		args[i] = g.term(2)
+	}
+	return ast.Literal{Pred: pred, Args: args, Negated: negated}
+}
+
+func (g *progGen) rule() ast.Rule {
+	r := ast.Rule{Head: g.literal(false)}
+	n := g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		r.Body = append(r.Body, g.literal(g.r.Intn(5) == 0))
+	}
+	return r
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		bank := term.NewBank(symtab.New())
+		g := &progGen{bank: bank, r: rand.New(rand.NewSource(seed))}
+		p := ast.NewProgram(bank)
+		n := 1 + g.r.Intn(6)
+		for i := 0; i < n; i++ {
+			p.Add(g.rule())
+		}
+		text := p.Format()
+		res, err := Parse(bank, text)
+		if err != nil {
+			t.Logf("re-parse failed for:\n%s\nerr: %v", text, err)
+			return false
+		}
+		if len(res.Program.Rules) != len(p.Rules) {
+			return false
+		}
+		for i := range p.Rules {
+			if !res.Program.Rules[i].Equal(p.Rules[i]) {
+				t.Logf("rule %d mismatch:\n  want %s\n  got  %s", i,
+					ast.FormatRule(bank, p.Rules[i]),
+					ast.FormatRule(bank, res.Program.Rules[i]))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Format is a fixpoint — parse(format(p)) formats identically.
+func TestFormatIsFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		bank := term.NewBank(symtab.New())
+		g := &progGen{bank: bank, r: rand.New(rand.NewSource(seed))}
+		p := ast.NewProgram(bank)
+		for i := 0; i < 4; i++ {
+			p.Add(g.rule())
+		}
+		text := p.Format()
+		res, err := Parse(bank, text)
+		if err != nil {
+			return false
+		}
+		return res.Program.Format() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

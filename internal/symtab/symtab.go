@@ -1,0 +1,80 @@
+// Package symtab provides string interning for constant and predicate
+// symbols. Interned symbols are dense non-negative integers, which makes
+// tuple values and predicate names cheap to hash, compare and store.
+package symtab
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sym is an interned symbol: an index into the owning Table.
+type Sym int32
+
+// None is the zero Sym; Table never hands it out for a real string, so it is
+// safe to use as a sentinel.
+const None Sym = 0
+
+// Table interns strings to dense Sym values. The zero value is not usable;
+// call New. A Table is safe for concurrent use.
+type Table struct {
+	mu   sync.RWMutex
+	ids  map[string]Sym
+	strs []string
+}
+
+// New returns an empty symbol table. Sym 0 is pre-interned to the empty
+// string so that the zero Sym never aliases user data.
+func New() *Table {
+	t := &Table{ids: make(map[string]Sym, 64)}
+	t.strs = append(t.strs, "")
+	t.ids[""] = None
+	return t
+}
+
+// Intern returns the Sym for s, creating it if needed.
+func (t *Table) Intern(s string) Sym {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id = Sym(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.ids[s] = id
+	return id
+}
+
+// Lookup returns the Sym for s and whether it was already interned.
+func (t *Table) Lookup(s string) (Sym, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// String returns the string for a previously interned Sym. It panics on a
+// Sym that this table did not produce, which always indicates a bug in the
+// caller (Syms are not meaningful across tables).
+func (t *Table) String(id Sym) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.strs) {
+		panic(fmt.Sprintf("symtab: unknown Sym %d", id))
+	}
+	return t.strs[id]
+}
+
+// Len reports the number of interned symbols, including the pre-interned
+// empty string.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs)
+}

@@ -1,0 +1,93 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	tab := New()
+	words := []string{"a", "b", "up", "down", "flat", "sg", "", "a"}
+	ids := make([]Sym, len(words))
+	for i, w := range words {
+		ids[i] = tab.Intern(w)
+	}
+	for i, w := range words {
+		if got := tab.String(ids[i]); got != w {
+			t.Errorf("String(Intern(%q)) = %q", w, got)
+		}
+	}
+	if ids[0] != ids[7] {
+		t.Errorf("re-interning %q produced different Sym: %d vs %d", "a", ids[0], ids[7])
+	}
+}
+
+func TestEmptyStringIsNone(t *testing.T) {
+	tab := New()
+	if got := tab.Intern(""); got != None {
+		t.Errorf("Intern(\"\") = %d, want None", got)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("fresh table Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tab := New()
+	if _, ok := tab.Lookup("missing"); ok {
+		t.Error("Lookup of missing string reported ok")
+	}
+	id := tab.Intern("present")
+	got, ok := tab.Lookup("present")
+	if !ok || got != id {
+		t.Errorf("Lookup(present) = %d,%v want %d,true", got, ok, id)
+	}
+}
+
+func TestDistinctStringsDistinctSyms(t *testing.T) {
+	f := func(a, b string) bool {
+		tab := New()
+		sa, sb := tab.Intern(a), tab.Intern(b)
+		return (a == b) == (sa == sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringPanicsOnForeignSym(t *testing.T) {
+	tab := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("String on out-of-range Sym did not panic")
+		}
+	}()
+	tab.String(Sym(99))
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tab := New()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	results := make([][]Sym, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				results[g] = append(results[g], tab.Intern(fmt.Sprintf("sym-%d", i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d interned sym-%d to %d, goroutine 0 got %d",
+					g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+}

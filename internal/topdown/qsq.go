@@ -1,0 +1,436 @@
+// Package topdown implements the Query-SubQuery (QSQ) evaluation method
+// (Vieille 1986), the set-at-a-time top-down strategy that the
+// Bancilhon–Ramakrishnan comparisons — reference [4] of the paper — run
+// alongside magic sets and counting. QSQ is the operational counterpart
+// of the magic-set rewriting: instead of materializing magic predicates
+// through rewritten rules, it maintains, per adorned predicate, the set of
+// *input* (bound-argument) tuples asked so far and the set of *answers*
+// derived, and propagates bindings sideways through rule bodies until both
+// reach a fixpoint (the iterative QSQI variant, which is the easiest to
+// show correct).
+//
+// Its presence lets the experiment suite cross-check the rewriting-based
+// strategies against an independently implemented evaluation discipline.
+package topdown
+
+import (
+	"errors"
+	"fmt"
+
+	"lincount/internal/adorn"
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// ErrUnsupported is returned for programs outside QSQ's scope here:
+// negated derived literals (stratified top-down negation is a much larger
+// machine than this reproduction needs).
+var ErrUnsupported = errors.New("topdown: negated derived literals are not supported by QSQ")
+
+// Stats counts the work of one evaluation.
+type Stats struct {
+	// Passes is the number of global fixpoint sweeps.
+	Passes int
+	// InputTuples is the total size of the input (subquery) sets — the
+	// operational analogue of the magic set.
+	InputTuples int
+	// AnswerTuples is the total size of the answer sets.
+	AnswerTuples int
+	// Inferences counts successful head derivations, including
+	// rederivations.
+	Inferences int64
+	// Probes counts index lookups and scans during sideways passing.
+	Probes int64
+}
+
+// Result of a QSQ evaluation.
+type Result struct {
+	// Answers holds the goal predicate's answer tuples (full arity),
+	// restricted to the query constants.
+	Answers []database.Tuple
+	Stats   Stats
+}
+
+// state is the per-adorned-predicate bookkeeping.
+type state struct {
+	pattern string
+	input   *database.Relation // bound-argument tuples
+	answers *database.Relation // full-arity tuples
+}
+
+type evaluator struct {
+	a     *adorn.Adorned
+	bank  *term.Bank
+	db    *database.Database
+	preds map[symtab.Sym]*state
+	stats Stats
+	// grewThisPass is set whenever an input or answer tuple is new.
+	grewThisPass bool
+	maxPasses    int
+}
+
+// Options bounds an evaluation.
+type Options struct {
+	// MaxPasses bounds global sweeps (0 = 1,000,000).
+	MaxPasses int
+}
+
+// Eval runs QSQ for the adorned query over db.
+func Eval(a *adorn.Adorned, db *database.Database, opts Options) (*Result, error) {
+	ev := &evaluator{
+		a:         a,
+		bank:      a.Program.Bank,
+		db:        db,
+		preds:     map[symtab.Sym]*state{},
+		maxPasses: opts.MaxPasses,
+	}
+	if ev.maxPasses == 0 {
+		ev.maxPasses = 1_000_000
+	}
+	for p, pattern := range a.Patterns {
+		nb := 0
+		for i := 0; i < len(pattern); i++ {
+			if pattern[i] == 'b' {
+				nb++
+			}
+		}
+		ev.preds[p] = &state{
+			pattern: pattern,
+			input:   database.NewRelation(nb),
+			answers: database.NewRelation(len(pattern)),
+		}
+	}
+	// Validate scope.
+	for _, r := range a.Program.Rules {
+		for _, l := range r.Body {
+			if _, derived := ev.preds[l.Pred]; derived && l.Negated {
+				return nil, fmt.Errorf("%w: %s", ErrUnsupported, ast.FormatLiteral(ev.bank, l))
+			}
+		}
+	}
+
+	// Seed the goal's input.
+	goal := ev.preds[a.Query.Goal.Pred]
+	if goal == nil {
+		return nil, fmt.Errorf("topdown: goal %s has no rules", ast.FormatLiteral(ev.bank, a.Query.Goal))
+	}
+	seed := make(database.Tuple, 0, goal.input.Arity())
+	boundArgs, _ := adorn.BoundArgs(a.Query.Goal, a.GoalAdornment)
+	for _, t := range boundArgs {
+		if !t.IsGround() {
+			return nil, fmt.Errorf("topdown: query bound argument %s is not ground",
+				ast.FormatTerm(ev.bank, t))
+		}
+		seed = append(seed, t.Value)
+	}
+	goal.input.Insert(seed)
+
+	// Global fixpoint: sweep every rule against every input until no new
+	// input or answer appears.
+	for pass := 0; ; pass++ {
+		if pass >= ev.maxPasses {
+			return nil, fmt.Errorf("topdown: pass budget exceeded")
+		}
+		ev.stats.Passes++
+		ev.grewThisPass = false
+		for _, r := range ev.a.Program.Rules {
+			if err := ev.sweepRule(r); err != nil {
+				return nil, err
+			}
+		}
+		if !ev.grewThisPass {
+			break
+		}
+	}
+
+	for _, st := range ev.preds {
+		ev.stats.InputTuples += st.input.Len()
+		ev.stats.AnswerTuples += st.answers.Len()
+	}
+
+	// Collect the goal's answers matching the query constants.
+	var out []database.Tuple
+	for _, t := range goal.answers.Tuples() {
+		bound := map[symtab.Sym]term.Value{}
+		ok := true
+		for i, arg := range a.Query.Goal.Args {
+			if !matchArg(ev.bank, arg, t[i], bound) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t.Clone())
+		}
+	}
+	return &Result{Answers: out, Stats: ev.stats}, nil
+}
+
+func matchArg(bank *term.Bank, pat ast.Term, v term.Value, bound map[symtab.Sym]term.Value) bool {
+	switch pat.Kind {
+	case ast.Const:
+		return pat.Value == v
+	case ast.Var:
+		if old, ok := bound[pat.Name]; ok {
+			return old == v
+		}
+		bound[pat.Name] = v
+		return true
+	default:
+		if !v.IsCompound() {
+			return false
+		}
+		c := bank.Deref(v)
+		if c.Functor != pat.Name || len(c.Args) != len(pat.Args) {
+			return false
+		}
+		for i := range pat.Args {
+			if !matchArg(bank, pat.Args[i], c.Args[i], bound) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// sweepRule runs one rule against every current input tuple of its head.
+func (ev *evaluator) sweepRule(r ast.Rule) error {
+	st := ev.preds[r.Head.Pred]
+	boundArgs, _ := adorn.BoundArgs(r.Head, st.pattern)
+	for _, in := range st.input.Tuples() {
+		bound := map[symtab.Sym]term.Value{}
+		ok := true
+		for i, arg := range boundArgs {
+			if !matchArg(ev.bank, arg, in[i], bound) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := ev.body(r, 0, bound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// body processes rule r's body from literal i under the bindings,
+// registering subqueries at derived literals and emitting head answers at
+// the end.
+func (ev *evaluator) body(r ast.Rule, i int, bound map[symtab.Sym]term.Value) error {
+	if i == len(r.Body) {
+		st := ev.preds[r.Head.Pred]
+		t := make(database.Tuple, len(r.Head.Args))
+		for j, arg := range r.Head.Args {
+			v, ok := instantiate(ev.bank, arg, bound)
+			if !ok {
+				return fmt.Errorf("topdown: rule %s is unsafe: head argument %s unbound",
+					ast.FormatRule(ev.bank, r), ast.FormatTerm(ev.bank, arg))
+			}
+			t[j] = v
+		}
+		ev.stats.Inferences++
+		if st.answers.Insert(t) {
+			ev.grewThisPass = true
+		}
+		return nil
+	}
+
+	l := r.Body[i]
+	name := ev.bank.Symbols().String(l.Pred)
+	if ast.IsBuiltinName(name) {
+		return ev.builtin(r, i, l, bound)
+	}
+	if st, derived := ev.preds[l.Pred]; derived {
+		// Register the subquery.
+		boundArgs, _ := adorn.BoundArgs(l, st.pattern)
+		in := make(database.Tuple, len(boundArgs))
+		for j, arg := range boundArgs {
+			v, ok := instantiate(ev.bank, arg, bound)
+			if !ok {
+				return fmt.Errorf("topdown: rule %s: bound argument %s of %s not bound at call time",
+					ast.FormatRule(ev.bank, r), ast.FormatTerm(ev.bank, arg), name)
+			}
+			in[j] = v
+		}
+		if st.input.Insert(in) {
+			ev.grewThisPass = true
+		}
+		// Continue with the answers known so far.
+		return ev.scan(r, i, l, st.answers, bound)
+	}
+	// Base literal (possibly negated).
+	rel := ev.db.Relation(l.Pred)
+	if l.Negated {
+		probe := make(database.Tuple, len(l.Args))
+		for j, arg := range l.Args {
+			v, ok := instantiate(ev.bank, arg, bound)
+			if !ok {
+				return fmt.Errorf("topdown: rule %s: negated literal %s has unbound variables",
+					ast.FormatRule(ev.bank, r), ast.FormatLiteral(ev.bank, l))
+			}
+			probe[j] = v
+		}
+		if rel != nil && rel.Contains(probe) {
+			return nil
+		}
+		return ev.body(r, i+1, bound)
+	}
+	if rel == nil {
+		return nil
+	}
+	return ev.scan(r, i, l, rel, bound)
+}
+
+// scan joins literal l against rel under the current bindings.
+func (ev *evaluator) scan(r ast.Rule, i int, l ast.Literal, rel *database.Relation, bound map[symtab.Sym]term.Value) error {
+	// Probe with the positions already ground.
+	var mask uint64
+	var probe []term.Value
+	for j, arg := range l.Args {
+		if v, ok := instantiate(ev.bank, arg, bound); ok {
+			mask |= 1 << uint(j)
+			probe = append(probe, v)
+		}
+	}
+	try := func(t database.Tuple) error {
+		local := map[symtab.Sym]term.Value{}
+		for k, v := range bound {
+			local[k] = v
+		}
+		for j, arg := range l.Args {
+			if !matchArg(ev.bank, arg, t[j], local) {
+				return nil
+			}
+		}
+		return ev.body(r, i+1, local)
+	}
+	ev.stats.Probes++
+	if mask != 0 {
+		for _, ix := range rel.Probe(mask, probe) {
+			if err := try(rel.At(int(ix))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range rel.Tuples() {
+		if err := try(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func instantiate(bank *term.Bank, t ast.Term, bound map[symtab.Sym]term.Value) (term.Value, bool) {
+	switch t.Kind {
+	case ast.Const:
+		return t.Value, true
+	case ast.Var:
+		v, ok := bound[t.Name]
+		return v, ok
+	default:
+		args := make([]term.Value, len(t.Args))
+		for i, a := range t.Args {
+			v, ok := instantiate(bank, a, bound)
+			if !ok {
+				return 0, false
+			}
+			args[i] = v
+		}
+		return bank.Compound(t.Name, args...), true
+	}
+}
+
+// builtin evaluates the builtins QSQ supports (the same set as the
+// engine); eq and succ may bind one plain variable.
+func (ev *evaluator) builtin(r ast.Rule, i int, l ast.Literal, bound map[symtab.Sym]term.Value) error {
+	name := ev.bank.Symbols().String(l.Pred)
+	if len(l.Args) != 2 {
+		return fmt.Errorf("topdown: builtin %s expects 2 arguments", name)
+	}
+	x, xok := instantiate(ev.bank, l.Args[0], bound)
+	y, yok := instantiate(ev.bank, l.Args[1], bound)
+	cont := func(extra symtab.Sym, v term.Value) error {
+		if extra == symtab.None {
+			return ev.body(r, i+1, bound)
+		}
+		local := map[symtab.Sym]term.Value{}
+		for k, vv := range bound {
+			local[k] = vv
+		}
+		local[extra] = v
+		return ev.body(r, i+1, local)
+	}
+	const maxTermInt = 1<<61 - 1
+	switch name {
+	case ast.BuiltinEq:
+		switch {
+		case xok && yok:
+			if x == y {
+				return cont(symtab.None, 0)
+			}
+			return nil
+		case xok && l.Args[1].Kind == ast.Var:
+			return cont(l.Args[1].Name, x)
+		case yok && l.Args[0].Kind == ast.Var:
+			return cont(l.Args[0].Name, y)
+		}
+		return fmt.Errorf("topdown: = with both sides unbound in %s", ast.FormatRule(ev.bank, r))
+	case ast.BuiltinSucc:
+		switch {
+		case xok && yok:
+			if x.IsInt() && y.IsInt() && x.AsInt() < maxTermInt && y.AsInt() == x.AsInt()+1 {
+				return cont(symtab.None, 0)
+			}
+			return nil
+		case xok && l.Args[1].Kind == ast.Var:
+			if !x.IsInt() || x.AsInt() >= maxTermInt {
+				return nil
+			}
+			return cont(l.Args[1].Name, term.Int(x.AsInt()+1))
+		case yok && l.Args[0].Kind == ast.Var:
+			if !y.IsInt() || y.AsInt() <= -(1<<61) {
+				return nil
+			}
+			return cont(l.Args[0].Name, term.Int(y.AsInt()-1))
+		}
+		return fmt.Errorf("topdown: succ with both sides unbound in %s", ast.FormatRule(ev.bank, r))
+	default:
+		if !xok || !yok {
+			return fmt.Errorf("topdown: comparison %s with unbound side in %s", name, ast.FormatRule(ev.bank, r))
+		}
+		var c int
+		if x.IsInt() && y.IsInt() {
+			switch {
+			case x.AsInt() < y.AsInt():
+				c = -1
+			case x.AsInt() > y.AsInt():
+				c = 1
+			}
+		} else {
+			c = term.Compare(x, y)
+		}
+		ok := false
+		switch name {
+		case ast.BuiltinNeq:
+			ok = c != 0
+		case ast.BuiltinLt:
+			ok = c < 0
+		case ast.BuiltinLe:
+			ok = c <= 0
+		case ast.BuiltinGt:
+			ok = c > 0
+		case ast.BuiltinGe:
+			ok = c >= 0
+		}
+		if ok {
+			return cont(symtab.None, 0)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lincount/internal/database"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// load parses generated fact text to prove it is well-formed.
+func load(t *testing.T, facts string) *database.Database {
+	t.Helper()
+	db := database.New(term.NewBank(symtab.New()))
+	if err := db.LoadText(facts); err != nil {
+		t.Fatalf("generated facts do not parse: %v", err)
+	}
+	return db
+}
+
+func relLen(db *database.Database, name string) int {
+	s, ok := db.Bank().Symbols().Lookup(name)
+	if !ok {
+		return 0
+	}
+	r := db.Relation(s)
+	if r == nil {
+		return 0
+	}
+	return r.Len()
+}
+
+func TestChainShape(t *testing.T) {
+	db := load(t, Chain(5))
+	if got := relLen(db, "up"); got != 5 {
+		t.Errorf("up = %d", got)
+	}
+	if got := relLen(db, "down"); got != 5 {
+		t.Errorf("down = %d", got)
+	}
+	if got := relLen(db, "flat"); got != 1 {
+		t.Errorf("flat = %d", got)
+	}
+}
+
+func TestCylinderShape(t *testing.T) {
+	depth, width, fan := 4, 3, 2
+	db := load(t, Cylinder(depth, width, fan))
+	if got := relLen(db, "up"); got != depth*width*fan {
+		t.Errorf("up = %d, want %d", got, depth*width*fan)
+	}
+	if got := relLen(db, "down"); got != depth*width*fan {
+		t.Errorf("down = %d", got)
+	}
+	if got := relLen(db, "flat"); got != width {
+		t.Errorf("flat = %d", got)
+	}
+}
+
+func TestCylinderFanOneIsChainLike(t *testing.T) {
+	db := load(t, Cylinder(3, 1, 1))
+	if got := relLen(db, "up"); got != 3 {
+		t.Errorf("up = %d", got)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	fanout, depth := 2, 3
+	db := load(t, Tree(fanout, depth))
+	wantArcs := 0
+	for l := 1; l <= depth; l++ {
+		wantArcs += pow(fanout, l)
+	}
+	if got := relLen(db, "up"); got != wantArcs {
+		t.Errorf("up = %d, want %d", got, wantArcs)
+	}
+	if got := relLen(db, "down"); got != wantArcs {
+		t.Errorf("down = %d, want %d", got, wantArcs)
+	}
+	if q := TreeQuery(depth); !strings.Contains(Tree(fanout, depth), q) {
+		t.Errorf("query node %s not generated", q)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	depth, width := 3, 4
+	db := load(t, Grid(depth, width))
+	// Per layer: width straight arcs + (width-1) diagonal arcs.
+	want := depth * (2*width - 1)
+	if got := relLen(db, "up"); got != want {
+		t.Errorf("up = %d, want %d", got, want)
+	}
+	if got := relLen(db, "down"); got != want {
+		t.Errorf("down = %d, want %d", got, want)
+	}
+	if got := relLen(db, "flat"); got != width {
+		t.Errorf("flat = %d", got)
+	}
+}
+
+func TestInvertedTreeShape(t *testing.T) {
+	fanout, depth := 2, 3
+	db := load(t, InvertedTree(fanout, depth))
+	wantUp := 0
+	for l := 0; l < depth; l++ {
+		wantUp += pow(fanout, l+1)
+	}
+	if got := relLen(db, "up"); got != wantUp {
+		t.Errorf("up = %d, want %d", got, wantUp)
+	}
+	if got := relLen(db, "flat"); got != pow(fanout, depth) {
+		t.Errorf("flat = %d", got)
+	}
+	if !strings.Contains(InvertedTree(fanout, depth), InvertedTreeQuery) {
+		t.Error("query node not generated")
+	}
+}
+
+func TestShortcutChainShape(t *testing.T) {
+	db := load(t, ShortcutChain(6))
+	// 6 chain arcs + shortcuts from 0,2,4.
+	if got := relLen(db, "up"); got != 9 {
+		t.Errorf("up = %d, want 9", got)
+	}
+}
+
+func TestCyclicChainHasBackArcs(t *testing.T) {
+	facts := CyclicChain(6, 3)
+	db := load(t, facts)
+	if got := relLen(db, "up"); got != 8 { // 6 forward + 2 back
+		t.Errorf("up = %d, want 8", got)
+	}
+	if !strings.Contains(facts, "up(u3,u0).") || !strings.Contains(facts, "up(u6,u3).") {
+		t.Errorf("expected back arcs in:\n%s", facts)
+	}
+}
+
+func TestMultiRuleShape(t *testing.T) {
+	db := load(t, MultiRule(6, 3))
+	for i := 1; i <= 3; i++ {
+		if got := relLen(db, fmt.Sprintf("up%d", i)); got != 2 {
+			t.Errorf("up%d = %d, want 2", i, got)
+		}
+		if got := relLen(db, fmt.Sprintf("down%d", i)); got != 2 {
+			t.Errorf("down%d = %d, want 2", i, got)
+		}
+	}
+}
+
+func TestMultiRuleProgramParses(t *testing.T) {
+	src := MultiRuleProgram(4)
+	if strings.Count(src, ":-") != 5 {
+		t.Errorf("program:\n%s", src)
+	}
+}
+
+func TestSharedVarChainShape(t *testing.T) {
+	db := load(t, SharedVarChain(4))
+	if got := relLen(db, "up"); got != 4 {
+		t.Errorf("up = %d", got)
+	}
+	if got := relLen(db, "down"); got != 8 { // one right, one wrong per level
+		t.Errorf("down = %d", got)
+	}
+}
+
+func TestRightLinearChainShape(t *testing.T) {
+	db := load(t, RightLinearChain(5, 3))
+	if got := relLen(db, "up"); got != 5 {
+		t.Errorf("up = %d", got)
+	}
+	if got := relLen(db, "flat"); got != 3 {
+		t.Errorf("flat = %d", got)
+	}
+}
+
+func TestBranchyShape(t *testing.T) {
+	depth, branches := 4, 3
+	db := load(t, Branchy(depth, branches))
+	if got := relLen(db, "up"); got != depth*(branches+1) {
+		t.Errorf("up = %d, want %d", got, depth*(branches+1))
+	}
+	if got := relLen(db, "flat"); got != branches+1 {
+		t.Errorf("flat = %d", got)
+	}
+	// The relevant chain starts at u0.
+	if !strings.Contains(Branchy(depth, branches), "up(u0,u1).") {
+		t.Error("relevant chain missing")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(7, 20, 40, true)
+	b := Random(7, 20, 40, true)
+	if a != b {
+		t.Error("Random is not deterministic in its seed")
+	}
+	c := Random(8, 20, 40, true)
+	if a == c {
+		t.Error("different seeds produced identical data")
+	}
+	load(t, a)
+}
+
+func TestRandomAcyclicHasNoBackArc(t *testing.T) {
+	facts := Random(3, 15, 40, false)
+	for _, line := range strings.Split(facts, "\n") {
+		if !strings.HasPrefix(line, "up(n") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "up(n%d,n%d).", &a, &b); err != nil {
+			continue
+		}
+		if a >= b {
+			t.Errorf("acyclic instance contains %s", line)
+		}
+	}
+}
+
+func TestProgramsParse(t *testing.T) {
+	for name, src := range map[string]string{
+		"sg":        SGProgram,
+		"shared":    SGSharedVarProgram,
+		"right":     RightLinearProgram,
+		"left":      LeftLinearProgram,
+		"mixed":     MixedLinearProgram,
+		"multirule": MultiRuleProgram(3),
+	} {
+		db := database.New(term.NewBank(symtab.New()))
+		if err := db.LoadText(Chain(1)); err != nil {
+			t.Fatal(err)
+		}
+		if src == "" {
+			t.Errorf("%s empty", name)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package lincount
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/lint"
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// Strategy selects how a query is evaluated.
+type Strategy int
+
+const (
+	// Auto analyzes the program and picks the best applicable method:
+	// the reduced counting program for right-/left-/mixed-linear
+	// programs, the counting runtime for other linear programs (safe on
+	// cyclic data), and magic sets otherwise.
+	Auto Strategy = iota
+	// Naive evaluates the program bottom-up without rewriting, recomputing
+	// every rule each iteration. Baseline of baselines.
+	Naive
+	// SemiNaive evaluates bottom-up with differential iteration.
+	SemiNaive
+	// Magic applies the magic-set rewriting, then evaluates semi-naively.
+	Magic
+	// CountingClassic applies the classical counting method (integer
+	// distance index). Applicable only to a single linear recursive rule
+	// with disjoint left and right parts; unsafe on cyclic data.
+	CountingClassic
+	// Counting applies the extended counting rewriting (Algorithm 1 of
+	// the paper) with path arguments. Applicable to every linear program;
+	// unsafe on cyclic data (use CountingRuntime there).
+	Counting
+	// CountingReduced applies Algorithm 1 followed by the reduction of
+	// Algorithm 3.
+	CountingReduced
+	// CountingRuntime evaluates with the pointer-based counting runtime
+	// (Algorithm 2), which is safe on cyclic databases.
+	CountingRuntime
+	// MagicSup applies the supplementary magic-set rewriting (Beeri &
+	// Ramakrishnan), which materializes rule prefixes so they are not
+	// re-joined per derived body literal.
+	MagicSup
+	// MagicCounting is the hybrid of Saccà & Zaniolo (SIGMOD 1987, the
+	// paper's reference [16]): probe the left-part graph reachable from
+	// the query constants; if acyclic, run the (fast) reduced extended
+	// counting program, otherwise fall back to magic sets. The paper's
+	// Algorithm 2 supersedes it by handling cycles inside the counting
+	// framework; both are provided for comparison.
+	MagicCounting
+	// QSQ evaluates top-down with Query-SubQuery (Vieille), the
+	// operational counterpart of magic sets from the [4] comparison
+	// suite. Negated derived literals are not supported.
+	QSQ
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Naive:
+		return "naive"
+	case SemiNaive:
+		return "semi-naive"
+	case Magic:
+		return "magic"
+	case CountingClassic:
+		return "counting-classic"
+	case Counting:
+		return "counting"
+	case CountingReduced:
+		return "counting-reduced"
+	case CountingRuntime:
+		return "counting-runtime"
+	case MagicSup:
+		return "magic-sup"
+	case MagicCounting:
+		return "magic-counting"
+	case QSQ:
+		return "qsq"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a name (as printed by String) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for s := Auto; s <= QSQ; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return Auto, fmt.Errorf("lincount: unknown strategy %q", name)
+}
+
+// Strategies lists all concrete strategies (excluding Auto), for sweeps.
+func Strategies() []Strategy {
+	return []Strategy{Naive, SemiNaive, Magic, MagicSup, MagicCounting, QSQ, CountingClassic, Counting, CountingReduced, CountingRuntime}
+}
+
+// Program is a parsed Datalog program. Programs are immutable after
+// parsing; the same Program may be evaluated against many databases.
+type Program struct {
+	bank    *term.Bank
+	program *ast.Program
+	queries []ast.Query
+}
+
+// ParseProgram parses Datalog source text. Facts embedded in the source
+// stay part of the program; "?-" queries are collected and available via
+// Queries.
+func ParseProgram(src string) (*Program, error) {
+	bank := term.NewBank(symtab.New())
+	res, err := parser.Parse(bank, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{bank: bank, program: res.Program, queries: res.Queries}, nil
+}
+
+// MustParseProgram is ParseProgram that panics on error, for tests and
+// examples.
+func MustParseProgram(src string) *Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Queries returns the "?-" goals found in the program source, rendered as
+// text suitable for Eval.
+func (p *Program) Queries() []string {
+	out := make([]string, len(p.queries))
+	for i, q := range p.queries {
+		out[i] = ast.FormatQuery(p.bank, q)
+	}
+	return out
+}
+
+// Text renders the program as Datalog source.
+func (p *Program) Text() string { return p.program.Format() }
+
+// Lint runs static diagnostics over the program: safety errors, style
+// warnings (singleton variables, duplicates) and structural notes
+// (recursive cliques and whether the counting methods apply). Each
+// finding is returned as formatted text prefixed with its severity;
+// hasErrors is true when any finding would fail evaluation.
+func (p *Program) Lint() (findings []string, hasErrors bool) {
+	for _, f := range lint.Check(p.program) {
+		findings = append(findings, f.Format(p.program))
+		if f.Severity == lint.Error {
+			hasErrors = true
+		}
+	}
+	return findings, hasErrors
+}
+
+// Database holds base facts for one Program (they share a term bank, so a
+// Database can only be used with the Program that created it).
+type Database struct {
+	owner *Program
+	db    *database.Database
+}
+
+// NewDatabase returns an empty fact database for p.
+func NewDatabase(p *Program) *Database {
+	return &Database{owner: p, db: database.New(p.bank)}
+}
+
+// LoadFacts parses fact text ("up(a,b). flat(b,c).") into the database.
+func (d *Database) LoadFacts(src string) error { return d.db.LoadText(src) }
+
+// Assert adds one fact. Arguments may be string (symbol constants), int,
+// int64, or pre-rendered Datalog terms via Raw.
+func (d *Database) Assert(pred string, args ...any) error {
+	t := make(database.Tuple, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case string:
+			t[i] = term.Symbol(d.owner.bank.Symbols().Intern(v))
+		case int:
+			t[i] = term.Int(int64(v))
+		case int64:
+			t[i] = term.Int(v)
+		default:
+			return fmt.Errorf("lincount: unsupported argument type %T", a)
+		}
+	}
+	_, err := d.db.Assert(d.owner.bank.Symbols().Intern(pred), t)
+	return err
+}
+
+// FactCount reports the number of base facts.
+func (d *Database) FactCount() int { return d.db.FactCount() }
+
+// Save writes a binary snapshot of the database to w. Snapshots carry
+// their term universe and can be loaded into any database.
+func (d *Database) Save(w io.Writer) error { return database.Save(w, d.db) }
+
+// LoadSnapshot merges a binary snapshot (written by Save) into the
+// database.
+func (d *Database) LoadSnapshot(r io.Reader) error { return database.Load(r, d.db) }
+
+// Text renders the database as fact text.
+func (d *Database) Text() string { return d.db.Format() }
+
+// Stats reports the work an evaluation performed. Fields that do not apply
+// to a strategy are zero.
+type Stats struct {
+	// Iterations counts fixpoint rounds (engine strategies).
+	Iterations int
+	// Inferences counts successful rule instantiations including
+	// rederivations — the classic deductive-database cost metric.
+	Inferences int64
+	// DerivedFacts counts distinct derived tuples (engine strategies).
+	DerivedFacts int64
+	// Probes counts index lookups.
+	Probes int64
+	// CountingNodes is the counting-set size (counting strategies; for
+	// engine-evaluated counting programs it is the counting relation's
+	// cardinality).
+	CountingNodes int
+	// AnswerTuples counts distinct answer-predicate tuples.
+	AnswerTuples int
+	// Duration is the wall-clock time of the evaluation, including
+	// rewriting.
+	Duration time.Duration
+}
+
+// Result is the outcome of Eval.
+type Result struct {
+	// Answers holds one row per answer of the original query, each value
+	// rendered as Datalog text. Bound query arguments are included, so
+	// every strategy returns identical rows.
+	Answers [][]string
+	// Strategy is the concrete strategy used (resolves Auto).
+	Strategy Strategy
+	// Rewritten is the rewritten program text (empty for Naive and
+	// SemiNaive; the analyzed canonical form for CountingRuntime).
+	Rewritten string
+	// RewrittenQuery is the rewritten goal text, when applicable.
+	RewrittenQuery string
+	Stats          Stats
+}
+
+// ErrWrongDatabase is returned when a Database is used with a different
+// Program than it was created for.
+var ErrWrongDatabase = errors.New("lincount: database belongs to a different program")
+
+// formatTuple renders a tuple with the program's bank.
+func (p *Program) formatTuple(t database.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = p.bank.Format(v)
+	}
+	return out
+}
+
+// answerKey joins a formatted row for dedup and sorting.
+func answerKey(row []string) string { return strings.Join(row, "\x1f") }
