@@ -1,11 +1,19 @@
 # lincount — development targets. Everything is stdlib-only; plain
 # `go build ./...` works without this file.
+#
+# `make check` is the pre-commit gate: vet plus the full test suite under
+# the race detector (the parallel scheduler and the shared budget counter
+# are only honest if they are race-clean).
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench experiments fuzz examples clean
+.PHONY: all build test race vet fmt check bench experiments fuzz examples clean
 
 all: build vet test
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,279 @@
+package lincount
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Divergent workloads, one flavor per strategy family. The succ-counter
+// program is unsafe on any database (each round manufactures a new
+// number); the cyclic sg data defeats the counting rewritings, whose
+// level arguments grow forever around the up-cycle; the unbounded
+// right-recursion diverges the pointer runtime's counting phase.
+const (
+	succCounterSrc = `
+num(0).
+num(N) :- num(M), M < 100000000000, succ(M,N).
+`
+	cyclicSGSrc = `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`
+	cyclicSGFacts = "up(a,b). up(b,c). up(c,a). flat(b,f). down(f,g). down(g,h)."
+
+	rightRecSrc = `
+n(X) :- stop(X).
+n(X) :- succ(X,X1), n(X1).
+`
+	rightRecFacts = "stop(99999999999)."
+)
+
+// divergentCase is one strategy paired with a workload on which it runs
+// forever absent a deadline.
+type divergentCase struct {
+	name  string
+	src   string
+	facts string
+	query string
+	s     Strategy
+	opts  []Option
+}
+
+func divergentCases() []divergentCase {
+	return []divergentCase{
+		{"naive", succCounterSrc, "", "?- num(X).", Naive, nil},
+		{"semi-naive", succCounterSrc, "", "?- num(X).", SemiNaive, nil},
+		{"parallel", succCounterSrc, "", "?- num(X).", SemiNaive, []Option{WithParallel()}},
+		{"magic", succCounterSrc, "", "?- num(5).", Magic, nil},
+		{"magic-sup", succCounterSrc, "", "?- num(5).", MagicSup, nil},
+		{"magic-counting", succCounterSrc, "", "?- num(5).", MagicCounting, nil},
+		{"qsq", succCounterSrc, "", "?- num(5).", QSQ, nil},
+		{"counting-classic", cyclicSGSrc, cyclicSGFacts, "?- sg(a,Y).", CountingClassic, nil},
+		{"counting", cyclicSGSrc, cyclicSGFacts, "?- sg(a,Y).", Counting, nil},
+		{"counting-reduced", cyclicSGSrc, cyclicSGFacts, "?- sg(a,Y).", CountingReduced, nil},
+		{"counting-runtime", rightRecSrc, rightRecFacts, "?- n(0).", CountingRuntime, nil},
+	}
+}
+
+func (c divergentCase) load(t *testing.T) (*Program, *Database) {
+	t.Helper()
+	p, err := ParseProgram(c.src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db := NewDatabase(p)
+	if c.facts != "" {
+		if err := db.LoadFacts(c.facts); err != nil {
+			t.Fatalf("facts: %v", err)
+		}
+	}
+	return p, db
+}
+
+// TestEvalContextPreCancelled: a context cancelled before the call returns
+// promptly with an error matching context.Canceled, for every strategy.
+func TestEvalContextPreCancelled(t *testing.T) {
+	for _, c := range divergentCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, db := c.load(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			start := time.Now()
+			_, err := EvalContext(ctx, p, db, c.query, c.s, c.opts...)
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Fatalf("pre-cancelled eval took %v", elapsed)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			var ce *CanceledError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *CanceledError", err)
+			}
+		})
+	}
+}
+
+// TestEvalDeadlineInterruptsDivergence: the acceptance criterion — a
+// divergent query with a 50ms deadline returns a DeadlineExceeded-wrapping
+// error well under a second, for every strategy.
+func TestEvalDeadlineInterruptsDivergence(t *testing.T) {
+	for _, c := range divergentCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, db := c.load(t)
+			start := time.Now()
+			_, err := Eval(p, db, c.query, c.s,
+				append(c.opts, WithMaxDuration(50*time.Millisecond))...)
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("divergent query returned without error")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			// "Well under a second": the cooperative checks poll every
+			// iteration and every 1024 inferences, so overshoot past the
+			// 50ms deadline is bounded by one check interval.
+			if elapsed > time.Second {
+				t.Fatalf("deadline overshoot: took %v for a 50ms deadline", elapsed)
+			}
+		})
+	}
+}
+
+// TestEvalContextMidFlightCancel: cancelling from another goroutine while
+// the fixpoint runs stops it promptly.
+func TestEvalContextMidFlightCancel(t *testing.T) {
+	p, err := ParseProgram(succCounterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = EvalContext(ctx, p, db, "?- num(X).", SemiNaive)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancel took effect after %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelNoGoroutineLeak: a parallel evaluation that is cancelled
+// mid-flight drains its stratum workers before returning.
+func TestParallelNoGoroutineLeak(t *testing.T) {
+	// Two independent divergent strata so both parallel workers are busy
+	// when the deadline lands.
+	src := `
+a(0).
+a(N) :- a(M), M < 100000000000, succ(M,N).
+b(0).
+b(N) :- b(M), M < 100000000000, succ(M,N).
+goal(X,Y) :- a(X), b(Y).
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		db := NewDatabase(p)
+		_, err := Eval(p, db, "?- goal(X,Y).", SemiNaive,
+			WithParallel(), WithMaxDuration(30*time.Millisecond))
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("run %d: err = %v, want context.DeadlineExceeded", i, err)
+		}
+	}
+	// The workers are joined before Eval returns, so only scheduler noise
+	// should remain; poll briefly to let exiting goroutines unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelGlobalFactBudget: under WithParallel the derived-fact cap is
+// global across concurrently evaluated strata, and the trip surfaces as a
+// structured ResourceLimitError.
+func TestParallelGlobalFactBudget(t *testing.T) {
+	// Two independent strata, each deriving 100 facts; a global cap of 60
+	// must trip even though either stratum alone stays under it.
+	src := `
+a(X) :- base(X).
+a2(X) :- a(X).
+b(X) :- base(X).
+b2(X) :- b(X).
+goal(X,Y) :- a2(X), b2(Y).
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(p)
+	for i := 0; i < 50; i++ {
+		if err := db.Assert("base", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = Eval(p, db, "?- goal(X,Y).", SemiNaive, WithParallel(), WithMaxDerivedFacts(60))
+	if !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("err = %v, want ErrResourceLimit", err)
+	}
+	var rle *ResourceLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %v, want *ResourceLimitError", err)
+	}
+	if rle.Kind != LimitFacts {
+		t.Errorf("Kind = %q, want %q", rle.Kind, LimitFacts)
+	}
+	if rle.Component != "engine" {
+		t.Errorf("Component = %q, want engine", rle.Component)
+	}
+}
+
+// TestResourceLimitErrorStructure: the legacy budget errors now carry
+// structured details and still match the old sentinels.
+func TestResourceLimitErrorStructure(t *testing.T) {
+	p, err := ParseProgram(succCounterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Eval(p, NewDatabase(p), "?- num(X).", SemiNaive, WithMaxIterations(5))
+	var rle *ResourceLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %v, want *ResourceLimitError", err)
+	}
+	if rle.Kind != LimitIterations || rle.Limit != 5 {
+		t.Errorf("got Kind=%q Limit=%d, want %q/5", rle.Kind, rle.Limit, LimitIterations)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("budget error must not impersonate a cancellation: %v", err)
+	}
+
+	// QSQ's pass budget trips the same structured error (LimitPasses).
+	_, err = Eval(p, NewDatabase(p), "?- num(5).", QSQ, WithMaxIterations(3))
+	if !errors.As(err, &rle) {
+		t.Fatalf("qsq err = %v, want *ResourceLimitError", err)
+	}
+	if rle.Kind != LimitPasses || rle.Component != "topdown" {
+		t.Errorf("qsq got Kind=%q Component=%q, want %q/topdown", rle.Kind, rle.Component, LimitPasses)
+	}
+}
+
+// TestWithMaxDurationZeroIsNoLimit: a zero duration leaves the evaluation
+// ungoverned and a finite query still succeeds under a generous deadline.
+func TestWithMaxDurationZeroIsNoLimit(t *testing.T) {
+	p, err := ParseProgram(cyclicSGSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(p)
+	if err := db.LoadFacts("up(a,b). flat(b,c). down(c,d)."); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{nil, {WithMaxDuration(time.Minute)}} {
+		res, err := Eval(p, db, "?- sg(a,Y).", SemiNaive, opts...)
+		if err != nil {
+			t.Fatalf("opts %v: %v", opts, err)
+		}
+		if len(res.Answers) != 1 {
+			t.Fatalf("opts %v: answers = %v", opts, res.Answers)
+		}
+	}
+}

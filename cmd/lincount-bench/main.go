@@ -13,17 +13,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"lincount/internal/bench"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // experiment pairs an id with its (lazy) full- and quick-parameter runs,
@@ -82,23 +86,38 @@ func suite() []experiment {
 }
 
 // run executes the harness; factored out of main so tests can drive it.
-func run(args []string, stdout, stderr io.Writer) int {
+// ctx (plus the optional -timeout) governs every measurement: a SIGINT or
+// an expired deadline stops the in-flight cell and skips the rest of the
+// suite instead of letting a slow experiment run to completion.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lincount-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		only  = fs.String("only", "", "run a single experiment by id (E1..E6, P1..P10)")
-		quick = fs.Bool("quick", false, "smaller parameters (fast smoke run)")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		only    = fs.String("only", "", "run a single experiment by id (E1..E6, P1..P10)")
+		quick   = fs.Bool("quick", false, "smaller parameters (fast smoke run)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		timeout = fs.Duration("timeout", 0, "abort the whole suite after this long (e.g. 5m; 0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	bench.SetContext(ctx)
+	defer bench.SetContext(nil)
 
 	failed := 0
 	matched := false
 	for _, e := range suite() {
 		if *only != "" && !strings.EqualFold(e.id, *only) {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(stderr, "lincount-bench: interrupted; remaining experiments skipped")
+			return 1
 		}
 		matched = true
 		var t bench.Table

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestBenchSingleExperiment(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-only", "E2"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-only", "E2"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	text := out.String()
@@ -25,7 +26,7 @@ func TestBenchQuickSuiteCleanChecks(t *testing.T) {
 		t.Skip("runs the whole quick suite")
 	}
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-quick"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-quick"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	for _, id := range []string{"E1", "E6", "P1", "P10", "P11", "P12"} {
@@ -37,7 +38,7 @@ func TestBenchQuickSuiteCleanChecks(t *testing.T) {
 
 func TestBenchCSV(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-only", "E2", "-csv"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-only", "E2", "-csv"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.HasPrefix(out.String(), "experiment,workload,strategy") {
@@ -47,7 +48,7 @@ func TestBenchCSV(t *testing.T) {
 
 func TestBenchUnknownExperiment(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-only", "P99"}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-only", "P99"}, &out, &errOut); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
 }

@@ -9,21 +9,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"lincount"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run executes the tool; factored out of main so tests can drive it.
-func run(args []string, stdout, stderr io.Writer) int {
+// run executes the tool; factored out of main so tests can drive it. ctx
+// (plus the optional -timeout) bounds the per-strategy rewriting loop: a
+// SIGINT stops after the strategy in flight instead of printing the rest.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lincount-explain", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -31,9 +37,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		query       = fs.String("query", "", "query, e.g. '?- sg(a,Y).' (defaults to the program's first embedded query)")
 		strategy    = fs.String("strategy", "", "show only this strategy (default: all)")
 		plan        = fs.Bool("plan", false, "also print the compiled evaluation plan per strategy")
+		timeout     = fs.Duration("timeout", 0, "abort after this long (e.g. 30s; 0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	fail := func(err error) int {
@@ -77,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "%% query: %s\n%% original program:\n%s\n", q, indent(p.Text()))
 	for _, s := range strategies {
+		if ctx.Err() != nil {
+			fmt.Fprintln(stderr, "lincount-explain: interrupted")
+			return 1
+		}
 		prog, goal, err := lincount.Rewrite(p, q, s)
 		fmt.Fprintf(stdout, "%% ── %s ──\n", s)
 		if err != nil {

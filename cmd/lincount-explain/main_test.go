@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,7 +26,7 @@ sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
 func TestExplainAllStrategies(t *testing.T) {
 	prog := write(t, sgText)
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-program", prog}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-program", prog}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	text := out.String()
@@ -43,7 +44,7 @@ func TestExplainAllStrategies(t *testing.T) {
 func TestExplainSingleStrategyWithPlan(t *testing.T) {
 	prog := write(t, sgText)
 	var out, errOut bytes.Buffer
-	code := run([]string{"-program", prog, "-strategy", "counting", "-plan"}, &out, &errOut)
+	code := run(context.Background(), []string{"-program", prog, "-strategy", "counting", "-plan"}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
@@ -62,7 +63,7 @@ tc(X,Y) :- tc(X,Z), tc(Z,Y).
 ?- tc(a,Y).
 `)
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-program", prog}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-program", prog}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out.String(), "not applicable") {
@@ -72,11 +73,11 @@ tc(X,Y) :- tc(X,Z), tc(Z,Y).
 
 func TestExplainErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{}, &out, &errOut); code == 0 {
+	if code := run(context.Background(), []string{}, &out, &errOut); code == 0 {
 		t.Error("missing -program accepted")
 	}
 	noQuery := write(t, "p(a).\n")
-	if code := run([]string{"-program", noQuery}, &out, &errOut); code == 0 {
+	if code := run(context.Background(), []string{"-program", noQuery}, &out, &errOut); code == 0 {
 		t.Error("missing query accepted")
 	}
 }

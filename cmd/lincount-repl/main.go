@@ -19,10 +19,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"lincount"
 )
@@ -31,16 +36,33 @@ type session struct {
 	src      strings.Builder
 	strategy lincount.Strategy
 	out      *bufio.Writer
+	// interrupt delivers SIGINT while a query runs; nil in tests. The
+	// subscription is persistent (signal.Notify, not NotifyContext) so a
+	// Ctrl-C aborts the running query and the shell keeps going.
+	interrupt <-chan os.Signal
+	// timeout bounds each query (0 = none).
+	timeout time.Duration
 }
 
 func main() {
-	runREPL(os.Stdin, os.Stdout)
+	timeout := flag.Duration("timeout", 0, "abort each query after this long (e.g. 10s; 0 = no limit)")
+	flag.Parse()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	runREPLWith(os.Stdin, os.Stdout, sig, *timeout)
 }
 
 // runREPL drives the shell over the given streams; factored out of main so
 // tests can script it.
 func runREPL(in io.Reader, out io.Writer) {
-	s := &session{strategy: lincount.Auto, out: bufio.NewWriter(out)}
+	runREPLWith(in, out, nil, 0)
+}
+
+// runREPLWith is runREPL with the interactive extras: an interrupt channel
+// whose deliveries cancel the in-flight query, and a per-query timeout.
+func runREPLWith(in io.Reader, out io.Writer, interrupt <-chan os.Signal, timeout time.Duration) {
+	s := &session{strategy: lincount.Auto, out: bufio.NewWriter(out), interrupt: interrupt, timeout: timeout}
 	defer s.out.Flush()
 
 	fmt.Fprintln(s.out, "lincount interactive shell — :help for commands")
@@ -184,15 +206,47 @@ func (s *session) define(text string) {
 
 // query evaluates one goal against the accumulated program. Facts live in
 // the program itself (the engine treats ground bodiless rules as tuples).
+// A SIGINT delivered while the evaluation runs cancels it; the shell
+// reports "interrupted." and prompts again.
 func (s *session) query(goal string) {
 	p, err := lincount.ParseProgram(s.src.String())
 	if err != nil {
 		fmt.Fprintln(s.out, err)
 		return
 	}
-	res, err := lincount.Eval(p, lincount.NewDatabase(p), goal, s.strategy)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if s.interrupt != nil {
+		// Drop a Ctrl-C delivered while the shell was idle so it cannot
+		// retroactively abort this query.
+		select {
+		case <-s.interrupt:
+		default:
+		}
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-s.interrupt:
+				cancel()
+			case <-done:
+			}
+		}()
+	}
+	var opts []lincount.Option
+	if s.timeout > 0 {
+		opts = append(opts, lincount.WithMaxDuration(s.timeout))
+	}
+	res, err := lincount.EvalContext(ctx, p, lincount.NewDatabase(p), goal, s.strategy, opts...)
 	if err != nil {
-		fmt.Fprintln(s.out, err)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(s.out, "interrupted.")
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(s.out, "timed out after %s.\n", s.timeout)
+		default:
+			fmt.Fprintln(s.out, err)
+		}
 		return
 	}
 	if len(res.Answers) == 0 {

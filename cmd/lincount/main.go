@@ -13,21 +13,29 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"lincount"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run executes the CLI; factored out of main so tests can drive it.
-func run(args []string, stdout, stderr io.Writer) int {
+// run executes the CLI; factored out of main so tests can drive it. ctx
+// carries the SIGINT interrupt: a Ctrl-C cancels the running evaluation,
+// which drains and reports "interrupted" instead of killing the process
+// mid-write.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lincount", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -35,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		factsPath   = fs.String("facts", "", "comma-separated fact files (.dl text or .lcdb snapshots)")
 		query       = fs.String("query", "", "query to evaluate, e.g. '?- sg(a,Y).'")
 		strategy    = fs.String("strategy", "auto", "evaluation strategy")
+		timeout     = fs.Duration("timeout", 0, "abort evaluation after this long (e.g. 30s; 0 = no limit)")
 		stats       = fs.Bool("stats", false, "print evaluation statistics")
 		showRewrite = fs.Bool("rewrite", false, "print the rewritten program before the answers")
 		why         = fs.Bool("why", false, "print a derivation witness for every answer (linear programs only)")
@@ -146,9 +155,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}))
 		}
-		res, err := lincount.Eval(p, db, q, s, opts...)
+		if *timeout > 0 {
+			opts = append(opts, lincount.WithMaxDuration(*timeout))
+		}
+		res, err := lincount.EvalContext(ctx, p, db, q, s, opts...)
 		if err != nil {
-			return fail(fmt.Errorf("evaluating %s: %w", q, err))
+			switch {
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintf(stderr, "lincount: %s: interrupted\n", q)
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(stderr, "lincount: %s: timed out after %s\n", q, *timeout)
+			default:
+				return fail(fmt.Errorf("evaluating %s: %w", q, err))
+			}
+			return 1
 		}
 		fmt.Fprintf(stdout, "%% %s  [%s]\n", q, res.Strategy)
 		if *showRewrite && res.Rewritten != "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,7 +21,7 @@ func writeFile(t *testing.T, dir, name, content string) string {
 func runCLI(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errOut bytes.Buffer
-	code := run(args, &out, &errOut)
+	code := run(context.Background(), args, &out, &errOut)
 	return out.String(), errOut.String(), code
 }
 

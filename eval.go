@@ -1,8 +1,10 @@
 package lincount
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"lincount/internal/counting"
 	"lincount/internal/database"
 	"lincount/internal/engine"
+	"lincount/internal/limits"
 	"lincount/internal/magic"
 	"lincount/internal/parser"
 	"lincount/internal/topdown"
@@ -23,13 +26,16 @@ type Option func(*evalConfig)
 type evalConfig struct {
 	maxIterations int
 	maxFacts      int
+	maxDuration   time.Duration
 	parallel      bool
 	trace         func(TraceEvent)
 }
 
 // WithParallel evaluates independent strata concurrently (engine
 // strategies). Strata whose rules build compound terms still run
-// sequentially, and the fact budget becomes per-stratum.
+// sequentially. The WithMaxDerivedFacts cap stays global (the strata
+// share one atomic fact counter), and the first error or cancellation
+// cancels the sibling strata, which drain before Eval returns.
 func WithParallel() Option {
 	return func(c *evalConfig) { c.parallel = true }
 }
@@ -61,21 +67,59 @@ func WithMaxDerivedFacts(n int) Option {
 	return func(c *evalConfig) { c.maxFacts = n }
 }
 
+// WithMaxDuration bounds the wall-clock time of the evaluation: the
+// context is wrapped with a deadline d from the start of Eval, and the
+// evaluation returns a CanceledError wrapping context.DeadlineExceeded
+// once it expires. Composes with EvalContext — whichever deadline is
+// earlier wins.
+func WithMaxDuration(d time.Duration) Option {
+	return func(c *evalConfig) { c.maxDuration = d }
+}
+
 // Eval evaluates query ("?- goal(args).") against p and db with the given
 // strategy. Every strategy returns the same answer rows; explicit
 // strategies return an error when they are not applicable to the program
 // (Auto always picks an applicable one).
 func Eval(p *Program, db *Database, query string, strategy Strategy, opts ...Option) (*Result, error) {
+	return EvalContext(context.Background(), p, db, query, strategy, opts...)
+}
+
+// EvalContext is Eval governed by a context: every strategy polls ctx
+// cooperatively (per fixpoint iteration and every few thousand
+// inferences or probes) and returns an error wrapping context.Cause(ctx)
+// shortly after it is done — cancel it, give it a deadline, or wire it
+// to a signal to interrupt a divergent query. A context that can never
+// be canceled adds no per-inference cost.
+//
+// Evaluation errors come in three distinguishable families:
+// errors.Is(err, ErrResourceLimit) for budget trips (see
+// ResourceLimitError), errors.Is(err, context.Canceled) /
+// errors.Is(err, context.DeadlineExceeded) for interruptions, and
+// *InternalError for panics recovered at this boundary.
+func EvalContext(ctx context.Context, p *Program, db *Database, query string, strategy Strategy, opts ...Option) (*Result, error) {
 	if db != nil && db.owner != p {
 		return nil, ErrWrongDatabase
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cfg := evalConfig{}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.maxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.maxDuration)
+		defer cancel()
+	}
 	q, err := parser.ParseQuery(p.bank, query)
 	if err != nil {
 		return nil, fmt.Errorf("lincount: parsing query: %w", err)
+	}
+	// A context that is already done returns promptly, before any
+	// rewriting or evaluation work.
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Component: "lincount", Cause: context.Cause(ctx)}
 	}
 	var dbi *database.Database
 	if db != nil {
@@ -88,28 +132,47 @@ func Eval(p *Program, db *Database, query string, strategy Strategy, opts ...Opt
 	}
 
 	start := time.Now()
-	var res *Result
-	switch resolved {
-	case Naive, SemiNaive:
-		res, err = evalDirect(p, dbi, q, resolved, cfg)
-	case Magic, MagicSup:
-		res, err = evalMagic(p, dbi, q, resolved, cfg)
-	case CountingClassic, Counting, CountingReduced:
-		res, err = evalCounting(p, dbi, q, resolved, cfg)
-	case CountingRuntime:
-		res, err = evalRuntime(p, dbi, q, cfg)
-	case MagicCounting:
-		res, err = evalMagicCounting(p, dbi, q, cfg)
-	case QSQ:
-		res, err = evalQSQ(p, dbi, q, cfg)
-	default:
-		return nil, fmt.Errorf("lincount: unknown strategy %v", strategy)
-	}
+	res, err := evalResolved(ctx, p, dbi, q, strategy, resolved, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.Duration = time.Since(start)
 	return res, nil
+}
+
+// evalResolved dispatches to the strategy evaluators with panic
+// containment: a panic in a rewriting or an evaluator is recovered here
+// and returned as *InternalError, so one bad query cannot crash a
+// process embedding the library. Panics that arose inside parallel
+// strata goroutines arrive as *limits.PanicError and are converted to
+// the same public type.
+func evalResolved(ctx context.Context, p *Program, dbi *database.Database, q ast.Query, strategy, resolved Strategy, cfg evalConfig) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &InternalError{Strategy: resolved, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	switch resolved {
+	case Naive, SemiNaive:
+		res, err = evalDirect(ctx, p, dbi, q, resolved, cfg)
+	case Magic, MagicSup:
+		res, err = evalMagic(ctx, p, dbi, q, resolved, cfg)
+	case CountingClassic, Counting, CountingReduced:
+		res, err = evalCounting(ctx, p, dbi, q, resolved, cfg)
+	case CountingRuntime:
+		res, err = evalRuntime(ctx, p, dbi, q, cfg)
+	case MagicCounting:
+		res, err = evalMagicCounting(ctx, p, dbi, q, cfg)
+	case QSQ:
+		res, err = evalQSQ(ctx, p, dbi, q, cfg)
+	default:
+		return nil, fmt.Errorf("lincount: unknown strategy %v", strategy)
+	}
+	var pe *limits.PanicError
+	if errors.As(err, &pe) {
+		res, err = nil, &InternalError{Strategy: resolved, Value: pe.Value, Stack: string(pe.Stack)}
+	}
+	return res, err
 }
 
 // resolveAuto picks a concrete strategy for the query.
@@ -195,8 +258,8 @@ func finishRows(p *Program, tuples []database.Tuple) [][]string {
 	return rows
 }
 
-func evalDirect(p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
-	res, err := engine.Eval(p.program, db, engineOpts(cfg, s == Naive))
+func evalDirect(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+	res, err := engine.EvalContext(ctx, p.program, db, engineOpts(cfg, s == Naive))
 	if err != nil {
 		return nil, err
 	}
@@ -212,14 +275,14 @@ func evalDirect(p *Program, db *database.Database, q ast.Query, s Strategy, cfg 
 	return out, nil
 }
 
-func evalMagic(p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+func evalMagic(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
 	a, err := adorn.Adorn(p.program, q)
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
 		// Purely extensional goal.
-		return evalDirect(p, db, q, SemiNaive, cfg)
+		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
 	var rw *magic.Rewritten
 	if s == MagicSup {
@@ -230,7 +293,7 @@ func evalMagic(p *Program, db *database.Database, q ast.Query, s Strategy, cfg e
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Eval(rw.Program, db, engineOpts(cfg, false))
+	res, err := engine.EvalContext(ctx, rw.Program, db, engineOpts(cfg, false))
 	if err != nil {
 		return nil, err
 	}
@@ -253,13 +316,13 @@ func evalMagic(p *Program, db *database.Database, q ast.Query, s Strategy, cfg e
 	return out, nil
 }
 
-func evalCounting(p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+func evalCounting(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
 	a, err := adorn.Adorn(p.program, q)
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
-		return evalDirect(p, db, q, SemiNaive, cfg)
+		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
 	var rw *counting.Rewritten
 	switch s {
@@ -274,7 +337,7 @@ func evalCounting(p *Program, db *database.Database, q ast.Query, s Strategy, cf
 	if s == CountingReduced {
 		rw = counting.Reduce(rw)
 	}
-	res, err := engine.Eval(rw.Program, db, engineOpts(cfg, false))
+	res, err := engine.EvalContext(ctx, rw.Program, db, engineOpts(cfg, false))
 	if err != nil {
 		return nil, err
 	}
@@ -300,19 +363,19 @@ func evalCounting(p *Program, db *database.Database, q ast.Query, s Strategy, cf
 	return out, nil
 }
 
-func evalRuntime(p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
 	a, err := adorn.Adorn(p.program, q)
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
-		return evalDirect(p, db, q, SemiNaive, cfg)
+		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
 	an, err := counting.Analyze(a)
 	if err != nil {
 		return nil, err
 	}
-	rres, err := counting.Run(an, db, counting.RuntimeOptions{MaxTuples: cfg.maxFacts})
+	rres, err := counting.RunContext(ctx, an, db, counting.RuntimeOptions{MaxTuples: cfg.maxFacts})
 	if err != nil {
 		return nil, err
 	}
@@ -335,28 +398,28 @@ func evalRuntime(p *Program, db *database.Database, q ast.Query, cfg evalConfig)
 // evalMagicCounting implements the magic-counting hybrid (reference [16]):
 // probe the left-part graph; run the reduced counting program when it is
 // acyclic, magic sets otherwise.
-func evalMagicCounting(p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+func evalMagicCounting(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
 	a, err := adorn.Adorn(p.program, q)
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
-		return evalDirect(p, db, q, SemiNaive, cfg)
+		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
 	an, err := counting.Analyze(a)
 	if err != nil {
 		// Outside the counting class (e.g. non-linear): plain magic.
-		return evalMagic(p, db, q, Magic, cfg)
+		return evalMagic(ctx, p, db, q, Magic, cfg)
 	}
-	probe, err := counting.ProbeLeftGraph(an, db, cfg.maxFacts)
+	probe, err := counting.ProbeLeftGraphContext(ctx, an, db, cfg.maxFacts)
 	if err != nil {
 		return nil, err
 	}
 	var res *Result
 	if probe.Acyclic && an.ListRewriteSafe() {
-		res, err = evalCounting(p, db, q, CountingReduced, cfg)
+		res, err = evalCounting(ctx, p, db, q, CountingReduced, cfg)
 	} else {
-		res, err = evalMagic(p, db, q, Magic, cfg)
+		res, err = evalMagic(ctx, p, db, q, Magic, cfg)
 	}
 	if err != nil {
 		return nil, err
@@ -445,18 +508,18 @@ func rewriteAST(p *Program, q ast.Query, strategy Strategy) (*ast.Program, ast.Q
 }
 
 // evalQSQ runs the top-down Query-SubQuery method.
-func evalQSQ(p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+func evalQSQ(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
 	a, err := adorn.Adorn(p.program, q)
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
-		return evalDirect(p, db, q, SemiNaive, cfg)
+		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
 	// Facts embedded in the program are fact rules of adorned predicates
 	// (Adorn treats every rule head as derived), so QSQ reads them
 	// through its answer sets; only db supplies extensional relations.
-	res, err := topdown.Eval(a, db, topdown.Options{MaxPasses: cfg.maxIterations})
+	res, err := topdown.EvalContext(ctx, a, db, topdown.Options{MaxPasses: cfg.maxIterations})
 	if err != nil {
 		return nil, err
 	}

@@ -5,12 +5,29 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"lincount"
 )
+
+// runCtx governs every Measure call; the bench CLI installs its signal- and
+// timeout-aware context here so Ctrl-C stops the suite between (and inside)
+// cells instead of waiting out a long run.
+var runCtx = context.Background()
+
+// SetContext installs the context under which subsequent measurements run.
+// A nil ctx restores the default (context.Background()). Not safe for
+// concurrent use with Measure; call it before starting the suite.
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx = ctx
+}
 
 // Row is one measurement.
 type Row struct {
@@ -125,7 +142,7 @@ func Measure(workload, src, facts, query string, s lincount.Strategy) Row {
 	// so that intentionally divergent cells (classical counting on cyclic
 	// data) report quickly instead of burning the default budget.
 	start := time.Now()
-	res, err := lincount.Eval(p, db, query, s,
+	res, err := lincount.EvalContext(runCtx, p, db, query, s,
 		lincount.WithMaxDerivedFacts(5_000_000),
 		lincount.WithMaxIterations(50_000))
 	row.Duration = time.Since(start)
@@ -147,10 +164,13 @@ func Measure(workload, src, facts, query string, s lincount.Strategy) Row {
 }
 
 func shortErr(err error) string {
-	s := err.Error()
-	if i := strings.IndexByte(s, ':'); i > 0 && strings.HasPrefix(s, "engine: evaluation budget") {
+	switch {
+	case errors.Is(err, lincount.ErrResourceLimit):
 		return "diverges (budget guard)"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "interrupted"
 	}
+	s := err.Error()
 	if len(s) > 60 {
 		return s[:57] + "..."
 	}

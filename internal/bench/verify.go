@@ -32,7 +32,7 @@ func answersOf(src, facts, query string, s lincount.Strategy) (string, error) {
 	}
 	// The caps only matter for the intentionally divergent check in E5;
 	// every legitimate example run stays far below them.
-	res, err := lincount.Eval(p, db, query, s,
+	res, err := lincount.EvalContext(runCtx, p, db, query, s,
 		lincount.WithMaxIterations(20_000), lincount.WithMaxDerivedFacts(1_000_000))
 	if err != nil {
 		return "", err

@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -146,7 +147,13 @@ func (rt *Runtime) formatTuple(t tuple) string {
 // RunWithProvenance runs the query recording derivation parents, and
 // returns the runtime (for Explain) along with the result.
 func RunWithProvenance(an *Analysis, db *database.Database, opts RuntimeOptions) (*Runtime, *RunResult, error) {
-	rt, err := NewRuntime(an, db, opts)
+	return RunWithProvenanceContext(context.Background(), an, db, opts)
+}
+
+// RunWithProvenanceContext is RunWithProvenance under a context (see
+// NewRuntimeContext).
+func RunWithProvenanceContext(ctx context.Context, an *Analysis, db *database.Database, opts RuntimeOptions) (*Runtime, *RunResult, error) {
+	rt, err := NewRuntimeContext(ctx, an, db, opts)
 	if err != nil {
 		return nil, nil, err
 	}

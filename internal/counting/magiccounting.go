@@ -1,6 +1,8 @@
 package counting
 
 import (
+	"context"
+
 	"lincount/internal/database"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
@@ -32,10 +34,16 @@ type LeftGraphProbe struct {
 // ProbeLeftGraph explores the left-part graph of the analyzed query over
 // db and classifies it. maxNodes bounds the exploration (0 = default).
 func ProbeLeftGraph(an *Analysis, db *database.Database, maxNodes int) (*LeftGraphProbe, error) {
+	return ProbeLeftGraphContext(context.Background(), an, db, maxNodes)
+}
+
+// ProbeLeftGraphContext is ProbeLeftGraph under a context: the probe's
+// depth-first exploration polls ctx cooperatively.
+func ProbeLeftGraphContext(ctx context.Context, an *Analysis, db *database.Database, maxNodes int) (*LeftGraphProbe, error) {
 	if maxNodes == 0 {
 		maxNodes = DefaultMaxRuntimeTuples
 	}
-	rt, err := NewRuntime(an, db, RuntimeOptions{MaxTuples: maxNodes})
+	rt, err := NewRuntimeContext(ctx, an, db, RuntimeOptions{MaxTuples: maxNodes})
 	if err != nil {
 		return nil, err
 	}

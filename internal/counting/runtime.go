@@ -1,13 +1,14 @@
 package counting
 
 import (
+	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"lincount/internal/ast"
 	"lincount/internal/database"
 	"lincount/internal/engine"
+	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
@@ -39,8 +40,15 @@ import (
 // Because nodes and database constants are finite the computation always
 // terminates, even on cyclic data (Theorem 2.3).
 
-// ErrRuntimeBudget is returned when the runtime exceeds its tuple budget.
-var ErrRuntimeBudget = errors.New("counting: runtime budget exceeded")
+// ErrRuntimeBudget is the historical name of the unified resource-limit
+// sentinel. Budget trips now return a *limits.ResourceLimitError with
+// Kind "tuples" and Component "counting-runtime"; both
+// errors.Is(err, ErrRuntimeBudget) and
+// errors.Is(err, limits.ErrResourceLimit) match it.
+//
+// Deprecated: use limits.ErrResourceLimit (lincount.ErrResourceLimit at
+// the public API).
+var ErrRuntimeBudget = limits.ErrResourceLimit
 
 // RuntimeStats describes the work done by one runtime evaluation.
 type RuntimeStats struct {
@@ -184,6 +192,7 @@ type Runtime struct {
 	meta       map[string]tupleMeta
 	tupleOfKey map[string]tuple
 
+	check *limits.Checker
 	stats RuntimeStats
 }
 
@@ -192,12 +201,21 @@ type Runtime struct {
 // with the standard engine so the left/exit/right conjunctions can read
 // them; the conjunction solvers are compiled once here.
 func NewRuntime(an *Analysis, db *database.Database, opts RuntimeOptions) (*Runtime, error) {
+	return NewRuntimeContext(context.Background(), an, db, opts)
+}
+
+// NewRuntimeContext is NewRuntime under a context: both phases poll ctx
+// cooperatively (per node expansion, per consumed tuple, and inside
+// every conjunction join) and return a cancellation error wrapping
+// context.Cause(ctx) once it is done.
+func NewRuntimeContext(ctx context.Context, an *Analysis, db *database.Database, opts RuntimeOptions) (*Runtime, error) {
 	bank := an.Adorned.Program.Bank
+	check := limits.NewChecker(ctx, "counting-runtime")
 	var derived map[symtab.Sym]*database.Relation
 	if len(an.Passthrough) > 0 {
 		sub := ast.NewProgram(bank)
 		sub.Add(an.Passthrough...)
-		res, err := engine.Eval(sub, db, engine.Options{})
+		res, err := engine.EvalContext(ctx, sub, db, engine.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("counting: evaluating lower strata: %w", err)
 		}
@@ -214,7 +232,9 @@ func NewRuntime(an *Analysis, db *database.Database, opts RuntimeOptions) (*Runt
 		opts:      opts,
 		nodeIDs:   map[string]int32{},
 		tupleSeen: map[string]bool{},
+		check:     check,
 	}
+	rt.matcher.SetChecker(check)
 
 	for i := range an.Rec {
 		r := &an.Rec[i]
@@ -275,7 +295,12 @@ func NewRuntime(an *Analysis, db *database.Database, opts RuntimeOptions) (*Runt
 
 // Run executes both phases and returns the goal answers.
 func Run(an *Analysis, db *database.Database, opts RuntimeOptions) (*RunResult, error) {
-	rt, err := NewRuntime(an, db, opts)
+	return RunContext(context.Background(), an, db, opts)
+}
+
+// RunContext is Run under a context (see NewRuntimeContext).
+func RunContext(ctx context.Context, an *Analysis, db *database.Database, opts RuntimeOptions) (*RunResult, error) {
+	rt, err := NewRuntimeContext(ctx, an, db, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +328,14 @@ func (rt *Runtime) Run() (*RunResult, error) {
 	return &RunResult{Answers: answers, Stats: rt.stats}, nil
 }
 
+// limitErr builds the structured budget error for this runtime.
+func (rt *Runtime) limitErr(used int) error {
+	return &limits.ResourceLimitError{
+		Kind: limits.KindTuples, Limit: int64(rt.opts.MaxTuples),
+		Used: int64(used), Component: "counting-runtime",
+	}
+}
+
 func valsKey(pred symtab.Sym, vals []term.Value) string {
 	buf := make([]byte, 0, 8+len(vals)*4)
 	buf = binary.AppendVarint(buf, int64(pred))
@@ -318,8 +351,8 @@ func (rt *Runtime) internNode(pred symtab.Sym, vals []term.Value) (int32, bool, 
 	if id, ok := rt.nodeIDs[k]; ok {
 		return id, false, nil
 	}
-	if len(rt.nodes)+len(rt.tupleSeen) >= rt.opts.MaxTuples {
-		return 0, false, ErrRuntimeBudget
+	if used := len(rt.nodes) + len(rt.tupleSeen); used >= rt.opts.MaxTuples {
+		return 0, false, rt.limitErr(used)
 	}
 	id := int32(len(rt.nodes))
 	rt.nodes = append(rt.nodes, &node{pred: pred, vals: append([]term.Value(nil), vals...)})
@@ -451,6 +484,9 @@ func (rt *Runtime) buildCountingSet() error {
 	rt.discovery = append(rt.discovery, src)
 
 	for len(stack) > 0 {
+		if err := rt.check.Tick(); err != nil {
+			return err
+		}
 		f := &stack[len(stack)-1]
 		if f.idx >= len(f.arcs) {
 			onStack[f.id] = false
@@ -506,8 +542,8 @@ func (rt *Runtime) pushTuple(t tuple, queue *[]tuple, kind StepKind, rule int, p
 	if rt.tupleSeen[k] {
 		return nil
 	}
-	if len(rt.nodes)+len(rt.tupleSeen) >= rt.opts.MaxTuples {
-		return ErrRuntimeBudget
+	if used := len(rt.nodes) + len(rt.tupleSeen); used >= rt.opts.MaxTuples {
+		return rt.limitErr(used)
 	}
 	rt.tupleSeen[k] = true
 	if rt.meta != nil {
@@ -570,6 +606,9 @@ func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
 	srcID := int32(0) // the source is always node 0
 
 	for len(queue) > 0 {
+		if err := rt.check.Tick(); err != nil {
+			return nil, err
+		}
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 

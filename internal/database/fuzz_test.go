@@ -37,6 +37,24 @@ func FuzzLoadSnapshot(f *testing.F) {
 	}
 	f.Add([]byte("LCDB1"))
 	f.Add([]byte("not a snapshot at all"))
+	// A cyclic-graph snapshot (the workload that exercises the budget
+	// guards at evaluation time), plus corruptions of it.
+	cyc := New(term.NewBank(symtab.New()))
+	if err := cyc.LoadText("up(a,b). up(b,c). up(c,a). flat(b,f). down(f,g). down(g,h). stop(99999999999)."); err != nil {
+		f.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	if err := Save(&cbuf, cyc); err != nil {
+		f.Fatal(err)
+	}
+	cvalid := cbuf.Bytes()
+	f.Add(cvalid)
+	f.Add(cvalid[:len(cvalid)/3])
+	for i := 9; i < len(cvalid); i += 11 {
+		c := append([]byte(nil), cvalid...)
+		c[i] ^= 0x55
+		f.Add(c)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		db := New(term.NewBank(symtab.New()))

@@ -1,20 +1,27 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"lincount/internal/ast"
 	"lincount/internal/database"
+	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
 
-// ErrBudget is returned when an evaluation exceeds its iteration or fact
-// budget. A counting-rewritten program run over cyclic data is unsafe and
-// trips this guard instead of looping forever.
-var ErrBudget = errors.New("engine: evaluation budget exceeded (program may be unsafe on this database)")
+// ErrBudget is the historical name of the unified resource-limit
+// sentinel. Budget trips now return a *limits.ResourceLimitError naming
+// the kind, limit, usage and component; both errors.Is(err, ErrBudget)
+// and errors.Is(err, limits.ErrResourceLimit) match it.
+//
+// Deprecated: use limits.ErrResourceLimit (lincount.ErrResourceLimit at
+// the public API).
+var ErrBudget = limits.ErrResourceLimit
 
 // Options configures an evaluation.
 type Options struct {
@@ -29,8 +36,11 @@ type Options struct {
 	MaxDerivedFacts int
 	// Parallel evaluates independent strata concurrently. Components
 	// whose rules contain non-ground compound patterns still run
-	// sequentially (their evaluation interns terms; see parallel.go),
-	// and the fact budget becomes per-component.
+	// sequentially (their evaluation interns terms; see parallel.go).
+	// MaxDerivedFacts remains a global cap: the concurrent strata share
+	// one atomic fact counter. The first error (or the context's
+	// cancellation) cancels the sibling strata, which drain cooperatively
+	// before EvalContext returns.
 	Parallel bool
 	// Trace, when non-nil, receives one event per component and per
 	// fixpoint iteration — the engine's EXPLAIN ANALYZE. In parallel
@@ -102,19 +112,39 @@ type evaluator struct {
 
 	maxIter  int
 	maxFacts int64
+	// check polls the evaluation context (nil when ungoverned); ctx is
+	// retained for deriving the parallel scheduler's cancellation scope.
+	check *limits.Checker
+	ctx   context.Context
+	// factTotal is the global derived-fact count the budget is enforced
+	// against. It is shared (one atomic counter) across the concurrent
+	// strata of a parallel evaluation, so MaxDerivedFacts is a true
+	// global cap there, not a per-component approximation.
+	factTotal *atomic.Int64
 }
 
 // Eval computes the minimal model of p over db. Facts embedded in the
 // program (rules with empty bodies and ground heads) are treated as initial
 // derived tuples. db is not modified.
 func Eval(p *ast.Program, db *database.Database, opts Options) (*Result, error) {
+	return EvalContext(context.Background(), p, db, opts)
+}
+
+// EvalContext is Eval under a context: the fixpoint loops poll ctx
+// cooperatively (once per iteration and every few thousand inferences or
+// probes) and return a cancellation error wrapping context.Cause(ctx)
+// once it is done. An un-cancelable ctx adds no per-inference cost.
+func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opts Options) (*Result, error) {
 	ev := &evaluator{
-		bank:    p.Bank,
-		db:      db,
-		derived: make(map[symtab.Sym]*database.Relation),
-		arity:   make(map[symtab.Sym]int),
-		opts:    opts,
-		maxIter: opts.MaxIterations,
+		bank:      p.Bank,
+		db:        db,
+		derived:   make(map[symtab.Sym]*database.Relation),
+		arity:     make(map[symtab.Sym]int),
+		opts:      opts,
+		maxIter:   opts.MaxIterations,
+		check:     limits.NewChecker(ctx, "engine"),
+		ctx:       ctx,
+		factTotal: new(atomic.Int64),
 	}
 	if ev.maxIter == 0 {
 		ev.maxIter = DefaultMaxIterations
@@ -125,6 +155,9 @@ func Eval(p *ast.Program, db *database.Database, opts Options) (*Result, error) 
 	}
 	if db != nil && db.Bank() != p.Bank {
 		return nil, errors.New("engine: program and database use different term banks")
+	}
+	if err := ev.check.Check(); err != nil {
+		return nil, err
 	}
 
 	if err := ev.checkArities(p); err != nil {
@@ -149,6 +182,7 @@ func Eval(p *ast.Program, db *database.Database, opts Options) (*Result, error) 
 			}
 			if rel.Insert(t) {
 				ev.stats.DerivedFacts++
+				ev.factTotal.Add(1)
 			}
 		}
 	}
@@ -164,6 +198,7 @@ func Eval(p *ast.Program, db *database.Database, opts Options) (*Result, error) 
 			for _, t := range base.Tuples() {
 				if rel.Insert(t) {
 					ev.stats.DerivedFacts++
+					ev.factTotal.Add(1)
 				}
 			}
 		}
@@ -317,12 +352,20 @@ func (ev *evaluator) evalComponent(comp Component) error {
 	return ev.semiNaiveFixpoint(comp, rules)
 }
 
+// limitErr builds the structured budget error for this evaluator.
+func (ev *evaluator) limitErr(kind string, used, limit int64) error {
+	return &limits.ResourceLimitError{Kind: kind, Limit: limit, Used: used, Component: "engine"}
+}
+
 // naiveFixpoint re-evaluates every rule against the full relations until no
 // new facts appear.
 func (ev *evaluator) naiveFixpoint(rules []*compiledRule) error {
 	for iter := 0; ; iter++ {
+		if err := ev.check.Check(); err != nil {
+			return err
+		}
 		if iter >= ev.maxIter {
-			return fmt.Errorf("%w: %d iterations", ErrBudget, iter)
+			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
 		ev.stats.Iterations++
 		before := ev.stats.DerivedFacts
@@ -383,8 +426,11 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 	})
 
 	for iter := 1; deltaLen() > 0; iter++ {
+		if err := ev.check.Check(); err != nil {
+			return err
+		}
 		if iter >= ev.maxIter {
-			return fmt.Errorf("%w: %d iterations", ErrBudget, iter)
+			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
 		ev.stats.Iterations++
 		next = collect()
@@ -410,10 +456,13 @@ func (ev *evaluator) runRuleInto(cr *compiledRule, deltaOcc int, delta, nextDelt
 	headRel := ev.derived[cr.headPred]
 	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
 		ev.stats.Inferences++
+		if err := ev.check.Tick(); err != nil {
+			return err
+		}
 		if headRel.Insert(t) {
 			ev.stats.DerivedFacts++
-			if ev.stats.DerivedFacts > ev.maxFacts {
-				return fmt.Errorf("%w: %d facts", ErrBudget, ev.stats.DerivedFacts)
+			if n := ev.factTotal.Add(1); n > ev.maxFacts {
+				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
 			}
 			if nextDelta != nil {
 				nextDelta[cr.headPred].Insert(t)
@@ -429,10 +478,13 @@ func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sy
 	headRel := ev.derived[cr.headPred]
 	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
 		ev.stats.Inferences++
+		if err := ev.check.Tick(); err != nil {
+			return err
+		}
 		if headRel.Insert(t) {
 			ev.stats.DerivedFacts++
-			if ev.stats.DerivedFacts > ev.maxFacts {
-				return fmt.Errorf("%w: %d facts", ErrBudget, ev.stats.DerivedFacts)
+			if n := ev.factTotal.Add(1); n > ev.maxFacts {
+				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
 			}
 			if grew != nil {
 				*grew = true
@@ -494,6 +546,9 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 					}
 				}
 				ev.stats.Probes++
+				if err := ev.check.Tick(); err != nil {
+					return err
+				}
 				for _, ix := range rel.Probe(cl.probeMask, probe) {
 					if ev.matchTuple(cl, rel.At(int(ix)), frame, &trail) {
 						if err := step(i + 1); err != nil {
@@ -505,6 +560,9 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 				return nil
 			}
 			ev.stats.Probes++
+			if err := ev.check.Tick(); err != nil {
+				return err
+			}
 			for _, t := range rel.Tuples() {
 				if ev.matchTuple(cl, t, frame, &trail) {
 					if err := step(i + 1); err != nil {

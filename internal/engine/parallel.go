@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 
 	"lincount/internal/ast"
+	"lincount/internal/limits"
 	"lincount/internal/symtab"
 )
 
@@ -18,8 +21,14 @@ import (
 // a non-ground compound pattern interns a new term. Components containing
 // such patterns are therefore evaluated sequentially; flat components —
 // the common case for plain Datalog and every magic rewriting — run in
-// parallel. The fact budget is enforced per component in parallel mode,
-// so the global cap is approximate there.
+// parallel. The MaxDerivedFacts budget stays global: every child
+// evaluator increments the parent's shared atomic fact counter, so the
+// cap holds exactly across concurrent strata. The first error — a budget
+// trip, a rule failure, a panic, or the evaluation context's own
+// cancellation — cancels a layer-scoped context that every sibling's
+// checker polls, so the whole layer drains cooperatively and
+// evalComponentsParallel returns the originating error with no goroutine
+// left behind.
 
 // layerComponents groups the (topologically ordered) components into
 // dependency layers: a component's layer is one more than the maximum
@@ -78,23 +87,44 @@ func flatComponent(c Component) bool {
 }
 
 // evalComponentsParallel evaluates the given components (one dependency
-// layer) concurrently, each on a child evaluator with private statistics.
+// layer) concurrently, each on a child evaluator with private statistics
+// but a shared fact budget. The first error cancels the layer's context;
+// siblings observe it at their next cooperative check and drain before
+// the call returns.
 func (ev *evaluator) evalComponentsParallel(comps []Component) error {
+	parent := ev.ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	layerCtx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel(err)
+	}
 	children := make([]*evaluator, len(comps))
 	for i := range comps {
 		child := &evaluator{
-			bank:     ev.bank,
-			db:       ev.db,
-			derived:  ev.derived,
-			arity:    ev.arity,
-			opts:     ev.opts,
-			maxIter:  ev.maxIter,
-			maxFacts: ev.maxFacts,
+			bank:      ev.bank,
+			db:        ev.db,
+			derived:   ev.derived,
+			arity:     ev.arity,
+			opts:      ev.opts,
+			maxIter:   ev.maxIter,
+			maxFacts:  ev.maxFacts,
+			check:     limits.NewChecker(layerCtx, "engine"),
+			ctx:       layerCtx,
+			factTotal: ev.factTotal,
 		}
 		// Serialize trace callbacks across goroutines.
 		if ev.opts.Trace != nil {
@@ -109,12 +139,16 @@ func (ev *evaluator) evalComponentsParallel(comps []Component) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := children[i].evalComponent(comps[i]); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+			// A panic must not cross the goroutine boundary (it would
+			// bypass the recover at the public Eval boundary and kill the
+			// process); carry it out as an error instead.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(&limits.PanicError{Component: "engine", Value: r, Stack: debug.Stack()})
 				}
-				mu.Unlock()
+			}()
+			if err := children[i].evalComponent(comps[i]); err != nil {
+				fail(err)
 			}
 		}(i)
 	}
@@ -122,5 +156,13 @@ func (ev *evaluator) evalComponentsParallel(comps []Component) error {
 	for _, child := range children {
 		ev.stats.Add(child.stats)
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	// The layer may also have been stopped by the parent context without
+	// any child reporting it (e.g. cancellation between checks).
+	if err := ev.check.Check(); err != nil {
+		return err
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"lincount/internal/ast"
 	"lincount/internal/database"
+	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
@@ -17,6 +18,7 @@ type Matcher struct {
 	bank    *term.Bank
 	db      *database.Database
 	derived map[symtab.Sym]*database.Relation
+	check   *limits.Checker
 	// Solves and Probes count work for the benchmark harness.
 	Solves int64
 	Probes int64
@@ -27,6 +29,10 @@ type Matcher struct {
 func NewMatcher(bank *term.Bank, db *database.Database, derived map[symtab.Sym]*database.Relation) *Matcher {
 	return &Matcher{bank: bank, db: db, derived: derived}
 }
+
+// SetChecker installs the cooperative cancellation checker that solvers
+// prepared afterwards poll during their joins. Call before Prepare.
+func (m *Matcher) SetChecker(c *limits.Checker) { m.check = c }
 
 // solvePredName and givenPredName are the reserved predicates of the
 // synthetic rule a PreparedSolve compiles.
@@ -96,7 +102,7 @@ func (m *Matcher) Prepare(body []ast.Literal, boundVars, want []symtab.Sym) (*Pr
 		givenRel:  database.NewRelation(len(boundVars)),
 		derived:   m.derived,
 	}
-	ps.ev = &evaluator{bank: m.bank, db: m.db, derived: ps.derived}
+	ps.ev = &evaluator{bank: m.bank, db: m.db, derived: ps.derived, check: m.check}
 	ps.delta = map[symtab.Sym]*database.Relation{givenPred: ps.givenRel}
 	return ps, nil
 }

@@ -28,6 +28,15 @@ func FuzzParse(f *testing.F) {
 		"weird( deep(f(g(h(1)),[a|T])) ).",
 		"p(X", "p(X) :-", ":-", "?-", "[", "]])(", "p..", "..",
 		"p(X) :- q(X)", "1 + 2.", "X.", "p(X,Y) :- X = Y.",
+		// Cyclic-graph programs: the inputs that historically stressed the
+		// budget guards downstream of the parser.
+		"sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\nup(a,b). up(b,c). up(c,a). flat(b,f). down(f,g).\n?- sg(a,Y).",
+		"e(a,b). e(b,a). tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y). ?- tc(a,Y).",
+		// Budget-edge shapes: unbounded arithmetic generation and deep
+		// right recursion.
+		"num(0).\nnum(N) :- num(M), M < 100000000000, succ(M,N).\n?- num(X).",
+		"n(X) :- stop(X).\nn(X) :- succ(X,X1), n(X1).\nstop(99999999999).\n?- n(0).",
+		"num(9223372036854775807). p(N) :- num(N), succ(N,M), q(M).",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -14,12 +14,14 @@
 package topdown
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"lincount/internal/adorn"
 	"lincount/internal/ast"
 	"lincount/internal/database"
+	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
@@ -69,6 +71,7 @@ type evaluator struct {
 	// grewThisPass is set whenever an input or answer tuple is new.
 	grewThisPass bool
 	maxPasses    int
+	check        *limits.Checker
 }
 
 // Options bounds an evaluation.
@@ -79,12 +82,20 @@ type Options struct {
 
 // Eval runs QSQ for the adorned query over db.
 func Eval(a *adorn.Adorned, db *database.Database, opts Options) (*Result, error) {
+	return EvalContext(context.Background(), a, db, opts)
+}
+
+// EvalContext is Eval under a context: the global fixpoint polls ctx once
+// per sweep and every few thousand probes or inferences, returning a
+// cancellation error wrapping context.Cause(ctx) once it is done.
+func EvalContext(ctx context.Context, a *adorn.Adorned, db *database.Database, opts Options) (*Result, error) {
 	ev := &evaluator{
 		a:         a,
 		bank:      a.Program.Bank,
 		db:        db,
 		preds:     map[symtab.Sym]*state{},
 		maxPasses: opts.MaxPasses,
+		check:     limits.NewChecker(ctx, "topdown"),
 	}
 	if ev.maxPasses == 0 {
 		ev.maxPasses = 1_000_000
@@ -130,8 +141,14 @@ func Eval(a *adorn.Adorned, db *database.Database, opts Options) (*Result, error
 	// Global fixpoint: sweep every rule against every input until no new
 	// input or answer appears.
 	for pass := 0; ; pass++ {
+		if err := ev.check.Check(); err != nil {
+			return nil, err
+		}
 		if pass >= ev.maxPasses {
-			return nil, fmt.Errorf("topdown: pass budget exceeded")
+			return nil, &limits.ResourceLimitError{
+				Kind: limits.KindPasses, Limit: int64(ev.maxPasses),
+				Used: int64(pass), Component: "topdown",
+			}
 		}
 		ev.stats.Passes++
 		ev.grewThisPass = false
@@ -234,6 +251,9 @@ func (ev *evaluator) body(r ast.Rule, i int, bound map[symtab.Sym]term.Value) er
 			t[j] = v
 		}
 		ev.stats.Inferences++
+		if err := ev.check.Tick(); err != nil {
+			return err
+		}
 		if st.answers.Insert(t) {
 			ev.grewThisPass = true
 		}
@@ -310,6 +330,9 @@ func (ev *evaluator) scan(r ast.Rule, i int, l ast.Literal, rel *database.Relati
 		return ev.body(r, i+1, local)
 	}
 	ev.stats.Probes++
+	if err := ev.check.Tick(); err != nil {
+		return err
+	}
 	if mask != 0 {
 		for _, ix := range rel.Probe(mask, probe) {
 			if err := try(rel.At(int(ix))); err != nil {
