@@ -3,17 +3,26 @@
 #
 # `make check` is the pre-commit gate: vet plus the full test suite under
 # the race detector (the parallel scheduler and the shared budget counter
-# are only honest if they are race-clean).
+# are only honest if they are race-clean), plus the seeded chaos suite.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos bench experiments fuzz examples clean
 
 all: build vet test
 
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# The seeded chaos suite: fault schedules × strategies × corpus programs
+# under the race detector, checked by the differential oracle, plus the
+# graceful-degradation scenarios. Deterministic (seeded PRNG) and small
+# enough to stay well under a minute.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestDegraded' -count=1 .
+	$(GO) run ./cmd/lincount-bench -verify > /dev/null
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,348 @@
+package lincount_test
+
+// The chaos suite: seeded fault schedules crossed with every strategy
+// and every corpus program, checked by the differential oracle. The
+// robustness invariant under test: every run either matches the naive
+// oracle exactly or returns a classified error — never a panic, never
+// silently wrong answers. This file is an external test package so it
+// can exercise the public API exactly as an embedding process would,
+// with internal/oracle as the referee.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lincount"
+	"lincount/internal/oracle"
+)
+
+type chaosCase struct {
+	name   string
+	text   string
+	cyclic bool
+}
+
+// loadChaosCorpus reads testdata/*.dl (the golden corpus; see
+// corpus_test.go for the format). The external test package keeps its
+// own loader on purpose: it may only consume what a real embedder could.
+func loadChaosCorpus(t *testing.T) []chaosCase {
+	t.Helper()
+	paths, err := filepath.Glob("testdata/*.dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	var cases []chaosCase
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := chaosCase{name: filepath.Base(path), text: string(data)}
+		for _, line := range strings.Split(c.text, "\n") {
+			if strings.TrimSpace(line) == "% cyclic" {
+				c.cyclic = true
+			}
+		}
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+// chaosStrategies is the strategy sweep for one case: Auto plus every
+// concrete strategy, minus the acyclic-only counting rewritings on
+// cyclic databases (where they legitimately diverge — the paper's
+// point, not a robustness bug).
+func chaosStrategies(cyclic bool) []lincount.Strategy {
+	out := []lincount.Strategy{lincount.Auto}
+	for _, s := range lincount.Strategies() {
+		if cyclic && (s == lincount.CountingClassic || s == lincount.Counting || s == lincount.CountingReduced) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// The fault schedules. Each targets a different layer of the system;
+// "storm" sprays every site probabilistically and "latency" checks that
+// injected delays perturb timing without perturbing answers.
+var chaosSchedules = []struct {
+	name string
+	spec string
+}{
+	{"insert-err", "engine.insert=err@40"},
+	{"probe-err", "engine.probe=err~0.002"},
+	{"iter-cancel", "engine.iter=cancel@3"},
+	{"counting-err", "counting.node=err@5,counting.step=err@7"},
+	{"topdown-err", "topdown.probe=err@25,topdown.pass=cancel@4"},
+	{"storm", "*=err~0.01"},
+	{"latency", "engine.iter=delay@2:200us,counting.step=delay@3:50us"},
+}
+
+var chaosBudget = []lincount.Option{
+	lincount.WithMaxIterations(50_000),
+	lincount.WithMaxDerivedFacts(2_000_000),
+}
+
+// TestChaosInvariant is the tentpole invariant: corpus × schedules ×
+// seeds × strategies, every run matches the oracle or fails with a
+// classified error.
+func TestChaosInvariant(t *testing.T) {
+	seeds := []int64{1, 7}
+	for _, c := range loadChaosCorpus(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			p, err := lincount.ParseProgram(c.text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			queries := p.Queries()
+			if len(queries) != 1 {
+				t.Fatalf("expected exactly one query, got %v", queries)
+			}
+			db := lincount.NewDatabase(p)
+			strategies := chaosStrategies(c.cyclic)
+			for _, sched := range chaosSchedules {
+				for _, seed := range seeds {
+					runOpts := append(append([]lincount.Option{}, chaosBudget...),
+						lincount.WithFaultInjection(seed, sched.spec))
+					rep, err := oracle.Check(context.Background(), p, db, queries[0],
+						strategies, chaosBudget, runOpts)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", sched.name, seed, err)
+					}
+					if !rep.OK() {
+						t.Errorf("%s seed %d: invariant violated:\n%s", sched.name, seed, rep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic: the same seed must reproduce the same outcome
+// classes — the property that makes chaos failures debuggable.
+func TestChaosDeterministic(t *testing.T) {
+	p := lincount.MustParseProgram(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+par(a,b). par(b,c). par(c,d). par(d,e). par(e,f).
+?- anc(a, Y).
+`)
+	db := lincount.NewDatabase(p)
+	outcome := func(seed int64) string {
+		var parts []string
+		for _, s := range []lincount.Strategy{lincount.SemiNaive, lincount.Magic, lincount.QSQ} {
+			_, err := lincount.Eval(p, db, "?- anc(a, Y).", s,
+				lincount.WithFaultInjection(seed, "*=err~0.05"))
+			parts = append(parts, oracle.Classify(err).String())
+		}
+		return strings.Join(parts, ",")
+	}
+	first := outcome(42)
+	for i := 0; i < 3; i++ {
+		if got := outcome(42); got != first {
+			t.Fatalf("seed 42 run %d: outcomes %q, want %q", i, got, first)
+		}
+	}
+}
+
+// TestChaosMalformedSpec: a bad schedule must fail before any work.
+func TestChaosMalformedSpec(t *testing.T) {
+	p := lincount.MustParseProgram(`p(X) :- q(X). q(a). ?- p(X).`)
+	db := lincount.NewDatabase(p)
+	for _, spec := range []string{"bogus.site=err@1", "engine.insert=explode@1", "engine.insert=err@0", "engine.insert=err~2"} {
+		if _, err := lincount.Eval(p, db, "?- p(X).", lincount.Auto,
+			lincount.WithFaultInjection(0, spec)); err == nil {
+			t.Errorf("spec %q: expected an error", spec)
+		}
+	}
+}
+
+// mutualProgram is a two-predicate linear clique: Auto resolves it to
+// the counting runtime (the general-linear class), which makes it the
+// vehicle for the degradation tests below.
+const mutualProgram = `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), q(X1,Y1), down(Y1,Y).
+q(X,Y) :- over(X,X1), p(X1,Y1), under(Y1,Y).
+up(a,b). over(b,c).
+flat(c,c2). flat(a,a2).
+under(c2,u). down(u,v).
+?- p(a,Y).
+`
+
+// TestDegradedFallbackOnBudget is the acceptance scenario: a query whose
+// counting run trips its strategy-specific budget under Auto must return
+// correct answers via the fallback chain, with the attempt recorded and
+// the shared fact budget honored across attempts.
+func TestDegradedFallbackOnBudget(t *testing.T) {
+	p := lincount.MustParseProgram(mutualProgram)
+	db := lincount.NewDatabase(p)
+	q := "?- p(a,Y)."
+
+	chain, err := lincount.FallbackChain(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0] != lincount.CountingRuntime {
+		t.Fatalf("fallback chain %v: expected the counting runtime first (the test premise)", chain)
+	}
+
+	want, err := lincount.Eval(p, db, q, lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sharedFacts = 10_000
+	res, err := lincount.Eval(p, db, q, lincount.Auto,
+		lincount.WithMaxCountingTuples(1), // strategy-specific: trips immediately
+		lincount.WithMaxDerivedFacts(sharedFacts))
+	if err != nil {
+		t.Fatalf("Auto must degrade, not fail: %v", err)
+	}
+	if res.Resolved != lincount.CountingRuntime {
+		t.Errorf("Resolved = %v, want counting-runtime", res.Resolved)
+	}
+	if res.Strategy == lincount.CountingRuntime {
+		t.Errorf("Strategy = %v: the tripped strategy cannot be the one that answered", res.Strategy)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("no degradation attempts recorded")
+	}
+	first := res.Degraded[0]
+	if first.Strategy != lincount.CountingRuntime {
+		t.Errorf("Degraded[0].Strategy = %v, want counting-runtime", first.Strategy)
+	}
+	if !strings.Contains(first.Err, "limit") {
+		t.Errorf("Degraded[0].Err = %q, want a resource-limit message", first.Err)
+	}
+	if join(res.Answers) != join(want.Answers) {
+		t.Errorf("degraded answers %v, want %v", res.Answers, want.Answers)
+	}
+	// The shared budget holds across attempts: the successful fallback's
+	// own consumption stayed within what the failed attempt left.
+	if res.Stats.DerivedFacts >= sharedFacts {
+		t.Errorf("fallback derived %d facts, exceeding the shared budget %d", res.Stats.DerivedFacts, sharedFacts)
+	}
+}
+
+// TestDegradedSharedBudgetExhaustion: when the failed attempt consumed
+// the whole shared budget there is nothing left for a fallback, and the
+// evaluation reports the limit trip rather than silently retrying with
+// a fresh allowance.
+func TestDegradedSharedBudgetExhaustion(t *testing.T) {
+	p := lincount.MustParseProgram(mutualProgram)
+	db := lincount.NewDatabase(p)
+	// No strategy-specific budget: the counting runtime consumes the
+	// shared budget itself, so its trip leaves no headroom.
+	_, err := lincount.Eval(p, db, "?- p(a,Y).", lincount.Auto,
+		lincount.WithMaxDerivedFacts(1))
+	if err == nil {
+		t.Fatal("expected the shared budget to fail the evaluation")
+	}
+	if !errors.Is(err, lincount.ErrResourceLimit) {
+		t.Fatalf("err = %v, want a resource-limit error", err)
+	}
+}
+
+// TestDegradedFallbackOnInjectedFault: an injected fault in the counting
+// runtime must degrade to a working strategy with correct answers.
+func TestDegradedFallbackOnInjectedFault(t *testing.T) {
+	p := lincount.MustParseProgram(mutualProgram)
+	db := lincount.NewDatabase(p)
+	q := "?- p(a,Y)."
+	want, err := lincount.Eval(p, db, q, lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lincount.Eval(p, db, q, lincount.Auto,
+		lincount.WithFaultInjection(3, "counting.node=err@1"))
+	if err != nil {
+		t.Fatalf("Auto must degrade around the injected fault: %v", err)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("no degradation attempts recorded")
+	}
+	if res.Degraded[0].Strategy != lincount.CountingRuntime {
+		t.Errorf("Degraded[0].Strategy = %v, want counting-runtime", res.Degraded[0].Strategy)
+	}
+	if join(res.Answers) != join(want.Answers) {
+		t.Errorf("answers %v, want %v", res.Answers, want.Answers)
+	}
+}
+
+// TestDegradedExplicitStrategyFailsFast: only Auto degrades — an
+// explicit strategy must report its own failure.
+func TestDegradedExplicitStrategyFailsFast(t *testing.T) {
+	p := lincount.MustParseProgram(mutualProgram)
+	db := lincount.NewDatabase(p)
+	_, err := lincount.Eval(p, db, "?- p(a,Y).", lincount.CountingRuntime,
+		lincount.WithMaxCountingTuples(1))
+	if err == nil {
+		t.Fatal("explicit counting-runtime must fail on its budget, not degrade")
+	}
+	if !errors.Is(err, lincount.ErrResourceLimit) {
+		t.Fatalf("err = %v, want a resource-limit error", err)
+	}
+}
+
+// TestDegradedCancellationFailsFast: real cancellation is never
+// retryable — retrying a canceled evaluation only wastes time.
+func TestDegradedCancellationFailsFast(t *testing.T) {
+	p := lincount.MustParseProgram(mutualProgram)
+	db := lincount.NewDatabase(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := lincount.EvalContext(ctx, p, db, "?- p(a,Y).", lincount.Auto)
+	if err == nil {
+		t.Fatalf("expected cancellation, got %d answers via %v", len(res.Answers), res.Strategy)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestResolvedMetadata: Resolved is populated on clean runs too.
+func TestResolvedMetadata(t *testing.T) {
+	p := lincount.MustParseProgram(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+par(a,b). par(b,c).
+?- anc(a, Y).
+`)
+	db := lincount.NewDatabase(p)
+	res, err := lincount.Eval(p, db, "?- anc(a, Y).", lincount.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved != res.Strategy {
+		t.Errorf("clean run: Resolved %v != Strategy %v", res.Resolved, res.Strategy)
+	}
+	if len(res.Degraded) != 0 {
+		t.Errorf("clean run recorded attempts: %v", res.Degraded)
+	}
+	res, err = lincount.Eval(p, db, "?- anc(a, Y).", lincount.QSQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved != lincount.QSQ {
+		t.Errorf("explicit run: Resolved = %v, want qsq", res.Resolved)
+	}
+}
+
+func join(rows [][]string) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = strings.Join(r, ",")
+	}
+	return strings.Join(parts, "|")
+}

@@ -97,6 +97,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "smaller parameters (fast smoke run)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		timeout = fs.Duration("timeout", 0, "abort the whole suite after this long (e.g. 5m; 0 = no limit)")
+		verify  = fs.Bool("verify", false, "run the cross-strategy differential oracle instead of the experiments")
+		faults  = fs.String("faults", "", "with -verify: fault schedule to inject into candidate runs (see lincount.WithFaultInjection)")
+		seed    = fs.Int64("seed", 1, "with -verify -faults: injection seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +108,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *verify {
+		return runVerify(ctx, stdout, stderr, *faults, *seed)
+	}
+	if *faults != "" {
+		fmt.Fprintln(stderr, "lincount-bench: -faults requires -verify")
+		return 2
 	}
 	bench.SetContext(ctx)
 	defer bench.SetContext(nil)

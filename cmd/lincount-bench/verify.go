@@ -1,0 +1,105 @@
+package main
+
+// The -verify mode: instead of timing experiments, run the differential
+// oracle — every strategy against the semi-naive baseline — over a set
+// of embedded programs covering the program classes of the paper
+// (right-, left-, mixed-linear, multi-rule, mutual recursion, cyclic
+// data). With -faults it becomes a command-line chaos probe: the given
+// schedule is injected into every candidate run and the invariant
+// checked is the weaker one — agree with the oracle or fail with a
+// classified error.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"lincount"
+	"lincount/internal/oracle"
+)
+
+// verifyCase is one embedded program; cyclic cases exclude the
+// acyclic-only counting rewritings, which legitimately diverge there.
+type verifyCase struct {
+	name   string
+	text   string
+	cyclic bool
+}
+
+func verifyCases() []verifyCase {
+	return []verifyCase{
+		{name: "same-generation", text: `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+up(a,b). up(b,c). flat(c,c1). flat(b,b1). down(c1,d1). down(b1,e1). down(d1,f1).
+?- sg(a,Y).
+`},
+		{name: "ancestors", text: `
+anc(X,Y) :- par(X,Y).
+anc(X,Y) :- anc(X,Z), par(Z,Y).
+par(a,b). par(b,c). par(c,d). par(d,e).
+?- anc(a,Y).
+`},
+		{name: "mutual-recursion", text: `
+p(X,Y) :- flat(X,Y).
+p(X,Y) :- up(X,X1), q(X1,Y1), down(Y1,Y).
+q(X,Y) :- over(X,X1), p(X1,Y1), under(Y1,Y).
+up(a,b). over(b,c). flat(c,c2). flat(a,a2). under(c2,u). down(u,v).
+?- p(a,Y).
+`},
+		{name: "multi-rule", text: `
+r(X,Y) :- base1(X,Y).
+r(X,Y) :- base2(X,Y).
+r(X,Y) :- up(X,X1), r(X1,Y1), down(Y1,Y).
+base1(m,m1). base2(m,m2). up(a,m). down(m1,w). down(m2,z).
+?- r(a,Y).
+`},
+		{name: "cyclic-graph", cyclic: true, text: `
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+up(a,b). up(b,a). flat(b,f). down(f,g).
+?- sg(a,Y).
+`},
+	}
+}
+
+// runVerify executes the differential check and reports per-case
+// results; it returns the process exit code.
+func runVerify(ctx context.Context, stdout, stderr io.Writer, faults string, seed int64) int {
+	bad := 0
+	for _, c := range verifyCases() {
+		p, err := lincount.ParseProgram(c.text)
+		if err != nil {
+			fmt.Fprintf(stderr, "lincount-bench: %s: %v\n", c.name, err)
+			return 2
+		}
+		db := lincount.NewDatabase(p)
+		var strategies []lincount.Strategy
+		for _, s := range lincount.Strategies() {
+			if c.cyclic && (s == lincount.CountingClassic || s == lincount.Counting || s == lincount.CountingReduced) {
+				continue
+			}
+			strategies = append(strategies, s)
+		}
+		var runOpts []lincount.Option
+		if faults != "" {
+			runOpts = append(runOpts, lincount.WithFaultInjection(seed, faults))
+		}
+		rep, err := oracle.Check(ctx, p, db, p.Queries()[0], strategies, nil, runOpts)
+		if err != nil {
+			fmt.Fprintf(stderr, "lincount-bench: %s: %v\n", c.name, err)
+			return 1
+		}
+		status := "PASS"
+		if !rep.OK() {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Fprintf(stdout, "%s %s\n%s", status, c.name, rep)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "lincount-bench: %d case(s) diverged from the oracle\n", bad)
+		return 1
+	}
+	return 0
+}

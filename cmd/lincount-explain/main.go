@@ -88,6 +88,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "%% query: %s\n%% original program:\n%s\n", q, indent(p.Text()))
+	// Show what Auto would do before the per-strategy rewrites: its
+	// resolution plus the graceful-degradation order behind it.
+	if chain, err := lincount.FallbackChain(p, q); err == nil {
+		names := make([]string, len(chain))
+		for i, s := range chain {
+			names[i] = s.String()
+		}
+		fmt.Fprintf(stdout, "%% auto resolves to %s; fallback chain: %s\n\n", chain[0], strings.Join(names, " -> "))
+	}
 	for _, s := range strategies {
 		if ctx.Err() != nil {
 			fmt.Fprintln(stderr, "lincount-explain: interrupted")

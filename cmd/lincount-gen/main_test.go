@@ -68,7 +68,7 @@ func TestGenBinarySnapshot(t *testing.T) {
 	if code != 0 {
 		t.Fatal("exit nonzero")
 	}
-	if !strings.HasPrefix(out, "LCDB1") {
+	if !strings.HasPrefix(out, "LCDB2") {
 		t.Errorf("snapshot magic missing: %q", out[:8])
 	}
 	p, err := lincount.ParseProgram("sg(X,Y) :- flat(X,Y).\n")

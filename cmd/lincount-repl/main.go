@@ -36,6 +36,9 @@ type session struct {
 	src      strings.Builder
 	strategy lincount.Strategy
 	out      *bufio.Writer
+	// last is the most recent successful evaluation, for :last.
+	last     *lincount.Result
+	lastGoal string
 	// interrupt delivers SIGINT while a query runs; nil in tests. The
 	// subscription is persistent (signal.Notify, not NotifyContext) so a
 	// Ctrl-C aborts the running query and the shell keeps going.
@@ -108,6 +111,8 @@ func (s *session) command(line string) (quit bool) {
   :why ?- goal.            answers with derivation witnesses (linear programs)
   :lint                    run static diagnostics over the program
   :list                    show the accumulated program
+  :last                    details of the last query: resolved strategy,
+                           degradation attempts, statistics
   :load <path>             read rules/facts from a file
   :clear                   start over
   :quit                    leave
@@ -143,6 +148,20 @@ func (s *session) command(line string) (quit bool) {
 			return false
 		}
 		fmt.Fprint(s.out, p.Text())
+	case ":last":
+		if s.last == nil {
+			fmt.Fprintln(s.out, "no query has run yet.")
+			return false
+		}
+		r := s.last
+		fmt.Fprintf(s.out, "query:    %s\n", s.lastGoal)
+		fmt.Fprintf(s.out, "resolved: %s\n", r.Resolved)
+		fmt.Fprintf(s.out, "answered: %s (%d answer(s))\n", r.Strategy, len(r.Answers))
+		for i, a := range r.Degraded {
+			fmt.Fprintf(s.out, "attempt %d: %s failed after %s: %s\n", i+1, a.Strategy, a.Duration.Round(time.Microsecond), a.Err)
+		}
+		fmt.Fprintf(s.out, "stats:    %d inferences, %d derived, %d probes, %s\n",
+			r.Stats.Inferences, r.Stats.DerivedFacts, r.Stats.Probes, r.Stats.Duration.Round(time.Microsecond))
 	case ":clear":
 		s.src.Reset()
 	case ":load":
@@ -249,8 +268,10 @@ func (s *session) query(goal string) {
 		}
 		return
 	}
+	s.last, s.lastGoal = res, strings.TrimSpace(goal)
 	if len(res.Answers) == 0 {
 		fmt.Fprintln(s.out, "no.")
+		s.printDegradation(res)
 		return
 	}
 	for _, row := range res.Answers {
@@ -258,4 +279,15 @@ func (s *session) query(goal string) {
 	}
 	fmt.Fprintf(s.out, "%% %d answer(s) via %s, %d inferences\n",
 		len(res.Answers), res.Strategy, res.Stats.Inferences)
+	s.printDegradation(res)
+}
+
+// printDegradation notes in the result banner when the answer came from
+// a fallback rather than the strategy Auto first resolved to.
+func (s *session) printDegradation(res *lincount.Result) {
+	if len(res.Degraded) == 0 {
+		return
+	}
+	fmt.Fprintf(s.out, "%% degraded: %s failed %d attempt(s) before %s answered (:last for details)\n",
+		res.Resolved, len(res.Degraded), res.Strategy)
 }

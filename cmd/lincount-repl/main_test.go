@@ -132,3 +132,30 @@ func TestREPLHelpAndUnknown(t *testing.T) {
 		t.Errorf("help/unknown handling:\n%s", out)
 	}
 }
+
+func TestREPLLastBeforeAnyQuery(t *testing.T) {
+	out := script(t, ":last", ":quit")
+	if !strings.Contains(out, "no query has run yet.") {
+		t.Errorf("empty :last handling:\n%s", out)
+	}
+}
+
+func TestREPLLastShowsResolvedStrategy(t *testing.T) {
+	out := script(t,
+		"sg(X,Y) :- flat(X,Y).",
+		"sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).",
+		"up(a,b). flat(b,c). down(c,d).",
+		"?- sg(a,Y).",
+		":last",
+		":quit",
+	)
+	if !strings.Contains(out, "query:    ?- sg(a,Y).") {
+		t.Errorf(":last query line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "resolved: ") || !strings.Contains(out, "answered: ") {
+		t.Errorf(":last strategy lines missing:\n%s", out)
+	}
+	if !strings.Contains(out, "stats:    ") {
+		t.Errorf(":last stats line missing:\n%s", out)
+	}
+}

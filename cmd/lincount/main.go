@@ -171,6 +171,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "%% %s  [%s]\n", q, res.Strategy)
+		for i, a := range res.Degraded {
+			fmt.Fprintf(stdout, "%% degraded: attempt %d (%s) failed: %s\n", i+1, a.Strategy, a.Err)
+		}
 		if *showRewrite && res.Rewritten != "" {
 			fmt.Fprintln(stdout, "% rewritten program:")
 			for _, line := range strings.Split(strings.TrimSpace(res.Rewritten), "\n") {

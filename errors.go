@@ -3,6 +3,8 @@ package lincount
 import (
 	"fmt"
 
+	"lincount/internal/database"
+	"lincount/internal/faultinject"
 	"lincount/internal/limits"
 )
 
@@ -42,6 +44,18 @@ const (
 	// (WithMaxIterations for the QSQ strategy).
 	LimitPasses = limits.KindPasses
 )
+
+// ErrInjectedFault is the sentinel every injected fault matches:
+// errors.Is(err, ErrInjectedFault) reports whether an evaluation failed
+// (or was canceled) because the fault-injection harness armed via
+// WithFaultInjection fired, as opposed to failing for a real reason.
+// Injected faults are retryable for the Auto degradation chain.
+var ErrInjectedFault = faultinject.ErrInjected
+
+// SnapshotCorruptError reports a snapshot (see Database.Save) that
+// failed its CRC integrity check on load: truncation or bit rot. The
+// database is untouched when LoadSnapshot returns it.
+type SnapshotCorruptError = database.SnapshotCorruptError
 
 // InternalError reports a panic recovered at the Eval boundary: a bug in
 // a rewriting or an evaluator, contained so that one bad query cannot

@@ -14,6 +14,7 @@ import (
 	"lincount/internal/counting"
 	"lincount/internal/database"
 	"lincount/internal/engine"
+	"lincount/internal/faultinject"
 	"lincount/internal/limits"
 	"lincount/internal/magic"
 	"lincount/internal/parser"
@@ -24,11 +25,15 @@ import (
 type Option func(*evalConfig)
 
 type evalConfig struct {
-	maxIterations int
-	maxFacts      int
-	maxDuration   time.Duration
-	parallel      bool
-	trace         func(TraceEvent)
+	maxIterations     int
+	maxFacts          int
+	maxCountingTuples int
+	maxDuration       time.Duration
+	parallel          bool
+	trace             func(TraceEvent)
+	faultSeed         int64
+	faultSpec         string
+	inject            *faultinject.Injector
 }
 
 // WithParallel evaluates independent strata concurrently (engine
@@ -62,9 +67,42 @@ func WithMaxIterations(n int) Option {
 	return func(c *evalConfig) { c.maxIterations = n }
 }
 
-// WithMaxDerivedFacts bounds the number of derived tuples.
+// WithMaxDerivedFacts bounds the number of derived tuples. This is the
+// evaluation's shared budget: under Auto it is charged across every
+// degradation attempt (a fallback only gets what the failed attempts
+// left), so the cap holds for the evaluation as a whole.
 func WithMaxDerivedFacts(n int) Option {
 	return func(c *evalConfig) { c.maxFacts = n }
+}
+
+// WithMaxCountingTuples bounds the counting runtime's tuple arena
+// (counting nodes + answer tuples, which carry the method's path
+// arguments) independently of the shared WithMaxDerivedFacts budget. It
+// is a strategy-specific budget: when a CountingRuntime evaluation under
+// Auto trips it, the facade falls back to the next strategy in the chain
+// instead of failing, charging the tuples consumed against the shared
+// budget. Zero means the counting runtime uses the shared budget (or its
+// own default).
+func WithMaxCountingTuples(n int) Option {
+	return func(c *evalConfig) { c.maxCountingTuples = n }
+}
+
+// WithFaultInjection arms deterministic fault injection for this
+// evaluation: spec is a comma-separated schedule of clauses
+// "site=kind@N" (fire on the Nth hit) or "site=kind~P" (fire with
+// probability P per hit, seeded by seed), where kind is err, delay
+// (with a ":duration" suffix) or cancel, and site names an evaluator
+// hook point (engine.insert, engine.probe, engine.iter, counting.node,
+// counting.step, topdown.probe, topdown.pass, or * for all).
+//
+// Injected errors match errors.Is(err, ErrInjectedFault) and are
+// retryable for the Auto degradation chain; injected cancellations
+// surface as CanceledError whose cause is ErrInjectedFault. A malformed
+// spec fails the evaluation before any work is done. This is the chaos
+// harness's entry point — production evaluations simply omit the option
+// and pay nothing.
+func WithFaultInjection(seed int64, spec string) Option {
+	return func(c *evalConfig) { c.faultSeed, c.faultSpec = seed, spec }
 }
 
 // WithMaxDuration bounds the wall-clock time of the evaluation: the
@@ -107,10 +145,26 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.faultSpec != "" {
+		inj, err := faultinject.ParseSpec(cfg.faultSeed, cfg.faultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("lincount: %w", err)
+		}
+		cfg.inject = inj
+	}
 	if cfg.maxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.maxDuration)
 		defer cancel()
+	}
+	if cfg.inject.WantsCancel() {
+		// Injected cancellation storms flow through the ordinary
+		// cooperative-cancellation machinery, with ErrInjectedFault as
+		// the context cause so callers can tell them from real Ctrl-Cs.
+		var cancel context.CancelCauseFunc
+		ctx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		cfg.inject.BindCancel(func() { cancel(faultinject.ErrInjected) })
 	}
 	q, err := parser.ParseQuery(p.bank, query)
 	if err != nil {
@@ -132,12 +186,141 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 	}
 
 	start := time.Now()
-	res, err := evalResolved(ctx, p, dbi, q, strategy, resolved, cfg)
+	var res *Result
+	if strategy == Auto {
+		res, err = evalAuto(ctx, p, dbi, q, resolved, cfg)
+	} else {
+		res, err = evalResolved(ctx, p, dbi, q, strategy, resolved, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
+	res.Resolved = resolved
 	res.Stats.Duration = time.Since(start)
 	return res, nil
+}
+
+// evalAuto runs the Auto degradation chain: the resolved strategy first,
+// then — if it fails with a retryable error (a resource-limit trip, an
+// injected fault, or a recovered internal panic) — each fallback in
+// fallbackChain order against a fresh scratch state, until one succeeds
+// or the chain is exhausted. Non-retryable errors (cancellation,
+// deadline, semantic errors in the program) fail fast. The shared
+// derived-fact budget is charged across attempts: a fallback only gets
+// what the failed attempts measurably left, and the wall-clock budget is
+// shared naturally through the context deadline. Failed attempts are
+// recorded in Result.Degraded.
+func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Query, resolved Strategy, cfg evalConfig) (*Result, error) {
+	chain := fallbackChain(p, q, resolved)
+	var attempts []AttemptInfo
+	remaining := int64(cfg.maxFacts) // shared budget; 0 = per-attempt defaults
+	for i, s := range chain {
+		acfg := cfg
+		if cfg.maxFacts > 0 {
+			acfg.maxFacts = int(remaining)
+		}
+		attemptStart := time.Now()
+		res, err := evalResolved(ctx, p, dbi, q, Auto, s, acfg)
+		if err == nil {
+			res.Degraded = attempts
+			return res, nil
+		}
+		if i == len(chain)-1 {
+			return nil, err
+		}
+		if !retryableError(err) && !notApplicableError(err) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// The evaluation as a whole is canceled or out of time;
+			// retrying would only fail the same way.
+			return nil, err
+		}
+		attempts = append(attempts, AttemptInfo{
+			Strategy: s,
+			Err:      err.Error(),
+			Duration: time.Since(attemptStart),
+		})
+		if cfg.maxFacts > 0 {
+			// Charge what the failed attempt measurably consumed (its
+			// derived-fact or counting-tuple usage); attempts that failed
+			// before tripping a counted budget charge nothing.
+			var rle *ResourceLimitError
+			if errors.As(err, &rle) && (rle.Kind == LimitFacts || rle.Kind == LimitTuples) {
+				remaining -= rle.Used
+				if remaining <= 0 {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Unreachable: the loop returns on the last chain element.
+	return nil, fmt.Errorf("lincount: empty fallback chain for %v", resolved)
+}
+
+// retryableError reports whether a failed attempt may be retried with
+// another strategy: resource-limit trips (the strategy's work shape blew
+// a budget another strategy may stay within), injected faults, and
+// recovered internal panics. Cancellations and semantic errors are not
+// retryable.
+func retryableError(err error) bool {
+	var ce *CanceledError
+	if errors.As(err, &ce) {
+		return false
+	}
+	var ie *InternalError
+	return errors.Is(err, ErrResourceLimit) ||
+		errors.Is(err, faultinject.ErrInjected) ||
+		errors.As(err, &ie)
+}
+
+// notApplicableError reports errors meaning "this strategy does not
+// cover the program" — within the fallback chain these skip to the next
+// strategy rather than failing the evaluation.
+func notApplicableError(err error) bool {
+	return errors.Is(err, counting.ErrNotLinear) ||
+		errors.Is(err, counting.ErrNotApplicable) ||
+		errors.Is(err, counting.ErrNoBoundArgs) ||
+		errors.Is(err, magic.ErrNoBoundArgs) ||
+		errors.Is(err, topdown.ErrUnsupported)
+}
+
+// fallbackChain orders the strategies Auto tries for this query: the
+// analyzer's pick, then the cycle-safe counting runtime (when the pick
+// was a counting rewriting — cyclic data is the usual reason one blows
+// its budget), then magic sets, then semi-naive, which is always
+// applicable and so terminates the chain.
+func fallbackChain(p *Program, q ast.Query, resolved Strategy) []Strategy {
+	chain := []Strategy{resolved}
+	seen := map[Strategy]bool{resolved: true}
+	add := func(s Strategy) {
+		if !seen[s] {
+			seen[s] = true
+			chain = append(chain, s)
+		}
+	}
+	switch resolved {
+	case CountingClassic, Counting, CountingReduced:
+		add(CountingRuntime)
+	}
+	if resolved != SemiNaive && resolved != Naive {
+		if _, err := adorn.Adorn(p.program, q); err == nil {
+			add(Magic)
+		}
+	}
+	add(SemiNaive)
+	return chain
+}
+
+// FallbackChain reports the strategy order Auto would try for the query:
+// the first element is the resolved strategy, the rest are the graceful-
+// degradation fallbacks in order. Explicit strategies never degrade.
+func FallbackChain(p *Program, query string) ([]Strategy, error) {
+	q, err := parser.ParseQuery(p.bank, query)
+	if err != nil {
+		return nil, fmt.Errorf("lincount: parsing query: %w", err)
+	}
+	return fallbackChain(p, q, resolveAuto(p, q)), nil
 }
 
 // evalResolved dispatches to the strategy evaluators with panic
@@ -215,6 +398,7 @@ func engineOpts(cfg evalConfig, naive bool) engine.Options {
 		MaxIterations:   cfg.maxIterations,
 		MaxDerivedFacts: cfg.maxFacts,
 		Parallel:        cfg.parallel,
+		Inject:          cfg.inject,
 	}
 	if cfg.trace != nil {
 		fn := cfg.trace
@@ -375,7 +559,11 @@ func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Q
 	if err != nil {
 		return nil, err
 	}
-	rres, err := counting.RunContext(ctx, an, db, counting.RuntimeOptions{MaxTuples: cfg.maxFacts})
+	maxTuples := cfg.maxCountingTuples
+	if maxTuples == 0 {
+		maxTuples = cfg.maxFacts
+	}
+	rres, err := counting.RunContext(ctx, an, db, counting.RuntimeOptions{MaxTuples: maxTuples, Inject: cfg.inject})
 	if err != nil {
 		return nil, err
 	}
@@ -519,7 +707,7 @@ func evalQSQ(ctx context.Context, p *Program, db *database.Database, q ast.Query
 	// Facts embedded in the program are fact rules of adorned predicates
 	// (Adorn treats every rule head as derived), so QSQ reads them
 	// through its answer sets; only db supplies extensional relations.
-	res, err := topdown.EvalContext(ctx, a, db, topdown.Options{MaxPasses: cfg.maxIterations})
+	res, err := topdown.EvalContext(ctx, a, db, topdown.Options{MaxPasses: cfg.maxIterations, Inject: cfg.inject})
 	if err != nil {
 		return nil, err
 	}

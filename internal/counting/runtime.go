@@ -8,6 +8,7 @@ import (
 	"lincount/internal/ast"
 	"lincount/internal/database"
 	"lincount/internal/engine"
+	"lincount/internal/faultinject"
 	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
@@ -79,6 +80,11 @@ type RunResult struct {
 type RuntimeOptions struct {
 	// MaxTuples bounds counting nodes + answer tuples (0 = default).
 	MaxTuples int
+	// Inject, when non-nil, is consulted at the runtime's hook sites
+	// (node interning in phase 1, tuple derivation in phase 2) and at the
+	// engine sites of the passthrough strata. Nil costs one pointer
+	// comparison per site.
+	Inject *faultinject.Injector
 }
 
 // DefaultMaxRuntimeTuples bounds runaway evaluations.
@@ -215,7 +221,7 @@ func NewRuntimeContext(ctx context.Context, an *Analysis, db *database.Database,
 	if len(an.Passthrough) > 0 {
 		sub := ast.NewProgram(bank)
 		sub.Add(an.Passthrough...)
-		res, err := engine.EvalContext(ctx, sub, db, engine.Options{})
+		res, err := engine.EvalContext(ctx, sub, db, engine.Options{Inject: opts.Inject})
 		if err != nil {
 			return nil, fmt.Errorf("counting: evaluating lower strata: %w", err)
 		}
@@ -350,6 +356,9 @@ func (rt *Runtime) internNode(pred symtab.Sym, vals []term.Value) (int32, bool, 
 	k := valsKey(pred, vals)
 	if id, ok := rt.nodeIDs[k]; ok {
 		return id, false, nil
+	}
+	if err := rt.opts.Inject.Hit(faultinject.SiteCountingNode); err != nil {
+		return 0, false, err
 	}
 	if used := len(rt.nodes) + len(rt.tupleSeen); used >= rt.opts.MaxTuples {
 		return 0, false, rt.limitErr(used)
@@ -541,6 +550,9 @@ func (rt *Runtime) pushTuple(t tuple, queue *[]tuple, kind StepKind, rule int, p
 	k := rt.tupleKey(t)
 	if rt.tupleSeen[k] {
 		return nil
+	}
+	if err := rt.opts.Inject.Hit(faultinject.SiteCountingStep); err != nil {
+		return err
 	}
 	if used := len(rt.nodes) + len(rt.tupleSeen); used >= rt.opts.MaxTuples {
 		return rt.limitErr(used)

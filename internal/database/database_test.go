@@ -144,6 +144,83 @@ func TestProbeMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// TestResetKeepsIndexesConsistent: after Reset and reinsert, Probe must
+// agree with a linear scan for every index mask that was built before
+// the Reset — stale index entries would resurrect deleted tuples or hide
+// new ones.
+func TestResetKeepsIndexesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := NewRelation(3)
+		randTuple := func() Tuple {
+			return Tuple{
+				term.Int(int64(rng.Intn(3))),
+				term.Int(int64(rng.Intn(3))),
+				term.Int(int64(rng.Intn(3))),
+			}
+		}
+		for i := 0; i < 30; i++ {
+			rel.Insert(randTuple())
+		}
+		// Build every possible index before the reset.
+		masks := []uint64{1, 2, 3, 4, 5, 6, 7}
+		for _, m := range masks {
+			rel.Probe(m, make([]term.Value, popcount(m)))
+		}
+		rel.Reset()
+		if rel.Len() != 0 {
+			return false
+		}
+		for i := 0; i < 25; i++ {
+			rel.Insert(randTuple())
+		}
+		// Every previously built index must agree with a linear scan.
+		for _, mask := range masks {
+			target := randTuple()
+			var probe []term.Value
+			for c := 0; c < 3; c++ {
+				if mask&(1<<uint(c)) != 0 {
+					probe = append(probe, target[c])
+				}
+			}
+			want := map[int32]bool{}
+			for i, tu := range rel.Tuples() {
+				match := true
+				for c := 0; c < 3; c++ {
+					if mask&(1<<uint(c)) != 0 && tu[c] != target[c] {
+						match = false
+						break
+					}
+				}
+				if match {
+					want[int32(i)] = true
+				}
+			}
+			got := rel.Probe(mask, probe)
+			if len(got) != len(want) {
+				return false
+			}
+			for _, ix := range got {
+				if !want[ix] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
 func TestDatabaseEnsureArityMismatch(t *testing.T) {
 	db := newDB()
 	p := db.Bank().Symbols().Intern("p")

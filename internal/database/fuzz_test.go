@@ -2,6 +2,8 @@ package database
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"lincount/internal/symtab"
@@ -36,7 +38,21 @@ func FuzzLoadSnapshot(f *testing.F) {
 		f.Add(c)
 	}
 	f.Add([]byte("LCDB1"))
+	f.Add([]byte("LCDB2"))
 	f.Add([]byte("not a snapshot at all"))
+	// Legacy V1 form of the primary seed (same payload, old magic, no
+	// CRC trailer), plus truncations of it: the pre-trailer parser path.
+	v1 := append([]byte(snapshotMagicV1), valid[len(snapshotMagicV2):len(valid)-4]...)
+	f.Add(v1)
+	f.Add(v1[:len(v1)-3])
+	f.Add(v1[:len(v1)/2])
+	// A V2 snapshot with a flipped payload byte and a fixed-up trailer:
+	// the checksum passes, so the staged parser must reject it for
+	// structural reasons or accept it cleanly — never merge halfway.
+	fixed := append([]byte(nil), valid...)
+	fixed[7] ^= 0x10
+	binary.LittleEndian.PutUint32(fixed[len(fixed)-4:], crc32.ChecksumIEEE(fixed[:len(fixed)-4]))
+	f.Add(fixed)
 	// A cyclic-graph snapshot (the workload that exercises the budget
 	// guards at evaluation time), plus corruptions of it.
 	cyc := New(term.NewBank(symtab.New()))

@@ -2,8 +2,10 @@ package database
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"lincount/internal/symtab"
@@ -17,22 +19,52 @@ import (
 //
 // Layout (all integers varint-encoded):
 //
-//	magic "LCDB1"
+//	magic "LCDB2"
 //	nsyms, then nsyms length-prefixed strings   (index = writer Sym id)
 //	ncomps, then per compound: functor sym index, arity, arg values
 //	nrels, then per relation: name sym index, arity, ntuples, tuples
+//	CRC-32 (IEEE) of everything above, 4 bytes little-endian
 //
 // Values are encoded as (tag, payload): tag 0 integer (payload = value),
 // tag 1 symbol (payload = writer sym index), tag 2 compound (payload =
 // writer compound index). Compound args always reference earlier
 // compounds, because the writer emits them in bank interning order.
+//
+// The CRC trailer detects truncation and bit rot: a "LCDB2" snapshot
+// whose checksum does not match is rejected with SnapshotCorruptError
+// before any of it is merged into the database. Legacy "LCDB1"
+// snapshots (the same payload without the trailer) still load.
 
-const snapshotMagic = "LCDB1"
+const (
+	snapshotMagicV1 = "LCDB1"
+	snapshotMagicV2 = "LCDB2"
+)
 
-// Save writes a snapshot of db to w.
+// SnapshotCorruptError reports a snapshot that failed its integrity
+// check: a truncated stream or a CRC mismatch (bit rot, a torn write, a
+// concatenation accident). The database is untouched when Load returns
+// it.
+type SnapshotCorruptError struct {
+	// Reason describes the failed check.
+	Reason string
+	// Want and Got are the stored and computed CRC-32 values; both are
+	// zero when the stream was too short to carry a trailer.
+	Want, Got uint32
+}
+
+func (e *SnapshotCorruptError) Error() string {
+	if e.Want == 0 && e.Got == 0 {
+		return fmt.Sprintf("database: corrupt snapshot: %s", e.Reason)
+	}
+	return fmt.Sprintf("database: corrupt snapshot: %s (stored crc %08x, computed %08x)", e.Reason, e.Want, e.Got)
+}
+
+// Save writes a snapshot of db to w, in the current ("LCDB2",
+// CRC-trailed) format.
 func Save(w io.Writer, db *Database) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.WriteString(snapshotMagicV2); err != nil {
 		return err
 	}
 
@@ -72,7 +104,15 @@ func Save(w io.Writer, db *Database) error {
 			}
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The trailer covers magic + payload and is written to w alone (it
+	// must not feed back into the hash).
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
 }
 
 func writeUvarint(bw *bufio.Writer, v uint64) {
@@ -100,15 +140,75 @@ func writeValue(bw *bufio.Writer, v term.Value) {
 // Load reads a snapshot from r into db (which may already hold facts; the
 // snapshot's tuples are merged). Symbols and compounds are re-interned
 // into db's bank, so the snapshot may come from a different universe.
+//
+// Current ("LCDB2") snapshots carry a CRC-32 trailer, verified before
+// anything is merged: a truncated or bit-flipped snapshot is rejected
+// with *SnapshotCorruptError and db is left exactly as it was. Legacy
+// "LCDB1" snapshots load without the integrity check.
 func Load(r io.Reader, db *Database) error {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(snapshotMagic))
+	head := make([]byte, len(snapshotMagicV2))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return fmt.Errorf("database: reading snapshot header: %w", err)
 	}
-	if string(head) != snapshotMagic {
+	switch string(head) {
+	case snapshotMagicV1:
+		return loadPayload(br, db)
+	case snapshotMagicV2:
+	default:
 		return fmt.Errorf("database: not a snapshot file (bad magic %q)", head)
 	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("database: reading snapshot: %w", err)
+	}
+	if len(rest) < 4 {
+		return &SnapshotCorruptError{Reason: "truncated (no room for the CRC trailer)"}
+	}
+	payload, trailer := rest[:len(rest)-4], rest[len(rest)-4:]
+	crc := crc32.NewIEEE()
+	crc.Write(head)
+	crc.Write(payload)
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc.Sum32(); got != want {
+		return &SnapshotCorruptError{Reason: "checksum mismatch", Want: want, Got: got}
+	}
+	// Parse into a staging database over the same bank, then merge: if
+	// anything in the (checksummed, but possibly adversarial) payload
+	// still fails validation, db keeps its exact prior contents.
+	staging := New(db.bank)
+	if err := loadPayload(bufio.NewReader(bytes.NewReader(payload)), staging); err != nil {
+		return err
+	}
+	return mergeSnapshot(db, staging)
+}
+
+// mergeSnapshot copies every staged relation into db, validating arity
+// agreement for all of them before inserting any tuple.
+func mergeSnapshot(db, staging *Database) error {
+	preds := staging.Predicates()
+	for _, p := range preds {
+		if existing, ok := db.rels[p]; ok && existing.Arity() != staging.rels[p].Arity() {
+			return fmt.Errorf("database: snapshot relation %s has arity %d, database has %d",
+				db.bank.Symbols().String(p), staging.rels[p].Arity(), existing.Arity())
+		}
+	}
+	for _, p := range preds {
+		src := staging.rels[p]
+		dst, err := db.Ensure(p, src.Arity())
+		if err != nil {
+			return err
+		}
+		for _, t := range src.Tuples() {
+			dst.Insert(t)
+		}
+	}
+	return nil
+}
+
+// loadPayload parses the snapshot body (everything after the magic) and
+// merges it into db.
+func loadPayload(br *bufio.Reader, db *Database) error {
 	bank := db.bank
 	syms := bank.Symbols()
 

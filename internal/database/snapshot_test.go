@@ -2,6 +2,7 @@ package database
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -110,6 +111,112 @@ func TestSnapshotArityConflict(t *testing.T) {
 	}
 	if err := Load(&buf, dst); err == nil {
 		t.Error("arity conflict not reported")
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText("up(a,b). up(b,c). n(41)."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Flip every byte position in turn: each corruption must be caught
+	// by the CRC (payload and trailer alike), and none may merge
+	// anything into the destination.
+	for i := len(snapshotMagicV2); i < len(valid); i++ {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0x01
+		dst := newDB()
+		err := Load(bytes.NewReader(c), dst)
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+		var ce *SnapshotCorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("flip at byte %d: error %v, want SnapshotCorruptError", i, err)
+		}
+		if dst.FactCount() != 0 {
+			t.Fatalf("flip at byte %d: %d facts merged from a corrupt snapshot", i, dst.FactCount())
+		}
+	}
+}
+
+func TestSnapshotTruncationDetected(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText("up(a,b). flat(c,d)."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, n := range []int{len(valid) - 1, len(valid) - 4, len(valid) / 2, len(snapshotMagicV2) + 2, len(snapshotMagicV2)} {
+		dst := newDB()
+		err := Load(bytes.NewReader(valid[:n]), dst)
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		var ce *SnapshotCorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncation to %d bytes: error %v, want SnapshotCorruptError", n, err)
+		}
+		if dst.FactCount() != 0 {
+			t.Fatalf("truncation to %d bytes merged %d facts", n, dst.FactCount())
+		}
+	}
+}
+
+func TestSnapshotCorruptLeavesDatabaseUntouched(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText("up(a,b)."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := buf.Bytes()
+	corrupt[len(corrupt)-1] ^= 0xff
+
+	dst := newDB()
+	if err := dst.LoadText("keep(x,y). keep(y,z)."); err != nil {
+		t.Fatal(err)
+	}
+	before := dst.Format()
+	if err := Load(bytes.NewReader(corrupt), dst); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if dst.Format() != before {
+		t.Errorf("database changed by a rejected snapshot:\n%s\nvs\n%s", before, dst.Format())
+	}
+}
+
+// TestSnapshotLegacyV1Loads: pre-CRC snapshots (magic "LCDB1", same
+// payload, no trailer) must keep loading.
+func TestSnapshotLegacyV1Loads(t *testing.T) {
+	src := newDB()
+	if err := src.LoadText("up(a,b). pt(p(1,2)). n(-9)."); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	// A V1 snapshot is the V2 payload under the old magic, without the
+	// trailer — the byte layout between magic and trailer is identical.
+	v1 := append([]byte(snapshotMagicV1), v2[len(snapshotMagicV2):len(v2)-4]...)
+	dst := newDB()
+	if err := Load(bytes.NewReader(v1), dst); err != nil {
+		t.Fatal(err)
+	}
+	if src.Format() != dst.Format() {
+		t.Errorf("legacy round trip mismatch:\n%s\nvs\n%s", src.Format(), dst.Format())
 	}
 }
 

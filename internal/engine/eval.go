@@ -9,6 +9,7 @@ import (
 
 	"lincount/internal/ast"
 	"lincount/internal/database"
+	"lincount/internal/faultinject"
 	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
@@ -46,6 +47,11 @@ type Options struct {
 	// fixpoint iteration — the engine's EXPLAIN ANALYZE. In parallel
 	// mode callbacks are serialized but may interleave across strata.
 	Trace func(TraceEvent)
+	// Inject, when non-nil, is consulted at the engine's hook sites
+	// (relation inserts, index probes, fixpoint iterations) and may
+	// surface injected errors, latency, or cancellations. Nil costs one
+	// pointer comparison per site.
+	Inject *faultinject.Injector
 }
 
 // TraceEvent is one step of an evaluation trace.
@@ -116,6 +122,8 @@ type evaluator struct {
 	// retained for deriving the parallel scheduler's cancellation scope.
 	check *limits.Checker
 	ctx   context.Context
+	// inject is the fault-injection hook (nil when disabled).
+	inject *faultinject.Injector
 	// factTotal is the global derived-fact count the budget is enforced
 	// against. It is shared (one atomic counter) across the concurrent
 	// strata of a parallel evaluation, so MaxDerivedFacts is a true
@@ -144,6 +152,7 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 		maxIter:   opts.MaxIterations,
 		check:     limits.NewChecker(ctx, "engine"),
 		ctx:       ctx,
+		inject:    opts.Inject,
 		factTotal: new(atomic.Int64),
 	}
 	if ev.maxIter == 0 {
@@ -364,6 +373,9 @@ func (ev *evaluator) naiveFixpoint(rules []*compiledRule) error {
 		if err := ev.check.Check(); err != nil {
 			return err
 		}
+		if err := ev.inject.Hit(faultinject.SiteEngineIter); err != nil {
+			return err
+		}
 		if iter >= ev.maxIter {
 			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
@@ -429,6 +441,9 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 		if err := ev.check.Check(); err != nil {
 			return err
 		}
+		if err := ev.inject.Hit(faultinject.SiteEngineIter); err != nil {
+			return err
+		}
 		if iter >= ev.maxIter {
 			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
@@ -461,6 +476,9 @@ func (ev *evaluator) runRuleInto(cr *compiledRule, deltaOcc int, delta, nextDelt
 		}
 		if headRel.Insert(t) {
 			ev.stats.DerivedFacts++
+			if err := ev.inject.Hit(faultinject.SiteEngineInsert); err != nil {
+				return err
+			}
 			if n := ev.factTotal.Add(1); n > ev.maxFacts {
 				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
 			}
@@ -483,6 +501,9 @@ func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sy
 		}
 		if headRel.Insert(t) {
 			ev.stats.DerivedFacts++
+			if err := ev.inject.Hit(faultinject.SiteEngineInsert); err != nil {
+				return err
+			}
 			if n := ev.factTotal.Add(1); n > ev.maxFacts {
 				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
 			}
@@ -549,6 +570,9 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 				if err := ev.check.Tick(); err != nil {
 					return err
 				}
+				if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
+					return err
+				}
 				for _, ix := range rel.Probe(cl.probeMask, probe) {
 					if ev.matchTuple(cl, rel.At(int(ix)), frame, &trail) {
 						if err := step(i + 1); err != nil {
@@ -561,6 +585,9 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 			}
 			ev.stats.Probes++
 			if err := ev.check.Tick(); err != nil {
+				return err
+			}
+			if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
 				return err
 			}
 			for _, t := range rel.Tuples() {

@@ -124,6 +124,7 @@ func (ev *evaluator) evalComponentsParallel(comps []Component) error {
 			maxFacts:  ev.maxFacts,
 			check:     limits.NewChecker(layerCtx, "engine"),
 			ctx:       layerCtx,
+			inject:    ev.inject,
 			factTotal: ev.factTotal,
 		}
 		// Serialize trace callbacks across goroutines.

@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 10; i++ {
+		if err := in.Hit(SiteEngineInsert); err != nil {
+			t.Fatalf("nil injector fired: %v", err)
+		}
+	}
+	if in.Fired() != 0 || in.WantsCancel() || in.String() != "" {
+		t.Fatal("nil injector reported state")
+	}
+	in.BindCancel(func() {}) // must not panic
+}
+
+func TestFailAtFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.FailAt(SiteEngineInsert, 3)
+	var errs int
+	for i := 1; i <= 10; i++ {
+		err := in.Hit(SiteEngineInsert)
+		if err != nil {
+			errs++
+			if i != 3 {
+				t.Fatalf("fired at hit %d, want 3", i)
+			}
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Site != SiteEngineInsert || ie.Hit != 3 {
+				t.Fatalf("bad injected error %v", err)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatal("injected error does not match ErrInjected")
+			}
+		}
+		// Other sites never fire.
+		if err := in.Hit(SiteEngineProbe); err != nil {
+			t.Fatalf("unarmed site fired: %v", err)
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("fired %d times, want 1", errs)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", in.Fired())
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		in := New(seed)
+		in.Fail(SiteCountingStep, 0.2)
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if in.Hit(SiteCountingStep) != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("p=0.2 over 200 hits never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d", i)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestWildcardSite(t *testing.T) {
+	in := New(7)
+	in.FailAt("*", 1)
+	if err := in.Hit(SiteTopdownProbe); err == nil {
+		t.Fatal("wildcard rule did not fire on first hit")
+	}
+	// The counter is per-site: the first hit of another site also fires.
+	if err := in.Hit(SiteEngineIter); err == nil {
+		t.Fatal("wildcard rule did not fire on first hit of second site")
+	}
+}
+
+func TestCancelRule(t *testing.T) {
+	in := New(5)
+	in.CancelAt(SiteEngineIter, 2)
+	if !in.WantsCancel() {
+		t.Fatal("WantsCancel false with a cancel rule armed")
+	}
+	canceled := false
+	in.BindCancel(func() { canceled = true })
+	if err := in.Hit(SiteEngineIter); err != nil {
+		t.Fatalf("hit 1 errored: %v", err)
+	}
+	if canceled {
+		t.Fatal("canceled too early")
+	}
+	if err := in.Hit(SiteEngineIter); err != nil {
+		t.Fatalf("cancel rule returned an error: %v", err)
+	}
+	if !canceled {
+		t.Fatal("cancel rule did not invoke the bound function")
+	}
+}
+
+func TestDelayRule(t *testing.T) {
+	in := New(5)
+	in.DelayAt(SiteEngineProbe, 1, 10*time.Millisecond)
+	start := time.Now()
+	if err := in.Hit(SiteEngineProbe); err != nil {
+		t.Fatalf("delay rule returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec(9, "engine.insert=err@100, counting.step=err~0.01,engine.iter=cancel@5,topdown.probe=delay~0.5:2ms,*=err~0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.WantsCancel() {
+		t.Fatal("parsed spec lost the cancel rule")
+	}
+	got := in.String()
+	want := "counting.step=err~0.01,engine.insert=err@100,engine.iter=cancel@5,topdown.probe=delay~0.5:2ms,*=err~0"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+
+	for _, bad := range []string{
+		"nosuchsite=err@1",
+		"engine.insert=err",
+		"engine.insert=boom@1",
+		"engine.insert=err@0",
+		"engine.insert=err~2",
+		"engine.insert=delay@1",
+		"engine.insert=err@1:5ms",
+		"engine.insert",
+	} {
+		if _, err := ParseSpec(0, bad); err == nil {
+			t.Errorf("ParseSpec accepted %q", bad)
+		}
+	}
+	// Empty spec and empty clauses are fine.
+	if _, err := ParseSpec(0, " , "); err != nil {
+		t.Fatalf("empty clauses rejected: %v", err)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	in := New(11)
+	in.Fail("*", 0.01)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Hit(SiteEngineInsert)
+				in.Hit(SiteEngineProbe)
+			}
+		}()
+	}
+	wg.Wait() // race detector is the assertion
+}

@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lincount"
+)
+
+const ancestry = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+`
+
+func testDB(t *testing.T, p *lincount.Program) *lincount.Database {
+	t.Helper()
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(`par(a,b). par(b,c). par(c,d).`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCheckAllStrategiesAgree(t *testing.T) {
+	p := lincount.MustParseProgram(ancestry)
+	db := testDB(t, p)
+	rep, err := Check(context.Background(), p, db, "?- anc(a, Y).", lincount.Strategies(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("expected all strategies to agree:\n%s", rep)
+	}
+	if len(rep.Baseline) != 3 {
+		t.Fatalf("baseline = %v, want 3 answers", rep.Baseline)
+	}
+	okRuns := 0
+	for _, run := range rep.Runs {
+		switch run.Class {
+		case OK:
+			okRuns++
+		case NotApplicable:
+		default:
+			t.Errorf("%s: unexpected class %s: %s", run.Strategy, run.Class, run.Err)
+		}
+	}
+	if okRuns < 5 {
+		t.Fatalf("only %d strategies succeeded", okRuns)
+	}
+}
+
+func TestCheckClassifiesInjectedFault(t *testing.T) {
+	p := lincount.MustParseProgram(ancestry)
+	db := testDB(t, p)
+	rep, err := Check(context.Background(), p, db, "?- anc(a, Y).",
+		[]lincount.Strategy{lincount.SemiNaive}, nil,
+		[]lincount.Option{lincount.WithFaultInjection(1, "engine.insert=err@1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Runs[0].Class; got != InjectedFault {
+		t.Fatalf("class = %s, want injected-fault (err: %s)", got, rep.Runs[0].Err)
+	}
+	if rep.OK() {
+		// InjectedFault is an acceptable outcome — OK() must still hold.
+	} else {
+		t.Fatalf("injected fault must not fail the invariant:\n%s", rep)
+	}
+}
+
+func TestCheckClassifiesInjectedCancel(t *testing.T) {
+	p := lincount.MustParseProgram(ancestry)
+	db := testDB(t, p)
+	rep, err := Check(context.Background(), p, db, "?- anc(a, Y).",
+		[]lincount.Strategy{lincount.SemiNaive}, nil,
+		[]lincount.Option{lincount.WithFaultInjection(1, "engine.iter=cancel@1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Runs[0].Class; got != InjectedFault {
+		t.Fatalf("class = %s, want injected-fault (injected cancel classifies as injection, not cancellation); err: %s",
+			got, rep.Runs[0].Err)
+	}
+}
+
+func TestCheckClassifiesResourceLimit(t *testing.T) {
+	p := lincount.MustParseProgram(ancestry)
+	db := testDB(t, p)
+	rep, err := Check(context.Background(), p, db, "?- anc(a, Y).",
+		[]lincount.Strategy{lincount.SemiNaive}, nil,
+		[]lincount.Option{lincount.WithMaxDerivedFacts(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Runs[0].Class; got != ResourceLimit {
+		t.Fatalf("class = %s, want resource-limit (err: %s)", got, rep.Runs[0].Err)
+	}
+}
+
+func TestCheckClassifiesNotApplicable(t *testing.T) {
+	// Non-linear recursion: the counting rewritings must bow out.
+	p := lincount.MustParseProgram(`
+same(X, Y) :- par(X, Y).
+same(X, Y) :- same(X, Z), same(Z, Y).
+`)
+	db := testDB(t, p)
+	rep, err := Check(context.Background(), p, db, "?- same(a, Y).",
+		[]lincount.Strategy{lincount.Counting}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Runs[0].Class; got != NotApplicable {
+		t.Fatalf("class = %s, want not-applicable (err: %s)", got, rep.Runs[0].Err)
+	}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	if got := Classify(nil); got != OK {
+		t.Fatalf("Classify(nil) = %s", got)
+	}
+	if got := Classify(context.Canceled); got != Canceled {
+		t.Fatalf("Classify(context.Canceled) = %s", got)
+	}
+	if got := Classify(lincount.ErrInjectedFault); got != InjectedFault {
+		t.Fatalf("Classify(ErrInjectedFault) = %s", got)
+	}
+	if got := Classify(lincount.ErrResourceLimit); got != ResourceLimit {
+		t.Fatalf("Classify(ErrResourceLimit) = %s", got)
+	}
+	if got := Classify(&lincount.InternalError{}); got != Internal {
+		t.Fatalf("Classify(InternalError) = %s", got)
+	}
+	if got := Classify(context.DeadlineExceeded); got != Canceled {
+		t.Fatalf("Classify(DeadlineExceeded) = %s", got)
+	}
+	if got := Classify(strings.NewReader("").UnreadByte()); got != Failed {
+		t.Fatalf("Classify(random error) = %s", got)
+	}
+}
+
+func TestDiffAnswers(t *testing.T) {
+	base := [][]string{{"a"}, {"b"}, {"c"}}
+	got := [][]string{{"b"}, {"c"}, {"d"}}
+	missing, extra := diffAnswers(base, got)
+	if len(missing) != 1 || missing[0] != "a" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(extra) != 1 || extra[0] != "d" {
+		t.Fatalf("extra = %v", extra)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"lincount/internal/adorn"
 	"lincount/internal/ast"
 	"lincount/internal/database"
+	"lincount/internal/faultinject"
 	"lincount/internal/limits"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
@@ -72,12 +73,16 @@ type evaluator struct {
 	grewThisPass bool
 	maxPasses    int
 	check        *limits.Checker
+	inject       *faultinject.Injector
 }
 
 // Options bounds an evaluation.
 type Options struct {
 	// MaxPasses bounds global sweeps (0 = 1,000,000).
 	MaxPasses int
+	// Inject, when non-nil, is consulted at QSQ's hook sites (per probe
+	// and per global sweep). Nil costs one pointer comparison per site.
+	Inject *faultinject.Injector
 }
 
 // Eval runs QSQ for the adorned query over db.
@@ -96,6 +101,7 @@ func EvalContext(ctx context.Context, a *adorn.Adorned, db *database.Database, o
 		preds:     map[symtab.Sym]*state{},
 		maxPasses: opts.MaxPasses,
 		check:     limits.NewChecker(ctx, "topdown"),
+		inject:    opts.Inject,
 	}
 	if ev.maxPasses == 0 {
 		ev.maxPasses = 1_000_000
@@ -142,6 +148,9 @@ func EvalContext(ctx context.Context, a *adorn.Adorned, db *database.Database, o
 	// input or answer appears.
 	for pass := 0; ; pass++ {
 		if err := ev.check.Check(); err != nil {
+			return nil, err
+		}
+		if err := ev.inject.Hit(faultinject.SiteTopdownPass); err != nil {
 			return nil, err
 		}
 		if pass >= ev.maxPasses {
@@ -331,6 +340,9 @@ func (ev *evaluator) scan(r ast.Rule, i int, l ast.Literal, rel *database.Relati
 	}
 	ev.stats.Probes++
 	if err := ev.check.Tick(); err != nil {
+		return err
+	}
+	if err := ev.inject.Hit(faultinject.SiteTopdownProbe); err != nil {
 		return err
 	}
 	if mask != 0 {

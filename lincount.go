@@ -237,14 +237,38 @@ type Stats struct {
 	Duration time.Duration
 }
 
+// AttemptInfo records one failed strategy attempt of the Auto fallback
+// chain: graceful degradation ran this strategy, it failed with a
+// retryable error, and evaluation moved on to the next strategy in the
+// chain.
+type AttemptInfo struct {
+	// Strategy is the strategy that was attempted.
+	Strategy Strategy
+	// Err is the failure message of the attempt.
+	Err string
+	// Duration is the wall-clock time the attempt consumed.
+	Duration time.Duration
+}
+
 // Result is the outcome of Eval.
 type Result struct {
 	// Answers holds one row per answer of the original query, each value
 	// rendered as Datalog text. Bound query arguments are included, so
 	// every strategy returns identical rows.
 	Answers [][]string
-	// Strategy is the concrete strategy used (resolves Auto).
+	// Strategy is the concrete strategy that produced the answers
+	// (resolves Auto, and reflects any degradation fallback).
 	Strategy Strategy
+	// Resolved is the strategy the evaluation initially resolved to: for
+	// Auto it is the analyzer's first choice, for explicit strategies it
+	// equals the requested strategy. Resolved differs from Strategy when
+	// graceful degradation fell back (see Degraded) or when a rewriting
+	// strategy delegated a purely extensional goal to SemiNaive.
+	Resolved Strategy
+	// Degraded lists the failed attempts that preceded the successful
+	// one, in the order they were tried. Empty when the first strategy
+	// succeeded. Only Auto degrades; explicit strategies fail fast.
+	Degraded []AttemptInfo
 	// Rewritten is the rewritten program text (empty for Naive and
 	// SemiNaive; the analyzed canonical form for CountingRuntime).
 	Rewritten string
