@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos bench benchcheck experiments fuzz examples clean
 
 all: build vet test
 
@@ -43,6 +43,19 @@ fmt:
 # `make experiments`).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Allocation regression check, documented-but-optional like `make chaos`:
+# runs the storage-sensitive P1/P2 micro-benchmarks twice with -benchmem
+# so run-to-run variance is visible next to any real allocs/op drift.
+# Compare the two passes by eye (allocs/op is deterministic; ns/op is
+# not); EXPERIMENTS.md records the accepted numbers. To compare HEAD
+# against a clean baseline: `git stash && make benchcheck` for the old
+# numbers, then `git stash pop && make benchcheck` for the new ones.
+benchcheck:
+	@for i in 1 2; do \
+		echo "== benchcheck pass $$i"; \
+		$(GO) test -run '^$$' -bench 'BenchmarkP1_MagicVsCounting|BenchmarkP2_CountingSetSize' -benchmem . || exit 1; \
+	done
 
 # Regenerate every table in EXPERIMENTS.md.
 experiments:

@@ -72,6 +72,7 @@ func benchStrategy(b *testing.B, src, facts, query string, s lincount.Strategy) 
 	if err := db.LoadFacts(facts); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := lincount.Eval(p, db, query, s); err != nil {

@@ -186,9 +186,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		if *stats {
 			st := res.Stats
-			fmt.Fprintf(stdout, "%% answers=%d inferences=%d facts=%d counting-set=%d answer-tuples=%d iterations=%d probes=%d\n",
+			fmt.Fprintf(stdout, "%% answers=%d inferences=%d facts=%d counting-set=%d answer-tuples=%d iterations=%d probes=%d arena-values=%d\n",
 				len(res.Answers), st.Inferences, st.DerivedFacts,
-				st.CountingNodes, st.AnswerTuples, st.Iterations, st.Probes)
+				st.CountingNodes, st.AnswerTuples, st.Iterations, st.Probes,
+				st.ArenaValues)
 		}
 	}
 	return 0

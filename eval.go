@@ -421,6 +421,7 @@ func statsFromEngine(s engine.Stats) Stats {
 		Inferences:   s.Inferences,
 		DerivedFacts: s.DerivedFacts,
 		Probes:       s.Probes,
+		ArenaValues:  s.ArenaValues,
 	}
 }
 
@@ -579,6 +580,7 @@ func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Q
 			CountingNodes: rres.Stats.CountingNodes,
 			AnswerTuples:  rres.Stats.AnswerTuples,
 			DerivedFacts:  int64(rres.Stats.AnswerTuples + rres.Stats.CountingNodes),
+			ArenaValues:   rres.Stats.ArenaValues,
 		},
 	}, nil
 }
@@ -721,6 +723,7 @@ func evalQSQ(ctx context.Context, p *Program, db *database.Database, q ast.Query
 			Probes:        res.Stats.Probes,
 			CountingNodes: res.Stats.InputTuples, // the subquery (magic) set
 			AnswerTuples:  res.Stats.AnswerTuples,
+			ArenaValues:   res.Stats.ArenaValues,
 		},
 	}, nil
 }

@@ -16,8 +16,9 @@ import (
 // wins by roughly the width factor.
 func P1MagicVsCounting(widths []int, depth int) Table {
 	t := Table{
-		ID:    "P1",
-		Title: "magic vs counting, same generation on cylinders",
+		ID:      "P1",
+		MemCols: true,
+		Title:   "magic vs counting, same generation on cylinders",
 		Note: fmt.Sprintf(`depth %d, fan 2, width sweep; query sg(%s,Y).
 "cset" is the counting-set (or magic-set) size; counting's answer relation
 stays linear in the width where magic's grows quadratically.`, depth, workload.CylinderQuery),
@@ -39,8 +40,9 @@ stays linear in the width where magic's grows quadratically.`, depth, workload.C
 // pointer-based runtime keeps one node per value.
 func P2CountingSetSize(sizes []int) Table {
 	t := Table{
-		ID:    "P2",
-		Title: "counting-set size: path lists (Alg.1) vs pointer nodes (Alg.2)",
+		ID:      "P2",
+		MemCols: true,
+		Title:   "counting-set size: path lists (Alg.1) vs pointer nodes (Alg.2)",
 		Note: `shortcut chains; "cset" column: counting tuples for strategy
 counting, counting nodes for counting-runtime, magic tuples for magic.`,
 	}
@@ -142,8 +144,9 @@ func P5MultiRule(depth int, ks []int) Table {
 // lists of a depth-n counting run and deduplicates them both ways.
 func P6PointerAblation(sizes []int) Table {
 	t := Table{
-		ID:    "P6",
-		Title: "pointer-based path lists vs structural lists (ablation)",
+		ID:      "P6",
+		MemCols: true,
+		Title:   "pointer-based path lists vs structural lists (ablation)",
 		Note: `"inferences" column counts list cells allocated; the time columns
 are what matter: hash-consed handles dedup in O(1) per path.`,
 	}

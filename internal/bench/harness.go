@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,8 +40,14 @@ type Row struct {
 	CountingNodes int
 	AnswerTuples  int
 	Probes        int64
-	Duration      time.Duration
-	Err           string
+	// Allocs and Bytes are heap-allocation deltas (runtime.MemStats
+	// Mallocs/TotalAlloc) across the evaluation — coarser than testing.B's
+	// per-op numbers but comparable run to run. Rendered only for tables
+	// with MemCols set.
+	Allocs   uint64
+	Bytes    uint64
+	Duration time.Duration
+	Err      string
 }
 
 // Table is one experiment's result set.
@@ -48,7 +55,10 @@ type Table struct {
 	ID    string
 	Title string
 	Note  string
-	Rows  []Row
+	// MemCols adds the allocs and bytes columns to the rendered table
+	// (the allocation-sensitive experiments P1, P2 and P6).
+	MemCols bool
+	Rows    []Row
 }
 
 // Format renders the table as aligned text.
@@ -60,19 +70,30 @@ func (t Table) Format() string {
 			fmt.Fprintf(&sb, "   %s\n", strings.TrimSpace(line))
 		}
 	}
-	header := []string{"workload", "strategy", "answers", "inferences", "facts", "cset", "atuples", "probes", "time"}
+	header := []string{"workload", "strategy", "answers", "inferences", "facts", "cset", "atuples", "probes"}
+	if t.MemCols {
+		header = append(header, "allocs", "bytes")
+	}
+	header = append(header, "time")
 	rows := [][]string{header}
 	for _, r := range t.Rows {
 		if r.Err != "" {
-			rows = append(rows, []string{r.Workload, r.Strategy, "—", "—", "—", "—", "—", "—", r.Err})
+			row := []string{r.Workload, r.Strategy}
+			for len(row) < len(header)-1 {
+				row = append(row, "—")
+			}
+			rows = append(rows, append(row, r.Err))
 			continue
 		}
-		rows = append(rows, []string{
+		row := []string{
 			r.Workload, r.Strategy,
 			fmt.Sprint(r.Answers), fmt.Sprint(r.Inferences), fmt.Sprint(r.DerivedFacts),
 			fmt.Sprint(r.CountingNodes), fmt.Sprint(r.AnswerTuples), fmt.Sprint(r.Probes),
-			r.Duration.Round(10 * time.Microsecond).String(),
-		})
+		}
+		if t.MemCols {
+			row = append(row, fmt.Sprint(r.Allocs), fmt.Sprint(r.Bytes))
+		}
+		rows = append(rows, append(row, r.Duration.Round(10*time.Microsecond).String()))
 	}
 	widths := make([]int, len(header))
 	for _, row := range rows {
@@ -108,12 +129,13 @@ func (t Table) Format() string {
 // spreadsheet import; the experiment id is repeated in the first column.
 func (t Table) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("experiment,workload,strategy,answers,inferences,facts,cset,atuples,probes,micros,error\n")
+	sb.WriteString("experiment,workload,strategy,answers,inferences,facts,cset,atuples,probes,allocs,bytes,micros,error\n")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
 			csvEscape(t.ID), csvEscape(r.Workload), csvEscape(r.Strategy),
 			r.Answers, r.Inferences, r.DerivedFacts, r.CountingNodes,
-			r.AnswerTuples, r.Probes, r.Duration.Microseconds(), csvEscape(r.Err))
+			r.AnswerTuples, r.Probes, r.Allocs, r.Bytes,
+			r.Duration.Microseconds(), csvEscape(r.Err))
 	}
 	return sb.String()
 }
@@ -141,11 +163,17 @@ func Measure(workload, src, facts, query string, s lincount.Strategy) Row {
 	// The caps are far above any legitimate run in the suite; they exist
 	// so that intentionally divergent cells (classical counting on cyclic
 	// data) report quickly instead of burning the default budget.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	res, err := lincount.EvalContext(runCtx, p, db, query, s,
 		lincount.WithMaxDerivedFacts(5_000_000),
 		lincount.WithMaxIterations(50_000))
 	row.Duration = time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	row.Allocs = memAfter.Mallocs - memBefore.Mallocs
+	row.Bytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 	if err == nil && res.Stats.Duration > 0 {
 		row.Duration = res.Stats.Duration
 	}

@@ -39,9 +39,9 @@ func DumpCountingSet(an *Analysis, db *database.Database) (string, error) {
 		return fmt.Sprintf("o%d", rank[n])
 	}
 	vals := func(i int32) string {
-		n := rt.nodes[i]
-		parts := make([]string, len(n.vals))
-		for j, v := range n.vals {
+		nv := rt.nodeVals(i)
+		parts := make([]string, len(nv))
+		for j, v := range nv {
 			parts[j] = bank.Format(v)
 		}
 		return strings.Join(parts, ",")

@@ -67,45 +67,44 @@ func (d *Derivation) Format(bank *term.Bank) string {
 	return sb.String()
 }
 
-// tupleMeta records how a tuple was first derived.
+// tupleMeta records how a tuple was first derived. The meta slice runs
+// parallel to the runtime's dense tuple ids: meta[id] describes tuple id,
+// and parent is itself a tuple id (-1 for exit seeds).
 type tupleMeta struct {
-	kind      StepKind
-	rule      int    // Exit: index into an.Exit; Move/Same: index into an.Rec
-	parentKey string // empty for exits
+	kind   StepKind
+	rule   int // Exit: index into an.Exit; Move/Same: index into an.Rec
+	parent int32
 }
 
 // enableProvenance switches the runtime into recording mode; it must be
 // called before Run.
 func (rt *Runtime) enableProvenance() {
-	if rt.meta == nil {
-		rt.meta = map[string]tupleMeta{}
-	}
+	rt.provenance = true
 }
 
 // Explain returns a derivation witness for one goal answer (a tuple of the
 // goal's free arguments, as returned in RunResult.Answers). Run must have
 // been executed with provenance enabled (see RunWithProvenance).
 func (rt *Runtime) Explain(answer database.Tuple) (*Derivation, error) {
-	if rt.meta == nil {
+	if !rt.provenance {
 		return nil, fmt.Errorf("counting: provenance was not recorded; use RunWithProvenance")
 	}
-	key := rt.tupleKey(tuple{pred: rt.an.GoalPred, frees: answer, node: 0})
-	if !rt.tupleSeen[key] {
+	id := rt.findTuple(rt.an.GoalPred, answer, 0)
+	if id < 0 {
 		return nil, fmt.Errorf("counting: no such answer")
 	}
 	// Walk parents back to the exit seed, collecting steps in reverse.
 	var rev []DerivationStep
-	cur := key
+	cur := id
 	for {
-		m, ok := rt.meta[cur]
-		if !ok {
-			return nil, fmt.Errorf("counting: provenance chain broken at %q", cur)
+		if int(cur) >= len(rt.meta) {
+			return nil, fmt.Errorf("counting: provenance chain broken at tuple %d", cur)
 		}
-		t := rt.tupleOfKey[cur]
+		m := rt.meta[cur]
 		step := DerivationStep{
 			Kind:  m.kind,
-			Node:  rt.formatNode(t.node),
-			Tuple: rt.formatTuple(t),
+			Node:  rt.formatNode(rt.tuples[cur].node),
+			Tuple: rt.formatTuple(cur),
 		}
 		switch m.kind {
 		case StepExit:
@@ -117,7 +116,7 @@ func (rt *Runtime) Explain(answer database.Tuple) (*Derivation, error) {
 		if m.kind == StepExit {
 			break
 		}
-		cur = m.parentKey
+		cur = m.parent
 	}
 	// Reverse into derivation order.
 	d := &Derivation{Steps: make([]DerivationStep, len(rev))}
@@ -128,20 +127,21 @@ func (rt *Runtime) Explain(answer database.Tuple) (*Derivation, error) {
 }
 
 func (rt *Runtime) formatNode(id int32) string {
-	n := rt.nodes[id]
-	parts := make([]string, len(n.vals))
-	for i, v := range n.vals {
+	vals := rt.nodeVals(id)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
 		parts[i] = rt.bank.Format(v)
 	}
 	return "(" + strings.Join(parts, ",") + ")"
 }
 
-func (rt *Runtime) formatTuple(t tuple) string {
-	parts := make([]string, len(t.frees))
-	for i, v := range t.frees {
+func (rt *Runtime) formatTuple(id int32) string {
+	frees := rt.tupleFrees(id)
+	parts := make([]string, len(frees))
+	for i, v := range frees {
 		parts[i] = rt.bank.Format(v)
 	}
-	return rt.bank.Symbols().String(t.pred) + "(" + strings.Join(parts, ",") + ")@" + rt.formatNode(t.node)
+	return rt.bank.Symbols().String(rt.tuples[id].pred) + "(" + strings.Join(parts, ",") + ")@" + rt.formatNode(rt.tuples[id].node)
 }
 
 // RunWithProvenance runs the query recording derivation parents, and

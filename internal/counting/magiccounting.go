@@ -69,8 +69,9 @@ func CountingNodeValues(an *Analysis, db *database.Database) (map[symtab.Sym][][
 		return nil, err
 	}
 	out := map[symtab.Sym][][]term.Value{}
-	for _, n := range rt.nodes {
-		out[n.pred] = append(out[n.pred], n.vals)
+	for id := range rt.nodes {
+		n := &rt.nodes[id]
+		out[n.pred] = append(out[n.pred], rt.nodeVals(int32(id)))
 	}
 	return out, nil
 }

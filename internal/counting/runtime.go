@@ -2,7 +2,6 @@ package counting
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 
 	"lincount/internal/ast"
@@ -40,6 +39,12 @@ import (
 //
 // Because nodes and database constants are finite the computation always
 // terminates, even on cyclic data (Theorem 2.3).
+//
+// Storage follows the same §3.4 address discipline as internal/database:
+// node bound values and answer-tuple free values live in flat arenas,
+// nodes and tuples are interned to dense int32 ids through open-addressing
+// tables that hash term values directly (no key strings), and the phase-2
+// worklist is a queue of tuple ids, not copied tuples.
 
 // ErrRuntimeBudget is the historical name of the unified resource-limit
 // sentinel. Budget trips now return a *limits.ResourceLimitError with
@@ -66,6 +71,9 @@ type RuntimeStats struct {
 	// Solves and Probes aggregate the conjunction-matcher work.
 	Solves int64
 	Probes int64
+	// ArenaValues is the number of term values resident in the node and
+	// tuple arenas when the run completes.
+	ArenaValues int64
 }
 
 // RunResult is the outcome of a runtime evaluation.
@@ -99,12 +107,23 @@ type entry struct {
 
 const nilNode = int32(-1)
 
+// node is one counting-set element. Its bound values live in the runtime's
+// nodeArena at [off, end) — the node holds an address, not a copy.
 type node struct {
-	pred symtab.Sym
-	vals []term.Value
+	pred     symtab.Sym
+	off, end int32
 	// ahead and back are the predecessor entries by arc class.
 	ahead []entry
 	back  []entry
+}
+
+// tupleInfo is one interned answer tuple (pred, frees, node); frees live
+// in tupleArena at [off, end). The tuple's dense id (its index) is the
+// provenance key and the worklist element.
+type tupleInfo struct {
+	pred     symtab.Sym
+	node     int32
+	off, end int32
 }
 
 // varsOrdered returns the distinct variables of the terms in first-
@@ -164,6 +183,10 @@ type preparedRec struct {
 	rightBound []symtab.Sym
 	rightWant  []symtab.Sym
 	needsDest  bool // head bound vars must be matched against the landing node
+
+	// Reusable per-solution buffers for the expand loop.
+	x1Buf    []term.Value
+	cvalsBuf []term.Value
 }
 
 // preparedExit holds the compiled solver of one exit rule.
@@ -185,21 +208,43 @@ type Runtime struct {
 	recs  []preparedRec
 	exits []preparedExit
 
-	nodes   []*node
-	nodeIDs map[string]int32
+	// Counting nodes: values in nodeArena, interned through nodeSlots
+	// (open addressing, -1 empty, hashing the arena directly).
+	nodes     []node
+	nodeArena []term.Value
+	nodeSlots []int32
 	// discovery lists node ids in depth-first discovery order (the
 	// paper's o1, o2, … numbering).
 	discovery []int32
 
-	// answer tuples, deduplicated by (pred, frees, node).
-	tupleSeen map[string]bool
+	// Answer tuples, interned to dense ids the same way.
+	tuples     []tupleInfo
+	tupleArena []term.Value
+	tupleSlots []int32
 
-	// provenance (nil unless enabled): first derivation of each tuple.
-	meta       map[string]tupleMeta
-	tupleOfKey map[string]tuple
+	// provenance: when enabled, meta[id] records the first derivation of
+	// tuple id (parent is a tuple id, -1 for exit seeds).
+	provenance bool
+	meta       []tupleMeta
+
+	// freesBuf is the scratch the free head arguments are instantiated
+	// into before interning copies them (only new tuples are copied).
+	freesBuf []term.Value
 
 	check *limits.Checker
 	stats RuntimeStats
+}
+
+// nodeVals returns the bound values of node id (a view into nodeArena).
+func (rt *Runtime) nodeVals(id int32) []term.Value {
+	n := &rt.nodes[id]
+	return rt.nodeArena[n.off:n.end:n.end]
+}
+
+// tupleFrees returns the free values of tuple id (a view into tupleArena).
+func (rt *Runtime) tupleFrees(id int32) []term.Value {
+	t := &rt.tuples[id]
+	return rt.tupleArena[t.off:t.end:t.end]
 }
 
 // NewRuntime prepares a runtime for the analyzed query an over db. The
@@ -231,14 +276,12 @@ func NewRuntimeContext(ctx context.Context, an *Analysis, db *database.Database,
 		opts.MaxTuples = DefaultMaxRuntimeTuples
 	}
 	rt := &Runtime{
-		an:        an,
-		bank:      bank,
-		db:        db,
-		matcher:   engine.NewMatcher(bank, db, derived),
-		opts:      opts,
-		nodeIDs:   map[string]int32{},
-		tupleSeen: map[string]bool{},
-		check:     check,
+		an:      an,
+		bank:    bank,
+		db:      db,
+		matcher: engine.NewMatcher(bank, db, derived),
+		opts:    opts,
+		check:   check,
 	}
 	rt.matcher.SetChecker(check)
 
@@ -258,6 +301,8 @@ func NewRuntimeContext(ctx context.Context, an *Analysis, db *database.Database,
 					ast.FormatRule(bank, r.Rule), err)
 			}
 			pr.left = ps
+			pr.x1Buf = make([]term.Value, len(r.RecBound))
+			pr.cvalsBuf = make([]term.Value, len(r.Shared))
 		}
 		if !r.SkipModified {
 			pr.needsDest = len(r.BoundInRight) > 0
@@ -325,11 +370,12 @@ func (rt *Runtime) Run() (*RunResult, error) {
 	rt.stats.Solves = rt.matcher.Solves
 	rt.stats.Probes = rt.matcher.Probes
 	rt.stats.CountingNodes = len(rt.nodes)
-	for _, n := range rt.nodes {
-		rt.stats.AheadEntries += len(n.ahead)
-		rt.stats.BackEntries += len(n.back)
+	for i := range rt.nodes {
+		rt.stats.AheadEntries += len(rt.nodes[i].ahead)
+		rt.stats.BackEntries += len(rt.nodes[i].back)
 	}
-	rt.stats.AnswerTuples = len(rt.tupleSeen)
+	rt.stats.AnswerTuples = len(rt.tuples)
+	rt.stats.ArenaValues = int64(len(rt.nodeArena) + len(rt.tupleArena))
 	engine.SortTuplesFormatted(rt.bank, answers)
 	return &RunResult{Answers: answers, Stats: rt.stats}, nil
 }
@@ -342,30 +388,75 @@ func (rt *Runtime) limitErr(used int) error {
 	}
 }
 
-func valsKey(pred symtab.Sym, vals []term.Value) string {
-	buf := make([]byte, 0, 8+len(vals)*4)
-	buf = binary.AppendVarint(buf, int64(pred))
-	for _, v := range vals {
-		buf = binary.AppendVarint(buf, int64(v))
+// hashPredVals hashes (pred, vals) the same way the database layer hashes
+// rows, with the predicate folded in last.
+func hashPredVals(pred symtab.Sym, vals []term.Value) uint64 {
+	return database.HashValue(database.HashValues(vals), term.Value(pred))
+}
+
+func valuesEqual(a, b []term.Value) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return string(buf)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// growNodeSlots doubles the node table and rehashes from the arena.
+func (rt *Runtime) growNodeSlots() {
+	n := len(rt.nodeSlots) * 2
+	if n < 16 {
+		n = 16
+	}
+	slots := make([]int32, n)
+	for i := range slots {
+		slots[i] = -1
+	}
+	m := uint64(n - 1)
+	for id := range rt.nodes {
+		i := hashPredVals(rt.nodes[id].pred, rt.nodeVals(int32(id))) & m
+		for slots[i] >= 0 {
+			i = (i + 1) & m
+		}
+		slots[i] = int32(id)
+	}
+	rt.nodeSlots = slots
 }
 
 // internNode returns the id for (pred, vals), creating the node if new.
+// Lookup hashes vals directly; only a genuinely new node copies vals into
+// the arena.
 func (rt *Runtime) internNode(pred symtab.Sym, vals []term.Value) (int32, bool, error) {
-	k := valsKey(pred, vals)
-	if id, ok := rt.nodeIDs[k]; ok {
-		return id, false, nil
+	if (len(rt.nodes)+1)*4 > len(rt.nodeSlots)*3 {
+		rt.growNodeSlots()
+	}
+	m := uint64(len(rt.nodeSlots) - 1)
+	i := hashPredVals(pred, vals) & m
+	for {
+		id := rt.nodeSlots[i]
+		if id < 0 {
+			break
+		}
+		if rt.nodes[id].pred == pred && valuesEqual(rt.nodeVals(id), vals) {
+			return id, false, nil
+		}
+		i = (i + 1) & m
 	}
 	if err := rt.opts.Inject.Hit(faultinject.SiteCountingNode); err != nil {
 		return 0, false, err
 	}
-	if used := len(rt.nodes) + len(rt.tupleSeen); used >= rt.opts.MaxTuples {
+	if used := len(rt.nodes) + len(rt.tuples); used >= rt.opts.MaxTuples {
 		return 0, false, rt.limitErr(used)
 	}
 	id := int32(len(rt.nodes))
-	rt.nodes = append(rt.nodes, &node{pred: pred, vals: append([]term.Value(nil), vals...)})
-	rt.nodeIDs[k] = id
+	off := int32(len(rt.nodeArena))
+	rt.nodeArena = append(rt.nodeArena, vals...)
+	rt.nodes = append(rt.nodes, node{pred: pred, off: off, end: off + int32(len(vals))})
+	rt.nodeSlots[i] = id
 	return id, true, nil
 }
 
@@ -379,17 +470,18 @@ type arcTarget struct {
 // expand computes the outgoing arcs of node id by instantiating every
 // applicable recursive rule's left part.
 func (rt *Runtime) expand(id int32) ([]arcTarget, error) {
-	n := rt.nodes[id]
+	nPred := rt.nodes[id].pred
+	nVals := rt.nodeVals(id)
 	var out []arcTarget
 	seen := map[arcTarget]bool{}
 	for ri := range rt.recs {
 		pr := &rt.recs[ri]
 		r := pr.r
-		if r.SkipCounting || r.Rule.Head.Pred != n.pred {
+		if r.SkipCounting || r.Rule.Head.Pred != nPred {
 			continue
 		}
 		bound := map[symtab.Sym]term.Value{}
-		if !engine.MatchTerms(rt.bank, r.HeadBound, n.vals, bound) {
+		if !engine.MatchTerms(rt.bank, r.HeadBound, nVals, bound) {
 			continue
 		}
 		boundVals := make([]term.Value, len(pr.leftBound))
@@ -405,7 +497,7 @@ func (rt *Runtime) expand(id int32) ([]arcTarget, error) {
 			for v, val := range bound {
 				sol[v] = val
 			}
-			x1 := make([]term.Value, len(r.RecBound))
+			x1 := pr.x1Buf
 			for i, t := range r.RecBound {
 				v, ok := engine.InstantiateTerm(rt.bank, t, sol)
 				if !ok {
@@ -414,11 +506,13 @@ func (rt *Runtime) expand(id int32) ([]arcTarget, error) {
 				}
 				x1[i] = v
 			}
-			cvals := make([]term.Value, len(r.Shared))
+			cvals := pr.cvalsBuf
 			for i, v := range r.Shared {
 				cvals[i] = sol[v]
 			}
 			cList := rt.bank.List(cvals...)
+			// internNode copies x1 only if the node is new, so the
+			// reusable buffer is safe to hand over.
 			to, _, err := rt.internNode(recPred, x1)
 			if err != nil {
 				return err
@@ -475,7 +569,7 @@ func (rt *Runtime) buildCountingSet() error {
 			return
 		}
 		entrySeen[k] = true
-		n := rt.nodes[to]
+		n := &rt.nodes[to]
 		if back {
 			n.back = append(n.back, e)
 		} else {
@@ -525,77 +619,113 @@ func (rt *Runtime) buildCountingSet() error {
 	return nil
 }
 
-// tuple is one answer-phase fact: the original predicate holds between the
-// node's bound values and frees.
-type tuple struct {
-	pred  symtab.Sym
-	frees []term.Value
-	node  int32
-}
-
-func (rt *Runtime) tupleKey(t tuple) string {
-	buf := make([]byte, 0, 16+len(t.frees)*4)
-	buf = binary.AppendVarint(buf, int64(t.node))
-	buf = binary.AppendVarint(buf, int64(t.pred))
-	for _, v := range t.frees {
-		buf = binary.AppendVarint(buf, int64(v))
+// growTupleSlots doubles the tuple table and rehashes from the arena.
+func (rt *Runtime) growTupleSlots() {
+	n := len(rt.tupleSlots) * 2
+	if n < 16 {
+		n = 16
 	}
-	return string(buf)
+	slots := make([]int32, n)
+	for i := range slots {
+		slots[i] = -1
+	}
+	m := uint64(n - 1)
+	for id := range rt.tuples {
+		t := &rt.tuples[id]
+		h := database.HashValue(hashPredVals(t.pred, rt.tupleFrees(int32(id))), term.Value(t.node))
+		i := h & m
+		for slots[i] >= 0 {
+			i = (i + 1) & m
+		}
+		slots[i] = int32(id)
+	}
+	rt.tupleSlots = slots
 }
 
-// pushTuple records a derived tuple; kind/rule/parent describe the
-// derivation for provenance (parent is nil for exit seeds).
-func (rt *Runtime) pushTuple(t tuple, queue *[]tuple, kind StepKind, rule int, parent *tuple) error {
+// findTuple returns the dense id of (pred, frees, node), or -1.
+func (rt *Runtime) findTuple(pred symtab.Sym, frees []term.Value, nodeID int32) int32 {
+	if len(rt.tuples) == 0 {
+		return -1
+	}
+	m := uint64(len(rt.tupleSlots) - 1)
+	h := database.HashValue(hashPredVals(pred, frees), term.Value(nodeID))
+	for i := h & m; ; i = (i + 1) & m {
+		id := rt.tupleSlots[i]
+		if id < 0 {
+			return -1
+		}
+		t := &rt.tuples[id]
+		if t.pred == pred && t.node == nodeID && valuesEqual(rt.tupleFrees(id), frees) {
+			return id
+		}
+	}
+}
+
+// pushTuple interns a derived tuple and, when new, enqueues its id;
+// kind/rule/parent describe the derivation for provenance (parent is -1
+// for exit seeds). frees may be a reusable buffer: it is copied into the
+// arena only when the tuple is new.
+func (rt *Runtime) pushTuple(pred symtab.Sym, frees []term.Value, nodeID int32, queue *[]int32, kind StepKind, rule int, parent int32) error {
 	rt.stats.Moves++
-	k := rt.tupleKey(t)
-	if rt.tupleSeen[k] {
-		return nil
+	if (len(rt.tuples)+1)*4 > len(rt.tupleSlots)*3 {
+		rt.growTupleSlots()
+	}
+	m := uint64(len(rt.tupleSlots) - 1)
+	h := database.HashValue(hashPredVals(pred, frees), term.Value(nodeID))
+	i := h & m
+	for {
+		id := rt.tupleSlots[i]
+		if id < 0 {
+			break
+		}
+		t := &rt.tuples[id]
+		if t.pred == pred && t.node == nodeID && valuesEqual(rt.tupleFrees(id), frees) {
+			return nil // rederivation
+		}
+		i = (i + 1) & m
 	}
 	if err := rt.opts.Inject.Hit(faultinject.SiteCountingStep); err != nil {
 		return err
 	}
-	if used := len(rt.nodes) + len(rt.tupleSeen); used >= rt.opts.MaxTuples {
+	if used := len(rt.nodes) + len(rt.tuples); used >= rt.opts.MaxTuples {
 		return rt.limitErr(used)
 	}
-	rt.tupleSeen[k] = true
-	if rt.meta != nil {
-		m := tupleMeta{kind: kind, rule: rule}
-		if parent != nil {
-			m.parentKey = rt.tupleKey(*parent)
-		}
-		rt.meta[k] = m
-		if rt.tupleOfKey == nil {
-			rt.tupleOfKey = map[string]tuple{}
-		}
-		rt.tupleOfKey[k] = t
+	id := int32(len(rt.tuples))
+	off := int32(len(rt.tupleArena))
+	rt.tupleArena = append(rt.tupleArena, frees...)
+	rt.tuples = append(rt.tuples, tupleInfo{pred: pred, node: nodeID, off: off, end: off + int32(len(frees))})
+	rt.tupleSlots[i] = id
+	if rt.provenance {
+		rt.meta = append(rt.meta, tupleMeta{kind: kind, rule: rule, parent: parent})
 	}
-	*queue = append(*queue, t)
+	*queue = append(*queue, id)
 	return nil
 }
 
 // answerPhase seeds tuples from the exit rules at every counting node and
 // saturates the move relation.
 func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
-	var queue []tuple
+	var queue []int32
 
 	// Exit seeds.
 	for id := int32(0); int(id) < len(rt.nodes); id++ {
-		n := rt.nodes[id]
+		nPred := rt.nodes[id].pred
+		nVals := rt.nodeVals(id)
 		for ei := range rt.exits {
 			pe := &rt.exits[ei]
-			if pe.e.Rule.Head.Pred != n.pred {
+			if pe.e.Rule.Head.Pred != nPred {
 				continue
 			}
 			bound := map[symtab.Sym]term.Value{}
-			if !engine.MatchTerms(rt.bank, pe.e.Bound, n.vals, bound) {
+			if !engine.MatchTerms(rt.bank, pe.e.Bound, nVals, bound) {
 				continue
 			}
 			boundVals := make([]term.Value, len(pe.bound))
 			for i, v := range pe.bound {
 				boundVals[i] = bound[v]
 			}
+			sol := map[symtab.Sym]term.Value{}
 			err := pe.ps.Solve(boundVals, func(vals []term.Value) error {
-				sol := map[symtab.Sym]term.Value{}
 				for i, v := range pe.want {
 					sol[v] = vals[i]
 				}
@@ -606,7 +736,7 @@ func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
 				if err != nil {
 					return err
 				}
-				return rt.pushTuple(tuple{pred: n.pred, frees: frees, node: id}, &queue, StepExit, ei, nil)
+				return rt.pushTuple(nPred, frees, id, &queue, StepExit, ei, -1)
 			})
 			if err != nil {
 				return nil, err
@@ -621,26 +751,31 @@ func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
 		if err := rt.check.Tick(); err != nil {
 			return nil, err
 		}
-		t := queue[len(queue)-1]
+		tid := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
+		t := &rt.tuples[tid]
+		tPred, tNode := t.pred, t.node
+		tFrees := rt.tupleFrees(tid)
 
-		if t.node == srcID && t.pred == rt.an.GoalPred {
-			answers = append(answers, append(database.Tuple(nil), t.frees...))
+		if tNode == srcID && tPred == rt.an.GoalPred {
+			// Copy: answers escape through the public result while tFrees
+			// is a view into the (growing) tuple arena.
+			answers = append(answers, append(database.Tuple(nil), tFrees...))
 		}
 
-		n := rt.nodes[t.node]
+		n := &rt.nodes[tNode]
 
 		// Entry consumption: undo one left-part step.
 		for _, e := range n.ahead {
 			if e.rule < 0 {
 				continue // the nil entry: nothing to undo
 			}
-			if err := rt.applyMove(&rt.recs[e.rule], t, e.node, e.c, StepMove, &queue); err != nil {
+			if err := rt.applyMove(&rt.recs[e.rule], tid, tPred, tFrees, e.node, e.c, StepMove, &queue); err != nil {
 				return nil, err
 			}
 		}
 		for _, e := range n.back {
-			if err := rt.applyMove(&rt.recs[e.rule], t, e.node, e.c, StepMove, &queue); err != nil {
+			if err := rt.applyMove(&rt.recs[e.rule], tid, tPred, tFrees, e.node, e.c, StepMove, &queue); err != nil {
 				return nil, err
 			}
 		}
@@ -652,10 +787,10 @@ func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
 			if !pr.r.SkipCounting || pr.r.SkipModified {
 				continue
 			}
-			if pr.r.Rule.Body[pr.r.RecIndex].Pred != t.pred {
+			if pr.r.Rule.Body[pr.r.RecIndex].Pred != tPred {
 				continue
 			}
-			if err := rt.applyMove(pr, t, t.node, rt.bank.Nil(), StepSame, &queue); err != nil {
+			if err := rt.applyMove(pr, tid, tPred, tFrees, tNode, rt.bank.Nil(), StepSame, &queue); err != nil {
 				return nil, err
 			}
 		}
@@ -663,17 +798,17 @@ func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
 	return answers, nil
 }
 
-// applyMove consumes rule pr from tuple t, landing at node dest with shared
-// values c.
-func (rt *Runtime) applyMove(pr *preparedRec, t tuple, dest int32, c term.Value, kind StepKind, queue *[]tuple) error {
+// applyMove consumes rule pr from tuple tid (= (tPred, tFrees) at its
+// node), landing at node dest with shared values c.
+func (rt *Runtime) applyMove(pr *preparedRec, tid int32, tPred symtab.Sym, tFrees []term.Value, dest int32, c term.Value, kind StepKind, queue *[]int32) error {
 	r := pr.r
 	// The entry was created by an arc of rule r, whose target predicate is
 	// the recursive literal's; it must match the tuple's predicate.
-	if r.Rule.Body[r.RecIndex].Pred != t.pred {
+	if r.Rule.Body[r.RecIndex].Pred != tPred {
 		return nil
 	}
 	bound := map[symtab.Sym]term.Value{}
-	if !engine.MatchTerms(rt.bank, r.RecFree, t.frees, bound) {
+	if !engine.MatchTerms(rt.bank, r.RecFree, tFrees, bound) {
 		return nil
 	}
 	cvals, ok := rt.bank.ListElems(c)
@@ -691,14 +826,13 @@ func (rt *Runtime) applyMove(pr *preparedRec, t tuple, dest int32, c term.Value,
 	}
 	if len(r.BoundInRight) > 0 || r.SkipModified {
 		// The head's bound arguments come from the destination node.
-		if !engine.MatchTerms(rt.bank, r.HeadBound, rt.nodes[dest].vals, bound) {
+		if !engine.MatchTerms(rt.bank, r.HeadBound, rt.nodeVals(dest), bound) {
 			return nil
 		}
 	}
 	if r.SkipModified {
 		// Right-linear: the free arguments pass through unchanged.
-		return rt.pushTuple(tuple{pred: r.Rule.Head.Pred, frees: t.frees, node: dest},
-			queue, kind, pr.idx, &t)
+		return rt.pushTuple(r.Rule.Head.Pred, tFrees, dest, queue, kind, pr.idx, tid)
 	}
 	boundVals := make([]term.Value, len(pr.rightBound))
 	for i, v := range pr.rightBound {
@@ -709,8 +843,8 @@ func (rt *Runtime) applyMove(pr *preparedRec, t tuple, dest int32, c term.Value,
 		}
 		boundVals[i] = val
 	}
+	sol := map[symtab.Sym]term.Value{}
 	return pr.right.Solve(boundVals, func(vals []term.Value) error {
-		sol := map[symtab.Sym]term.Value{}
 		for i, v := range pr.rightWant {
 			sol[v] = vals[i]
 		}
@@ -721,14 +855,18 @@ func (rt *Runtime) applyMove(pr *preparedRec, t tuple, dest int32, c term.Value,
 		if err != nil {
 			return err
 		}
-		return rt.pushTuple(tuple{pred: r.Rule.Head.Pred, frees: frees, node: dest},
-			queue, kind, pr.idx, &t)
+		return rt.pushTuple(r.Rule.Head.Pred, frees, dest, queue, kind, pr.idx, tid)
 	})
 }
 
-// instantiateFrees grounds the free head arguments under sol.
+// instantiateFrees grounds the free head arguments under sol into the
+// runtime's reusable scratch buffer; pushTuple copies it into the tuple
+// arena only when the tuple is new.
 func (rt *Runtime) instantiateFrees(freeTerms []ast.Term, sol map[symtab.Sym]term.Value, srcRule ast.Rule) ([]term.Value, error) {
-	frees := make([]term.Value, len(freeTerms))
+	if cap(rt.freesBuf) < len(freeTerms) {
+		rt.freesBuf = make([]term.Value, len(freeTerms))
+	}
+	frees := rt.freesBuf[:len(freeTerms)]
 	for i, ft := range freeTerms {
 		v, ok := engine.InstantiateTerm(rt.bank, ft, sol)
 		if !ok {

@@ -70,7 +70,7 @@ func TestExample5CountingSet(t *testing.T) {
 		if id == nilNode {
 			return "nil"
 		}
-		return f.bank.Format(rt.nodes[id].vals[0])
+		return f.bank.Format(rt.nodeVals(id)[0])
 	}
 	ahead := map[string][]string{}
 	back := map[string][]string{}

@@ -1,0 +1,258 @@
+package database
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+// TestProbeEqualsScanFilter is the index-correctness law for the
+// open-addressing tables: for random relations, random probe masks and
+// random keys, the indexed Probe iterator must yield exactly the rows a
+// full-scan filter accepts, in the same (insertion) order. It also checks
+// ProbeRange against the filtered [lo, hi) window. Run under -race by
+// `make check`.
+func TestProbeEqualsScanFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := rng.Intn(4) + 1
+		rel := NewRelation(arity)
+		domain := int64(rng.Intn(4) + 1)
+		randTuple := func() Tuple {
+			tu := make(Tuple, arity)
+			for i := range tu {
+				tu[i] = term.Int(rng.Int63n(domain))
+			}
+			return tu
+		}
+		// Build some indexes before, some after the inserts, so both the
+		// bulk-build and the incremental indexAdd paths are exercised.
+		full := uint64(1)<<uint(arity) - 1
+		pre := uint64(rng.Int63()) & full
+		if pre != 0 {
+			rel.ProbeIDs(pre, make([]term.Value, popcount(pre)))
+		}
+		n := rng.Intn(80)
+		for i := 0; i < n; i++ {
+			rel.Insert(randTuple())
+		}
+		for trial := 0; trial < 8; trial++ {
+			mask := uint64(rng.Int63()) & full
+			target := randTuple()
+			var probe []term.Value
+			for c := 0; c < arity; c++ {
+				if mask&(1<<uint(c)) != 0 {
+					probe = append(probe, target[c])
+				}
+			}
+			var want []RowID
+			for id := RowID(0); int(id) < rel.Len(); id++ {
+				row := rel.Row(id)
+				match := true
+				for c := 0; c < arity; c++ {
+					if mask&(1<<uint(c)) != 0 && row[c] != target[c] {
+						match = false
+						break
+					}
+				}
+				if match {
+					want = append(want, id)
+				}
+			}
+			got := rel.ProbeIDs(mask, probe)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			// The same law over a random window, for the delta-join path.
+			lo := RowID(rng.Intn(rel.Len() + 1))
+			hi := lo + RowID(rng.Intn(rel.Len()+1-int(lo)))
+			var wantR []RowID
+			for _, id := range want {
+				if id >= lo && id < hi {
+					wantR = append(wantR, id)
+				}
+			}
+			it := rel.ProbeRange(mask, probe, lo, hi)
+			var gotR []RowID
+			for id, ok := it.Next(); ok; id, ok = it.Next() {
+				gotR = append(gotR, id)
+			}
+			if len(gotR) != len(wantR) {
+				return false
+			}
+			for i := range gotR {
+				if gotR[i] != wantR[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIterSnapshotSemantics: an iterator captures the relation's length at
+// creation; rows inserted while draining it are not yielded — the contract
+// a naive fixpoint relies on when a rule reads the relation it extends.
+func TestIterSnapshotSemantics(t *testing.T) {
+	rel := NewRelation(1)
+	rel.Insert(Tuple{term.Int(0)})
+	rel.Insert(Tuple{term.Int(1)})
+	it := rel.Scan()
+	var seen int
+	for _, ok := it.Next(); ok; _, ok = it.Next() {
+		seen++
+		rel.Insert(Tuple{term.Int(int64(100 + seen))})
+	}
+	if seen != 2 {
+		t.Errorf("scan yielded %d rows, want the 2 present at creation", seen)
+	}
+	// Same for an indexed probe whose chain grows mid-iteration.
+	rel2 := NewRelation(2)
+	rel2.Insert(Tuple{term.Int(1), term.Int(0)})
+	rel2.Insert(Tuple{term.Int(1), term.Int(1)})
+	it2 := rel2.Probe(1, []term.Value{term.Int(1)})
+	seen = 0
+	for _, ok := it2.Next(); ok; _, ok = it2.Next() {
+		seen++
+		rel2.Insert(Tuple{term.Int(1), term.Int(int64(100 + seen))})
+	}
+	if seen != 2 {
+		t.Errorf("probe yielded %d rows, want the 2 present at creation", seen)
+	}
+}
+
+// TestGrowthBoundaries crosses the dedup and index growth thresholds
+// (capacity 16, load factor 3/4 ⇒ growth at 12 entries) and checks
+// everything stays findable across the rehash.
+func TestGrowthBoundaries(t *testing.T) {
+	for _, n := range []int{11, 12, 13, 24, 25, 100} {
+		rel := NewRelation(2)
+		rel.ProbeIDs(1, []term.Value{term.Int(0)}) // index exists from the start
+		for i := 0; i < n; i++ {
+			if !rel.Insert(Tuple{term.Int(int64(i)), term.Int(int64(i % 5))}) {
+				t.Fatalf("n=%d: insert %d reported duplicate", n, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			tu := Tuple{term.Int(int64(i)), term.Int(int64(i % 5))}
+			if !rel.Contains(tu) {
+				t.Fatalf("n=%d: tuple %d lost after growth", n, i)
+			}
+			if got := rel.ProbeIDs(1, tu[:1]); len(got) != 1 || got[0] != RowID(i) {
+				t.Fatalf("n=%d: probe for row %d = %v", n, i, got)
+			}
+		}
+	}
+}
+
+// TestArityZero: a propositional relation has at most one (empty) row; the
+// arena stays empty but Len/Contains/Scan behave.
+func TestArityZero(t *testing.T) {
+	rel := NewRelation(0)
+	if rel.Contains(Tuple{}) {
+		t.Error("empty relation contains the empty tuple")
+	}
+	if !rel.Insert(Tuple{}) {
+		t.Error("first insert reported duplicate")
+	}
+	if rel.Insert(Tuple{}) {
+		t.Error("second insert reported new")
+	}
+	if rel.Len() != 1 || !rel.Contains(Tuple{}) || rel.ArenaLen() != 0 {
+		t.Errorf("Len=%d ArenaLen=%d Contains=%v", rel.Len(), rel.ArenaLen(), rel.Contains(Tuple{}))
+	}
+	n := 0
+	it := rel.Scan()
+	for _, ok := it.Next(); ok; _, ok = it.Next() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("scan yielded %d rows, want 1", n)
+	}
+}
+
+// TestInsertAfterReset reuses capacity and keeps dedup/indexes consistent
+// (the broader property is TestResetKeepsIndexesConsistent).
+func TestInsertAfterReset(t *testing.T) {
+	rel := NewRelation(1)
+	for i := 0; i < 20; i++ {
+		rel.Insert(Tuple{term.Int(int64(i))})
+	}
+	rel.Reset()
+	if rel.Len() != 0 || rel.Contains(Tuple{term.Int(3)}) {
+		t.Fatal("Reset left data behind")
+	}
+	if !rel.Insert(Tuple{term.Int(3)}) {
+		t.Error("insert after Reset reported duplicate")
+	}
+	if rel.Insert(Tuple{term.Int(3)}) {
+		t.Error("dedup broken after Reset")
+	}
+}
+
+// TestSnapshotGoldenCompat proves on-disk compatibility: an LCDB2 file
+// written by the pre-refactor implementation (testdata/prerefactor.lcdb2)
+// must load identically, and re-saving the loaded database must reproduce
+// the original bytes exactly (same symbol, compound and row order).
+func TestSnapshotGoldenCompat(t *testing.T) {
+	golden, err := os.ReadFile("testdata/prerefactor.lcdb2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(term.NewBank(symtab.New()))
+	if err := Load(bytes.NewReader(golden), db); err != nil {
+		t.Fatalf("pre-refactor snapshot rejected: %v", err)
+	}
+	want := New(term.NewBank(symtab.New()))
+	if err := want.LoadText(`up(a,b). up(b,c). up(c,d). flat(b,f). down(f,g).
+		n(7). n(-3). big(2305843009213693951). pt(p(1,2)). l([1,[2,x]]). flag.`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Format() != want.Format() {
+		t.Errorf("golden snapshot loaded to:\n%s\nwant:\n%s", db.Format(), want.Format())
+	}
+	var out bytes.Buffer
+	if err := Save(&out, db); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Error("re-saving the pre-refactor snapshot changed its bytes")
+	}
+}
+
+// TestSnapshotRoundTripBytes: Save → Load into a fresh bank → Save yields
+// byte-identical output (LCDB2 bytes are unchanged by the arena rebuild).
+func TestSnapshotRoundTripBytes(t *testing.T) {
+	src := New(term.NewBank(symtab.New()))
+	if err := src.LoadText("up(a,b). up(b,c). pt(p(1,q(2))). n(-9). flag."); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := Save(&first, src); err != nil {
+		t.Fatal(err)
+	}
+	db := New(term.NewBank(symtab.New()))
+	if err := Load(bytes.NewReader(first.Bytes()), db); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := Save(&second, db); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("snapshot round trip changed bytes")
+	}
+}

@@ -3,10 +3,15 @@
 // columns. It is the substrate every evaluation strategy reads base facts
 // from; derived (intensional) facts live in engine-local Relations of the
 // same type.
+//
+// Storage is columnar in spirit: a relation holds all its tuples in one
+// flat arena addressed by dense RowID (see arena.go), dedup and indexes
+// are open-addressing tables hashing straight out of the arena, and the
+// probe path allocates nothing. Tuple remains as a compatibility view
+// type; Row/Probe/Scan are the zero-copy API.
 package database
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,7 +22,9 @@ import (
 	"lincount/internal/term"
 )
 
-// Tuple is one row of a relation. All values are ground.
+// Tuple is one row of a relation. All values are ground. Tuples returned
+// by Row/At/Tuples are views into the relation's arena: valid until the
+// relation is Reset, and never to be mutated.
 type Tuple []term.Value
 
 // Equal reports element-wise equality.
@@ -36,29 +43,8 @@ func (t Tuple) Equal(o Tuple) bool {
 // Clone returns a copy of the tuple.
 func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
 
-// key builds the map key for the columns selected by mask (bit i ⇒ column
-// i participates). With mask covering all columns it is the dedup key.
-func (t Tuple) key(mask uint64) string {
-	buf := make([]byte, 0, len(t)*3)
-	for i, v := range t {
-		if mask&(1<<uint(i)) != 0 {
-			buf = binary.AppendVarint(buf, int64(v))
-		}
-	}
-	return string(buf)
-}
-
-// maskKey builds a key from the given values for a probe against an index
-// on mask; vals must contain exactly the masked columns, in column order.
-func maskKey(vals []term.Value) string {
-	buf := make([]byte, 0, len(vals)*3)
-	for _, v := range vals {
-		buf = binary.AppendVarint(buf, int64(v))
-	}
-	return string(buf)
-}
-
-// Relation is a set of same-arity tuples with optional column indexes.
+// Relation is a set of same-arity tuples stored in one flat arena and
+// addressed by dense RowID, with optional open-addressing column indexes.
 // The zero value is not usable; call NewRelation.
 //
 // Concurrency: a Relation has a single writer. Concurrent readers are safe
@@ -67,10 +53,11 @@ func maskKey(vals []term.Value) string {
 // relations being read-only.
 type Relation struct {
 	arity   int
-	tuples  []Tuple
-	present map[string]bool
+	rows    int
+	arena   []term.Value
+	dedup   dedupTable
 	indexMu sync.Mutex
-	indexes map[uint64]map[string][]int32
+	indexes map[uint64]*rowIndex
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -81,105 +68,196 @@ func NewRelation(arity int) *Relation {
 	}
 	return &Relation{
 		arity:   arity,
-		present: make(map[string]bool),
-		indexes: make(map[uint64]map[string][]int32),
+		indexes: make(map[uint64]*rowIndex),
 	}
 }
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
-// Reset removes all tuples but keeps allocated capacity, including index
-// map storage. Used by evaluators that refill a scratch relation in a hot
-// loop.
+// Reset removes all tuples but keeps allocated capacity: the arena, the
+// dedup table and every index keep their backing storage. Used by
+// evaluators that refill a scratch relation in a hot loop. Row views
+// handed out before the Reset are invalidated.
 func (r *Relation) Reset() {
-	r.tuples = r.tuples[:0]
-	clear(r.present)
+	r.rows = 0
+	r.arena = r.arena[:0]
+	for i := range r.dedup.slots {
+		r.dedup.slots[i] = noRow
+	}
+	r.dedup.used = 0
 	for _, ix := range r.indexes {
-		clear(ix)
+		for i := range ix.slots {
+			ix.slots[i] = -1
+		}
+		ix.keys = ix.keys[:0]
+		ix.next = ix.next[:0]
 	}
 }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.rows }
+
+// ArenaLen returns the number of term values held in the arena; a cheap
+// proxy for the relation's resident data size, surfaced in Stats.
+func (r *Relation) ArenaLen() int { return len(r.arena) }
 
 // fullMask covers all columns.
 func (r *Relation) fullMask() uint64 { return (1 << uint(r.arity)) - 1 }
 
-// Insert adds a tuple and reports whether it was new. The tuple is copied.
+// Insert adds a tuple and reports whether it was new. The values are
+// copied into the arena; the caller keeps ownership of t.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("database: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
-	k := t.key(r.fullMask())
-	if r.present[k] {
-		return false
+	if (r.dedup.used+1)*4 > len(r.dedup.slots)*3 {
+		r.dedupGrow()
 	}
-	r.present[k] = true
-	idx := int32(len(r.tuples))
-	r.tuples = append(r.tuples, t.Clone())
-	for mask, ix := range r.indexes {
-		pk := t.key(mask)
-		ix[pk] = append(ix[pk], idx)
+	m := uint64(len(r.dedup.slots) - 1)
+	i := HashValues(t) & m
+	for {
+		row := r.dedup.slots[i]
+		if row == noRow {
+			break
+		}
+		if r.rowEqualFull(row, t) {
+			return false
+		}
+		i = (i + 1) & m
+	}
+	id := RowID(r.rows)
+	r.arena = append(r.arena, t...)
+	r.rows++
+	r.dedup.slots[i] = id
+	r.dedup.used++
+	for _, ix := range r.indexes {
+		r.indexAdd(ix, id)
 	}
 	return true
 }
 
-// Contains reports whether the relation holds the tuple.
+// Contains reports whether the relation holds the tuple. Allocation-free.
 func (r *Relation) Contains(t Tuple) bool {
-	if len(t) != r.arity {
+	if len(t) != r.arity || r.rows == 0 {
 		return false
 	}
-	return r.present[t.key(r.fullMask())]
+	m := uint64(len(r.dedup.slots) - 1)
+	for i := HashValues(t) & m; ; i = (i + 1) & m {
+		row := r.dedup.slots[i]
+		if row == noRow {
+			return false
+		}
+		if r.rowEqualFull(row, t) {
+			return true
+		}
+	}
 }
 
-// At returns the i-th tuple (insertion order). The returned slice must not
-// be mutated.
-func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+// Row returns the zero-copy arena view of one row. The view is valid until
+// the relation is Reset (inserts never move committed rows out from under
+// a view: arena growth reallocates, but the old backing array is left
+// intact for outstanding views). Callers must not mutate it.
+func (r *Relation) Row(id RowID) []term.Value { return r.rowSlice(id) }
 
-// Tuples returns the backing slice of tuples in insertion order. Callers
-// must not mutate it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// At returns the i-th tuple (insertion order) as a zero-copy view; see Row.
+func (r *Relation) At(i int) Tuple { return Tuple(r.rowSlice(RowID(i))) }
+
+// Tuples returns the rows in insertion order as a fresh slice of zero-copy
+// views. It allocates the slice of headers (O(rows)); hot paths should use
+// Scan/Probe iterators with Row instead.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, r.rows)
+	for i := range out {
+		out[i] = Tuple(r.rowSlice(RowID(i)))
+	}
+	return out
+}
 
 // ensureIndex builds (once) the index on mask. Safe for concurrent
-// readers; the mutex also orders the lazily built map against them.
-func (r *Relation) ensureIndex(mask uint64) map[string][]int32 {
+// readers; the mutex also orders the lazily built index against them.
+func (r *Relation) ensureIndex(mask uint64) *rowIndex {
 	r.indexMu.Lock()
 	defer r.indexMu.Unlock()
 	if ix, ok := r.indexes[mask]; ok {
 		return ix
 	}
-	ix := make(map[string][]int32, len(r.tuples))
-	for i, t := range r.tuples {
-		k := t.key(mask)
-		ix[k] = append(ix[k], int32(i))
+	ix := &rowIndex{mask: mask}
+	for id := RowID(0); int(id) < r.rows; id++ {
+		r.indexAdd(ix, id)
 	}
 	r.indexes[mask] = ix
 	return ix
 }
 
-// Probe returns the indices (into Tuples) of tuples whose masked columns
-// equal vals. vals must list exactly the masked columns, in column order.
-// The returned slice must not be mutated.
-func (r *Relation) Probe(mask uint64, vals []term.Value) []int32 {
+// Probe returns an iterator over the rows whose masked columns equal vals
+// (bit i of mask ⇒ column i participates; vals lists exactly the masked
+// columns, in column order). mask 0 is a full scan. After the index
+// exists, a probe performs no allocation: the key is hashed from vals and
+// compared against arena rows directly.
+func (r *Relation) Probe(mask uint64, vals []term.Value) RowIter {
+	return r.ProbeRange(mask, vals, 0, RowID(r.rows))
+}
+
+// ProbeRange is Probe restricted to rows in [lo, hi): the semi-naive
+// engine's delta join, with deltas represented as RowID watermarks instead
+// of separate relations.
+func (r *Relation) ProbeRange(mask uint64, vals []term.Value, lo, hi RowID) RowIter {
+	if hi > RowID(r.rows) {
+		hi = RowID(r.rows)
+	}
+	if lo >= hi {
+		return emptyIter()
+	}
 	if mask == 0 {
-		// Full scan request: callers should iterate Tuples directly, but
-		// keep this correct for uniformity.
-		out := make([]int32, len(r.tuples))
-		for i := range out {
-			out[i] = int32(i)
-		}
-		return out
+		return RowIter{cur: lo, hi: hi}
 	}
 	ix := r.ensureIndex(mask)
-	return ix[maskKey(vals)]
+	k := r.findKey(ix, vals)
+	if k < 0 {
+		return emptyIter()
+	}
+	cur := ix.keys[k].head
+	// Chains ascend by RowID; skip the prefix below lo.
+	for cur != noRow && cur < lo {
+		cur = ix.next[cur]
+	}
+	if cur == noRow || cur >= hi {
+		return emptyIter()
+	}
+	return RowIter{next: ix.next, cur: cur, hi: hi}
+}
+
+// Scan iterates all rows in insertion order (snapshot semantics: rows
+// inserted after the call are not yielded).
+func (r *Relation) Scan() RowIter { return RowIter{cur: 0, hi: RowID(r.rows)} }
+
+// ScanRange iterates rows in [lo, hi) in insertion order.
+func (r *Relation) ScanRange(lo, hi RowID) RowIter {
+	if hi > RowID(r.rows) {
+		hi = RowID(r.rows)
+	}
+	if lo >= hi {
+		return emptyIter()
+	}
+	return RowIter{cur: lo, hi: hi}
+}
+
+// ProbeIDs collects Probe's result into a fresh slice; a convenience for
+// tests and non-hot callers.
+func (r *Relation) ProbeIDs(mask uint64, vals []term.Value) []RowID {
+	var out []RowID
+	it := r.Probe(mask, vals)
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
+		out = append(out, id)
+	}
+	return out
 }
 
 // Sorted returns the tuples sorted by term.Compare column-major; useful for
 // deterministic test output.
 func (r *Relation) Sorted() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	out := r.Tuples()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -263,6 +341,16 @@ func (db *Database) FactCount() int {
 	n := 0
 	for _, r := range db.rels {
 		n += r.Len()
+	}
+	return n
+}
+
+// ArenaValues returns the total number of term values resident in all
+// relation arenas.
+func (db *Database) ArenaValues() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.ArenaLen()
 	}
 	return n
 }

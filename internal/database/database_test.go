@@ -52,7 +52,7 @@ func TestProbe(t *testing.T) {
 		r.Insert(Tuple{term.Int(i % 3), term.Int(i)})
 	}
 	// Index on column 0.
-	got := r.Probe(1<<0, []term.Value{term.Int(1)})
+	got := r.ProbeIDs(1<<0, []term.Value{term.Int(1)})
 	if len(got) != 3 { // i = 1, 4, 7
 		t.Fatalf("Probe returned %d rows, want 3", len(got))
 	}
@@ -62,12 +62,12 @@ func TestProbe(t *testing.T) {
 		}
 	}
 	// Index on both columns.
-	got = r.Probe(3, []term.Value{term.Int(2), term.Int(5)})
+	got = r.ProbeIDs(3, []term.Value{term.Int(2), term.Int(5)})
 	if len(got) != 1 || r.At(int(got[0]))[1] != term.Int(5) {
 		t.Errorf("two-column probe = %v", got)
 	}
 	// Missing key.
-	if got := r.Probe(3, []term.Value{term.Int(9), term.Int(9)}); len(got) != 0 {
+	if got := r.ProbeIDs(3, []term.Value{term.Int(9), term.Int(9)}); len(got) != 0 {
 		t.Errorf("probe of absent key returned %v", got)
 	}
 }
@@ -75,9 +75,9 @@ func TestProbe(t *testing.T) {
 func TestIndexMaintainedAfterBuild(t *testing.T) {
 	r := NewRelation(2)
 	r.Insert(Tuple{term.Int(1), term.Int(10)})
-	_ = r.Probe(1, []term.Value{term.Int(1)}) // build index
+	_ = r.ProbeIDs(1, []term.Value{term.Int(1)}) // build index
 	r.Insert(Tuple{term.Int(1), term.Int(11)})
-	got := r.Probe(1, []term.Value{term.Int(1)})
+	got := r.ProbeIDs(1, []term.Value{term.Int(1)})
 	if len(got) != 2 {
 		t.Errorf("index not maintained: probe = %v", got)
 	}
@@ -87,7 +87,7 @@ func TestProbeZeroMaskScansAll(t *testing.T) {
 	r := NewRelation(1)
 	r.Insert(Tuple{term.Int(1)})
 	r.Insert(Tuple{term.Int(2)})
-	if got := r.Probe(0, nil); len(got) != 2 {
+	if got := r.ProbeIDs(0, nil); len(got) != 2 {
 		t.Errorf("zero-mask probe = %v", got)
 	}
 }
@@ -128,7 +128,7 @@ func TestProbeMatchesLinearScan(t *testing.T) {
 				want[int32(i)] = true
 			}
 		}
-		got := rel.Probe(mask, probe)
+		got := rel.ProbeIDs(mask, probe)
 		if len(got) != len(want) {
 			return false
 		}
@@ -165,7 +165,7 @@ func TestResetKeepsIndexesConsistent(t *testing.T) {
 		// Build every possible index before the reset.
 		masks := []uint64{1, 2, 3, 4, 5, 6, 7}
 		for _, m := range masks {
-			rel.Probe(m, make([]term.Value, popcount(m)))
+			rel.ProbeIDs(m, make([]term.Value, popcount(m)))
 		}
 		rel.Reset()
 		if rel.Len() != 0 {
@@ -196,7 +196,7 @@ func TestResetKeepsIndexesConsistent(t *testing.T) {
 					want[int32(i)] = true
 				}
 			}
-			got := rel.Probe(mask, probe)
+			got := rel.ProbeIDs(mask, probe)
 			if len(got) != len(want) {
 				return false
 			}

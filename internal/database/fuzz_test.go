@@ -72,6 +72,42 @@ func FuzzLoadSnapshot(f *testing.F) {
 		f.Add(c)
 	}
 
+	// Arena-rebuild seeds: the loader reconstructs each relation's arena,
+	// dedup table and indexes from the byte stream, so seed the shapes
+	// that stress that path — a declared-but-empty relation, an arity-0
+	// (propositional) relation, and a relation sized to land exactly on
+	// the open-addressing growth boundary (capacity 16 × load factor 3/4
+	// ⇒ rehash at the 12th row).
+	arena := New(term.NewBank(symtab.New()))
+	if _, err := arena.Ensure(arena.Bank().Symbols().Intern("empty"), 2); err != nil {
+		f.Fatal(err)
+	}
+	if err := arena.LoadText("flag."); err != nil {
+		f.Fatal(err)
+	}
+	grow := make([]byte, 0, 256)
+	grow = append(grow, "grow(0)."...)
+	for i := 1; i < 13; i++ {
+		grow = append(grow, " grow("...)
+		grow = append(grow, byte('0'+i/10), byte('0'+i%10))
+		grow = append(grow, ")."...)
+	}
+	if err := arena.LoadText(string(grow)); err != nil {
+		f.Fatal(err)
+	}
+	var abuf bytes.Buffer
+	if err := Save(&abuf, arena); err != nil {
+		f.Fatal(err)
+	}
+	avalid := abuf.Bytes()
+	f.Add(avalid)
+	f.Add(avalid[:len(avalid)-5])
+	for i := 6; i < len(avalid); i += 13 {
+		c := append([]byte(nil), avalid...)
+		c[i] ^= 0x0f
+		f.Add(c)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		db := New(term.NewBank(symtab.New()))
 		if err := Load(bytes.NewReader(data), db); err != nil {

@@ -98,8 +98,11 @@ func Save(w io.Writer, db *Database) error {
 		writeUvarint(bw, uint64(p))
 		writeUvarint(bw, uint64(rel.Arity()))
 		writeUvarint(bw, uint64(rel.Len()))
-		for _, t := range rel.Tuples() {
-			for _, v := range t {
+		// Rows are written in insertion order (ascending RowID), which is
+		// exactly the order the pre-arena writer emitted tuples in: the
+		// on-disk bytes are unchanged by the columnar refactor.
+		for id := RowID(0); int(id) < rel.Len(); id++ {
+			for _, v := range rel.Row(id) {
 				writeValue(bw, v)
 			}
 		}
@@ -199,8 +202,9 @@ func mergeSnapshot(db, staging *Database) error {
 		if err != nil {
 			return err
 		}
-		for _, t := range src.Tuples() {
-			dst.Insert(t)
+		for id := RowID(0); int(id) < src.Len(); id++ {
+			// Insert copies the row view into dst's arena.
+			dst.Insert(Tuple(src.Row(id)))
 		}
 	}
 	return nil

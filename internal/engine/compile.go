@@ -77,6 +77,10 @@ type compiledLit struct {
 	// this literal is reached (Const args and args whose variables are all
 	// bound by earlier literals). Used for index selection.
 	probeMask uint64
+	// scratchOff is this literal's offset into the rule's shared scratch
+	// buffer (len(args) values); literals at different join depths use
+	// disjoint windows, so probe values survive the recursion below them.
+	scratchOff int
 }
 
 // compiledRule is a rule prepared for evaluation. For semi-naive variants
@@ -94,6 +98,17 @@ type compiledRule struct {
 	// that occurrence first. recBodyIdx[i] is its body position.
 	deltaOrders [][]compiledLit
 	recBodyIdx  []int
+
+	// Reusable join buffers, so a rule evaluation allocates nothing per
+	// probe or per emitted head tuple. A compiled rule belongs to exactly
+	// one evaluation site (one component pass, or one PreparedSolve), so
+	// there is a single non-reentrant user at a time; join falls back to
+	// fresh buffers if it observes reentrancy (inUse).
+	frame   []term.Value // one slot per variable
+	scratch []term.Value // probe/negation values, windowed by scratchOff
+	headBuf []term.Value // the emitted head tuple, reused across solutions
+	trail   []int
+	inUse   bool
 }
 
 // nRecOccur reports the number of recursive body occurrences.
@@ -251,6 +266,10 @@ func compileRule(bank *term.Bank, r ast.Rule, inComponent map[symtab.Sym]bool, s
 		return nil, err
 	}
 
+	scratchLen := 0
+	for _, bl := range lits {
+		scratchLen += len(bl.args)
+	}
 	cr := &compiledRule{
 		src:          r,
 		nslots:       nslots,
@@ -258,6 +277,9 @@ func compileRule(bank *term.Bank, r ast.Rule, inComponent map[symtab.Sym]bool, s
 		head:         headPats,
 		headPred:     r.Head.Pred,
 		defaultOrder: defaultOrder,
+		frame:        make([]term.Value, nslots),
+		scratch:      make([]term.Value, scratchLen),
+		headBuf:      make([]term.Value, len(headPats)),
 	}
 
 	// Safety: every head variable must be bound by the (default) body
@@ -299,6 +321,7 @@ func orderBody(bank *term.Bank, r ast.Rule, lits []bodyLit, nslots, first int, s
 	bound := make([]bool, nslots)
 	used := make([]bool, len(lits))
 	var order []compiledLit
+	scratchOff := 0
 
 	litReady := func(bl bodyLit) bool {
 		switch bl.kind {
@@ -354,13 +377,15 @@ func orderBody(bank *term.Bank, r ast.Rule, lits []bodyLit, nslots, first int, s
 			}
 		}
 		order = append(order, compiledLit{
-			kind:      bl.kind,
-			op:        bl.op,
-			pred:      bl.lit.Pred,
-			args:      bl.args,
-			bodyIdx:   bl.bodyIdx,
-			probeMask: mask,
+			kind:       bl.kind,
+			op:         bl.op,
+			pred:       bl.lit.Pred,
+			args:       bl.args,
+			bodyIdx:    bl.bodyIdx,
+			probeMask:  mask,
+			scratchOff: scratchOff,
 		})
+		scratchOff += len(bl.args)
 		for _, a := range bl.args {
 			for _, s := range a.patVars(nil) {
 				bound[s] = true

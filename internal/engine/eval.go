@@ -77,13 +77,16 @@ const (
 
 // Stats counts evaluation work. Inferences is the classic deductive-database
 // cost metric: the number of successful rule instantiations, including those
-// that rederive known facts.
+// that rederive known facts. ArenaValues is the number of term values
+// resident in the derived relations' arenas when evaluation finishes — the
+// storage footprint of the materialized model, in values, not bytes.
 type Stats struct {
 	Iterations   int
 	Components   int
 	Inferences   int64
 	DerivedFacts int64
 	Probes       int64
+	ArenaValues  int64
 }
 
 // Add accumulates other into s.
@@ -93,6 +96,16 @@ func (s *Stats) Add(other Stats) {
 	s.Inferences += other.Inferences
 	s.DerivedFacts += other.DerivedFacts
 	s.Probes += other.Probes
+	s.ArenaValues += other.ArenaValues
+}
+
+// deltaView is a semi-naive delta represented as a RowID window: the rows
+// of rel with lo <= id < hi are exactly the facts derived in the previous
+// iteration. Deltas are watermarks over the head relation itself, not
+// separate relations — no tuple is ever stored twice.
+type deltaView struct {
+	rel    *database.Relation
+	lo, hi database.RowID
 }
 
 // Result holds the derived relations of an evaluation.
@@ -204,8 +217,9 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 				return nil, fmt.Errorf("engine: predicate %s has arity %d in program but %d in database",
 					ev.bank.Symbols().String(pred), rel.Arity(), base.Arity())
 			}
-			for _, t := range base.Tuples() {
-				if rel.Insert(t) {
+			for id := database.RowID(0); int(id) < base.Len(); id++ {
+				// Insert copies the base row view into the derived arena.
+				if rel.Insert(database.Tuple(base.Row(id))) {
 					ev.stats.DerivedFacts++
 					ev.factTotal.Add(1)
 				}
@@ -240,6 +254,7 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 				}
 			}
 		}
+		ev.noteArenas()
 		return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats}, nil
 	}
 
@@ -249,7 +264,16 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 			return nil, err
 		}
 	}
+	ev.noteArenas()
 	return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats}, nil
+}
+
+// noteArenas records the derived relations' resident arena size in Stats.
+func (ev *evaluator) noteArenas() {
+	ev.stats.ArenaValues = 0
+	for _, rel := range ev.derived {
+		ev.stats.ArenaValues += int64(rel.ArenaLen())
+	}
 }
 
 // checkArities verifies consistent predicate arities across the program.
@@ -403,41 +427,49 @@ func (ev *evaluator) naiveFixpoint(rules []*compiledRule) error {
 // semiNaiveFixpoint runs the standard differential fixpoint: iteration 0
 // evaluates every rule naively to seed the deltas; afterwards each
 // recursive rule is evaluated once per recursive body occurrence with the
-// delta relation substituted at that occurrence.
+// delta substituted at that occurrence. A delta is a RowID watermark pair
+// over the head relation — the rows appended during the previous
+// iteration — so no delta tuples are materialized or inserted twice.
 func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) error {
-	delta := make(map[symtab.Sym]*database.Relation, len(comp.Preds))
-
-	collect := func() map[symtab.Sym]*database.Relation {
-		m := make(map[symtab.Sym]*database.Relation, len(comp.Preds))
-		for _, p := range comp.Preds {
-			m[p] = database.NewRelation(ev.arity[p])
+	lo := make(map[symtab.Sym]database.RowID, len(comp.Preds))
+	delta := make(map[symtab.Sym]deltaView, len(comp.Preds))
+	for _, p := range comp.Preds {
+		if rel, ok := ev.derived[p]; ok {
+			lo[p] = database.RowID(rel.Len())
 		}
-		return m
+	}
+	// advance snapshots each head relation's growth since the last call
+	// as the next iteration's delta windows and returns the total window
+	// size.
+	advance := func() int64 {
+		var n int64
+		for _, p := range comp.Preds {
+			rel, ok := ev.derived[p]
+			if !ok {
+				continue
+			}
+			hi := database.RowID(rel.Len())
+			delta[p] = deltaView{rel: rel, lo: lo[p], hi: hi}
+			n += int64(hi - lo[p])
+			lo[p] = hi
+		}
+		return n
 	}
 
 	// Iteration 0: naive pass over all rules.
 	ev.stats.Iterations++
-	next := collect()
 	for _, cr := range rules {
-		if err := ev.runRuleInto(cr, -1, nil, next); err != nil {
+		if err := ev.runRule(cr, -1, nil, nil); err != nil {
 			return err
 		}
 	}
-	delta = next
-
-	deltaLen := func() int64 {
-		var n int64
-		for _, r := range delta {
-			n += int64(r.Len())
-		}
-		return n
-	}
+	dn := advance()
 	ev.trace(TraceEvent{
 		Kind: "iteration", Iteration: 0,
-		DeltaFacts: deltaLen(), TotalFacts: ev.stats.DerivedFacts,
+		DeltaFacts: dn, TotalFacts: ev.stats.DerivedFacts,
 	})
 
-	for iter := 1; deltaLen() > 0; iter++ {
+	for iter := 1; dn > 0; iter++ {
 		if err := ev.check.Check(); err != nil {
 			return err
 		}
@@ -448,51 +480,25 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
 		ev.stats.Iterations++
-		next = collect()
 		for _, cr := range rules {
 			for occ := 0; occ < cr.nRecOccur(); occ++ {
-				if err := ev.runRuleInto(cr, occ, delta, next); err != nil {
+				if err := ev.runRule(cr, occ, delta, nil); err != nil {
 					return err
 				}
 			}
 		}
-		delta = next
+		dn = advance()
 		ev.trace(TraceEvent{
 			Kind: "iteration", Iteration: iter,
-			DeltaFacts: deltaLen(), TotalFacts: ev.stats.DerivedFacts,
+			DeltaFacts: dn, TotalFacts: ev.stats.DerivedFacts,
 		})
 	}
 	return nil
 }
 
-// runRuleInto evaluates one rule variant, inserting new tuples into the
-// head's full relation and recording them in nextDelta.
-func (ev *evaluator) runRuleInto(cr *compiledRule, deltaOcc int, delta, nextDelta map[symtab.Sym]*database.Relation) error {
-	headRel := ev.derived[cr.headPred]
-	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
-		ev.stats.Inferences++
-		if err := ev.check.Tick(); err != nil {
-			return err
-		}
-		if headRel.Insert(t) {
-			ev.stats.DerivedFacts++
-			if err := ev.inject.Hit(faultinject.SiteEngineInsert); err != nil {
-				return err
-			}
-			if n := ev.factTotal.Add(1); n > ev.maxFacts {
-				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
-			}
-			if nextDelta != nil {
-				nextDelta[cr.headPred].Insert(t)
-			}
-		}
-		return nil
-	})
-}
-
 // runRule evaluates one rule variant into the head relation; grew, if non-
 // nil, is set when a new tuple appeared.
-func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*database.Relation, grew *bool) error {
+func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, grew *bool) error {
 	headRel := ev.derived[cr.headPred]
 	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
 		ev.stats.Inferences++
@@ -516,19 +522,38 @@ func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sy
 }
 
 // join runs the nested-loop index join for one rule variant, calling out for
-// every successful body instantiation.
-func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*database.Relation, out func(database.Tuple) error) error {
+// every successful body instantiation. The hot path is allocation-free: the
+// binding frame, the probe values and the emitted head tuple live in the
+// compiled rule's reusable buffers, index probes return arena iterators,
+// and literal matching reads zero-copy row views. The head tuple passed to
+// out is reused across solutions — out must copy it to retain it (Insert
+// copies into the relation arena).
+func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, out func(database.Tuple) error) error {
 	order, deltaBodyIdx := cr.orderFor(deltaOcc)
-	frame := make([]term.Value, cr.nslots)
+	frame, scratch, headBuf := cr.frame, cr.scratch, cr.headBuf
+	trail := cr.trail[:0]
+	if cr.inUse {
+		// Reentrant use of the same compiled rule (a Solve callback
+		// re-entering its own site): fall back to fresh buffers.
+		frame = make([]term.Value, cr.nslots)
+		scratch = make([]term.Value, len(cr.scratch))
+		headBuf = make([]term.Value, len(cr.headBuf))
+		trail = nil
+	} else {
+		cr.inUse = true
+		defer func() {
+			cr.inUse = false
+			cr.trail = trail[:0]
+		}()
+	}
 	for i := range frame {
 		frame[i] = noValue
 	}
-	var trail []int
 
 	var step func(i int) error
 	step = func(i int) error {
 		if i == len(order) {
-			t := make(database.Tuple, len(cr.head))
+			t := database.Tuple(headBuf)
 			for j, hp := range cr.head {
 				t[j] = ev.instantiate(hp, frame)
 			}
@@ -539,19 +564,24 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 		case litBuiltin:
 			return ev.stepBuiltin(cl, frame, &trail, func() error { return step(i + 1) })
 		case litNegated:
-			probe := make(database.Tuple, len(cl.args))
+			probe := scratch[cl.scratchOff : cl.scratchOff+len(cl.args)]
 			for j, a := range cl.args {
 				probe[j] = ev.instantiate(a, frame)
 			}
+			// Contains hashes the probe against the dedup table directly;
+			// no key is materialized.
 			rel := ev.readRel(cl.pred)
-			if rel != nil && rel.Contains(probe) {
+			if rel != nil && rel.Contains(database.Tuple(probe)) {
 				return nil
 			}
 			return step(i + 1)
 		default:
 			var rel *database.Relation
-			if deltaBodyIdx >= 0 && cl.bodyIdx == deltaBodyIdx {
-				rel = delta[cl.pred]
+			dv := deltaView{lo: 0, hi: -1}
+			isDelta := deltaBodyIdx >= 0 && cl.bodyIdx == deltaBodyIdx
+			if isDelta {
+				dv = delta[cl.pred]
+				rel = dv.rel
 			} else {
 				rel = ev.readRel(cl.pred)
 			}
@@ -559,8 +589,9 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 				return nil
 			}
 			mark := len(trail)
+			var it database.RowIter
 			if cl.probeMask != 0 {
-				probe := make([]term.Value, 0, len(cl.args))
+				probe := scratch[cl.scratchOff : cl.scratchOff : cl.scratchOff+len(cl.args)]
 				for j, a := range cl.args {
 					if cl.probeMask&(1<<uint(j)) != 0 {
 						probe = append(probe, ev.instantiate(a, frame))
@@ -573,25 +604,27 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]*
 				if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
 					return err
 				}
-				for _, ix := range rel.Probe(cl.probeMask, probe) {
-					if ev.matchTuple(cl, rel.At(int(ix)), frame, &trail) {
-						if err := step(i + 1); err != nil {
-							return err
-						}
-					}
-					unwind(frame, &trail, mark)
+				if isDelta {
+					it = rel.ProbeRange(cl.probeMask, probe, dv.lo, dv.hi)
+				} else {
+					it = rel.Probe(cl.probeMask, probe)
 				}
-				return nil
+			} else {
+				ev.stats.Probes++
+				if err := ev.check.Tick(); err != nil {
+					return err
+				}
+				if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
+					return err
+				}
+				if isDelta {
+					it = rel.ScanRange(dv.lo, dv.hi)
+				} else {
+					it = rel.Scan()
+				}
 			}
-			ev.stats.Probes++
-			if err := ev.check.Tick(); err != nil {
-				return err
-			}
-			if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
-				return err
-			}
-			for _, t := range rel.Tuples() {
-				if ev.matchTuple(cl, t, frame, &trail) {
+			for id, ok := it.Next(); ok; id, ok = it.Next() {
+				if ev.matchTuple(cl, database.Tuple(rel.Row(id)), frame, &trail) {
 					if err := step(i + 1); err != nil {
 						return err
 					}
@@ -822,9 +855,14 @@ func Answers(res *Result, db *database.Database, q ast.Query) []database.Tuple {
 		frame[i] = noValue
 	}
 	ev := &evaluator{bank: bank}
-	for _, t := range rel.Tuples() {
+	it := rel.Scan()
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
+		t := database.Tuple(rel.Row(id))
 		mark := len(trail)
 		if ev.matchTuple(cl, t, frame, &trail) {
+			// Clone is required: answers escape to the public API and must
+			// not alias the relation arena, which the evaluator may later
+			// Reset or grow while the caller still holds them.
 			out = append(out, t.Clone())
 		}
 		unwind(frame, &trail, mark)

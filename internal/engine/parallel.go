@@ -14,8 +14,12 @@ import (
 // topological layer of the stratum graph do not read each other's
 // relations, so they can be evaluated concurrently: each component's
 // goroutine writes only its own head relations and reads only completed
-// ones (which are read-only, with index construction synchronized inside
-// database.Relation).
+// ones. Completed relations are read-only in the strong sense the
+// arena-backed store guarantees: the row arena, the dedup table and the
+// RowID chains are frozen once the writer stops inserting, row views are
+// stable subslices, and the only mutation a reader can trigger — lazily
+// building an index for a new column mask — is serialized inside
+// database.Relation.ensureIndex.
 //
 // The one shared mutable structure would be the term bank: instantiating
 // a non-ground compound pattern interns a new term. Components containing

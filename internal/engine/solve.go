@@ -53,7 +53,7 @@ type PreparedSolve struct {
 	givenRel  *database.Relation
 	derived   map[symtab.Sym]*database.Relation
 	ev        *evaluator
-	delta     map[symtab.Sym]*database.Relation
+	delta     map[symtab.Sym]deltaView
 }
 
 // Prepare compiles body for repeated evaluation. boundVars lists the
@@ -103,7 +103,7 @@ func (m *Matcher) Prepare(body []ast.Literal, boundVars, want []symtab.Sym) (*Pr
 		derived:   m.derived,
 	}
 	ps.ev = &evaluator{bank: m.bank, db: m.db, derived: ps.derived, check: m.check}
-	ps.delta = map[symtab.Sym]*database.Relation{givenPred: ps.givenRel}
+	ps.delta = map[symtab.Sym]deltaView{givenPred: {rel: ps.givenRel, lo: 0, hi: 1}}
 	return ps, nil
 }
 

@@ -46,6 +46,9 @@ type Stats struct {
 	Inferences int64
 	// Probes counts index lookups and scans during sideways passing.
 	Probes int64
+	// ArenaValues is the number of term values resident in the input and
+	// answer relations' arenas when the fixpoint completes.
+	ArenaValues int64
 }
 
 // Result of a QSQ evaluation.
@@ -174,20 +177,25 @@ func EvalContext(ctx context.Context, a *adorn.Adorned, db *database.Database, o
 	for _, st := range ev.preds {
 		ev.stats.InputTuples += st.input.Len()
 		ev.stats.AnswerTuples += st.answers.Len()
+		ev.stats.ArenaValues += int64(st.input.ArenaLen() + st.answers.ArenaLen())
 	}
 
 	// Collect the goal's answers matching the query constants.
 	var out []database.Tuple
-	for _, t := range goal.answers.Tuples() {
+	it := goal.answers.Scan()
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
+		t := database.Tuple(goal.answers.Row(id))
+		match := true
 		bound := map[symtab.Sym]term.Value{}
-		ok := true
 		for i, arg := range a.Query.Goal.Args {
 			if !matchArg(ev.bank, arg, t[i], bound) {
-				ok = false
+				match = false
 				break
 			}
 		}
-		if ok {
+		if match {
+			// Clone is required: the result escapes this evaluation while t
+			// is a view into the answers relation's arena.
 			out = append(out, t.Clone())
 		}
 	}
@@ -225,16 +233,22 @@ func matchArg(bank *term.Bank, pat ast.Term, v term.Value, bound map[symtab.Sym]
 func (ev *evaluator) sweepRule(r ast.Rule) error {
 	st := ev.preds[r.Head.Pred]
 	boundArgs, _ := adorn.BoundArgs(r.Head, st.pattern)
-	for _, in := range st.input.Tuples() {
+	// The iterator snapshots the input set's length at creation:
+	// subqueries registered during this sweep extend st.input but are
+	// processed by the next global pass, exactly as the pre-arena
+	// slice-range iteration behaved.
+	it := st.input.Scan()
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
+		in := st.input.Row(id)
 		bound := map[symtab.Sym]term.Value{}
-		ok := true
+		match := true
 		for i, arg := range boundArgs {
 			if !matchArg(ev.bank, arg, in[i], bound) {
-				ok = false
+				match = false
 				break
 			}
 		}
-		if !ok {
+		if !match {
 			continue
 		}
 		if err := ev.body(r, 0, bound); err != nil {
@@ -345,16 +359,11 @@ func (ev *evaluator) scan(r ast.Rule, i int, l ast.Literal, rel *database.Relati
 	if err := ev.inject.Hit(faultinject.SiteTopdownProbe); err != nil {
 		return err
 	}
-	if mask != 0 {
-		for _, ix := range rel.Probe(mask, probe) {
-			if err := try(rel.At(int(ix))); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for _, t := range rel.Tuples() {
-		if err := try(t); err != nil {
+	// Probe and Scan snapshot rel's length: answers derived while this
+	// literal's matches recurse belong to the next pass, as before.
+	it := rel.Probe(mask, probe)
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
+		if err := try(database.Tuple(rel.Row(id))); err != nil {
 			return err
 		}
 	}

@@ -232,6 +232,11 @@ type Stats struct {
 	CountingNodes int
 	// AnswerTuples counts distinct answer-predicate tuples.
 	AnswerTuples int
+	// ArenaValues is the number of term values resident in the
+	// evaluation's columnar arenas when it completes: derived relations
+	// for engine strategies, input/answer relations for QSQ, and the
+	// node and tuple arenas for the counting runtime.
+	ArenaValues int64
 	// Duration is the wall-clock time of the evaluation, including
 	// rewriting.
 	Duration time.Duration
