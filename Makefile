@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench benchcheck experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos obs-smoke bench benchcheck experiments fuzz examples clean
 
 all: build vet test
 
@@ -15,6 +15,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) obs-smoke
 
 # The seeded chaos suite: fault schedules × strategies × corpus programs
 # under the race detector, checked by the differential oracle, plus the
@@ -23,6 +24,13 @@ check:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestDegraded' -count=1 .
 	$(GO) run ./cmd/lincount-bench -verify > /dev/null
+
+# End-to-end observability check: run a query with -obs on an ephemeral
+# port, fetch /metrics (Prometheus text format) and /trace.json (Chrome
+# trace-event JSON), and validate the trace parses and contains the
+# expected span names. See docs/INTERNALS.md § Observability.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count=1 ./cmd/lincount
 
 build:
 	$(GO) build ./...

@@ -10,6 +10,7 @@
 //	lincount-bench -only P1   # a single experiment
 //	lincount-bench -quick     # smaller parameters for a fast smoke run
 //	lincount-bench -csv       # machine-readable output
+//	lincount-bench -json      # write BENCH_<date>.json next to the tables
 package main
 
 import (
@@ -19,9 +20,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"lincount/internal/bench"
+	"lincount/internal/obsv"
 )
 
 func main() {
@@ -100,6 +105,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		verify  = fs.Bool("verify", false, "run the cross-strategy differential oracle instead of the experiments")
 		faults  = fs.String("faults", "", "with -verify: fault schedule to inject into candidate runs (see lincount.WithFaultInjection)")
 		seed    = fs.Int64("seed", 1, "with -verify -faults: injection seed")
+		jsonOut = fs.Bool("json", false, "also write the tables to BENCH_<date>.json (see -json-out)")
+		jsonTo  = fs.String("json-out", "", "path for the JSON report (implies -json; default BENCH_<YYYYMMDD>.json)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
+		obsAddr = fs.String("obs", "", "serve /metrics and /debug/pprof/* on this address while the suite runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,9 +126,47 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lincount-bench: -faults requires -verify")
 		return 2
 	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lincount-bench:", err)
+		return 1
+	}
+	if *obsAddr != "" {
+		server, err := obsv.Serve(*obsAddr)
+		if err != nil {
+			return fail(err)
+		}
+		defer server.Close()
+		fmt.Fprintf(stderr, "lincount-bench: observability on http://%s/\n", server.Addr)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "lincount-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "lincount-bench:", err)
+			}
+		}()
+	}
 	bench.SetContext(ctx)
 	defer bench.SetContext(nil)
 
+	var collected []bench.Table
 	failed := 0
 	matched := false
 	for _, e := range suite() {
@@ -141,6 +189,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintln(stdout, t.Format())
 		}
+		if *jsonOut || *jsonTo != "" {
+			collected = append(collected, t)
+		}
 		for _, r := range t.Rows {
 			// E-series rows are checks; a non-empty Err there is a
 			// reproduction failure. P-series rows may legitimately
@@ -153,6 +204,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *only != "" && !matched {
 		fmt.Fprintf(stderr, "lincount-bench: no experiment with id %q\n", *only)
 		return 2
+	}
+	if *jsonOut || *jsonTo != "" {
+		now := time.Now()
+		path := *jsonTo
+		if path == "" {
+			path = "BENCH_" + now.Format("20060102") + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fail(err)
+		}
+		if err := bench.WriteJSON(f, now.Format(time.RFC3339), *quick, collected); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "lincount-bench: wrote %s\n", path)
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "lincount-bench: %d reproduction checks failed\n", failed)

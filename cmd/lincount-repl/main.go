@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"lincount"
+	"lincount/internal/obsv"
 )
 
 type session struct {
@@ -45,11 +46,25 @@ type session struct {
 	interrupt <-chan os.Signal
 	// timeout bounds each query (0 = none).
 	timeout time.Duration
+	// traceOn records a structured trace per query (:trace on|off);
+	// lastTrace holds the most recent one for :trace show and /trace.json.
+	traceOn   bool
+	lastTrace *lincount.Tracer
 }
 
 func main() {
 	timeout := flag.Duration("timeout", 0, "abort each query after this long (e.g. 10s; 0 = no limit)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/pprof/* and /trace.json on this address (e.g. 127.0.0.1:9464)")
 	flag.Parse()
+	if *obsAddr != "" {
+		server, err := obsv.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lincount-repl:", err)
+			os.Exit(1)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "lincount-repl: observability on http://%s/\n", server.Addr)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	defer signal.Stop(sig)
@@ -112,7 +127,11 @@ func (s *session) command(line string) (quit bool) {
   :lint                    run static diagnostics over the program
   :list                    show the accumulated program
   :last                    details of the last query: resolved strategy,
-                           degradation attempts, statistics
+                           degradation attempts with their work counters
+                           (see also :stats and :trace)
+  :stats                   full statistics of the last query
+  :trace on|off            record a structured trace per query (show the
+                           last one with :trace show)
   :load <path>             read rules/facts from a file
   :clear                   start over
   :quit                    leave
@@ -159,9 +178,50 @@ func (s *session) command(line string) (quit bool) {
 		fmt.Fprintf(s.out, "answered: %s (%d answer(s))\n", r.Strategy, len(r.Answers))
 		for i, a := range r.Degraded {
 			fmt.Fprintf(s.out, "attempt %d: %s failed after %s: %s\n", i+1, a.Strategy, a.Duration.Round(time.Microsecond), a.Err)
+			fmt.Fprintf(s.out, "           work: %d inferences, %d facts, %d probes, counting-set %d\n",
+				a.Stats.Inferences, a.Stats.DerivedFacts, a.Stats.Probes, a.Stats.CountingNodes)
 		}
-		fmt.Fprintf(s.out, "stats:    %d inferences, %d derived, %d probes, %s\n",
+		fmt.Fprintf(s.out, "stats:    %d inferences, %d derived, %d probes, %s (:stats for all)\n",
 			r.Stats.Inferences, r.Stats.DerivedFacts, r.Stats.Probes, r.Stats.Duration.Round(time.Microsecond))
+	case ":stats":
+		if s.last == nil {
+			fmt.Fprintln(s.out, "no query has run yet.")
+			return false
+		}
+		st := s.last.Stats
+		fmt.Fprintf(s.out, "query:         %s\n", s.lastGoal)
+		fmt.Fprintf(s.out, "strategy:      %s\n", s.last.Strategy)
+		fmt.Fprintf(s.out, "iterations:    %d\n", st.Iterations)
+		fmt.Fprintf(s.out, "inferences:    %d\n", st.Inferences)
+		fmt.Fprintf(s.out, "derived facts: %d\n", st.DerivedFacts)
+		fmt.Fprintf(s.out, "probes:        %d\n", st.Probes)
+		fmt.Fprintf(s.out, "counting set:  %d\n", st.CountingNodes)
+		fmt.Fprintf(s.out, "answer tuples: %d\n", st.AnswerTuples)
+		fmt.Fprintf(s.out, "arena values:  %d\n", st.ArenaValues)
+		fmt.Fprintf(s.out, "duration:      %s\n", st.Duration.Round(time.Microsecond))
+	case ":trace":
+		if len(fields) != 2 {
+			fmt.Fprintf(s.out, "trace: %s (usage: :trace on|off|show)\n", onOff(s.traceOn))
+			return false
+		}
+		switch fields[1] {
+		case "on":
+			s.traceOn = true
+			fmt.Fprintln(s.out, "trace: on (each query records a trace; :trace show prints the last one)")
+		case "off":
+			s.traceOn = false
+			fmt.Fprintln(s.out, "trace: off")
+		case "show":
+			if s.lastTrace == nil {
+				fmt.Fprintln(s.out, "no traced query has run yet (:trace on, then run a query).")
+				return false
+			}
+			if err := s.lastTrace.WriteText(s.out); err != nil {
+				fmt.Fprintln(s.out, err)
+			}
+		default:
+			fmt.Fprintln(s.out, "usage: :trace on|off|show")
+		}
 	case ":clear":
 		s.src.Reset()
 	case ":load":
@@ -256,6 +316,11 @@ func (s *session) query(goal string) {
 	if s.timeout > 0 {
 		opts = append(opts, lincount.WithMaxDuration(s.timeout))
 	}
+	if s.traceOn {
+		s.lastTrace = lincount.NewTracer()
+		obsv.SetLastTrace(s.lastTrace)
+		opts = append(opts, lincount.WithTracer(s.lastTrace))
+	}
 	res, err := lincount.EvalContext(ctx, p, lincount.NewDatabase(p), goal, s.strategy, opts...)
 	if err != nil {
 		switch {
@@ -283,11 +348,25 @@ func (s *session) query(goal string) {
 }
 
 // printDegradation notes in the result banner when the answer came from
-// a fallback rather than the strategy Auto first resolved to.
+// a fallback rather than the strategy Auto first resolved to, including
+// the work the failed attempts burned before giving up.
 func (s *session) printDegradation(res *lincount.Result) {
 	if len(res.Degraded) == 0 {
 		return
 	}
-	fmt.Fprintf(s.out, "%% degraded: %s failed %d attempt(s) before %s answered (:last for details)\n",
-		res.Resolved, len(res.Degraded), res.Strategy)
+	var inf, facts int64
+	for _, a := range res.Degraded {
+		inf += a.Stats.Inferences
+		facts += a.Stats.DerivedFacts
+	}
+	fmt.Fprintf(s.out, "%% degraded: %s failed %d attempt(s) (%d inferences, %d facts wasted) before %s answered (:last for details)\n",
+		res.Resolved, len(res.Degraded), inf, facts, res.Strategy)
+}
+
+// onOff renders a toggle state.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }

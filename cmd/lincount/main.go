@@ -21,8 +21,10 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"lincount"
+	"lincount/internal/obsv"
 )
 
 func main() {
@@ -50,6 +52,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		trace       = fs.Bool("trace", false, "print per-component and per-iteration fixpoint events")
 		lintOnly    = fs.Bool("lint", false, "run static diagnostics over the program and exit")
 		cset        = fs.Bool("cset", false, "print the counting set (paper notation) instead of evaluating")
+		obsAddr     = fs.String("obs", "", "serve /metrics, /debug/pprof/* and /trace.json on this address (e.g. 127.0.0.1:9464)")
+		obsLinger   = fs.Bool("obs-linger", false, "with -obs: keep serving after the queries finish, until interrupted")
+		traceJSON   = fs.String("trace-json", "", "write the evaluation trace (Chrome trace-event JSON) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,6 +63,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "lincount:", err)
 		return 1
+	}
+
+	var server *obsv.Server
+	if *obsAddr != "" {
+		var err error
+		server, err = obsv.Serve(*obsAddr)
+		if err != nil {
+			return fail(err)
+		}
+		defer server.Close()
+		fmt.Fprintf(stderr, "lincount: observability on http://%s/\n", server.Addr)
+	}
+	var tracer *lincount.Tracer
+	if *obsAddr != "" || *traceJSON != "" {
+		tracer = lincount.NewTracer()
 	}
 
 	if *programPath == "" {
@@ -158,6 +178,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *timeout > 0 {
 			opts = append(opts, lincount.WithMaxDuration(*timeout))
 		}
+		if tracer != nil {
+			opts = append(opts, lincount.WithTracer(tracer))
+		}
 		res, err := lincount.EvalContext(ctx, p, db, q, s, opts...)
 		if err != nil {
 			switch {
@@ -173,6 +196,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%% %s  [%s]\n", q, res.Strategy)
 		for i, a := range res.Degraded {
 			fmt.Fprintf(stdout, "%% degraded: attempt %d (%s) failed: %s\n", i+1, a.Strategy, a.Err)
+			fmt.Fprintf(stdout, "%%   attempt work: inferences=%d facts=%d probes=%d counting-set=%d in %s\n",
+				a.Stats.Inferences, a.Stats.DerivedFacts, a.Stats.Probes,
+				a.Stats.CountingNodes, a.Duration.Round(time.Microsecond))
 		}
 		if *showRewrite && res.Rewritten != "" {
 			fmt.Fprintln(stdout, "% rewritten program:")
@@ -191,6 +217,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				st.CountingNodes, st.AnswerTuples, st.Iterations, st.Probes,
 				st.ArenaValues)
 		}
+	}
+	if tracer != nil {
+		obsv.SetLastTrace(tracer)
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				return fail(err)
+			}
+			if err := tracer.WriteChromeJSON(f); err != nil {
+				f.Close()
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if server != nil && *obsLinger {
+		fmt.Fprintln(stderr, "lincount: serving until interrupted (Ctrl-C)")
+		<-ctx.Done()
 	}
 	return 0
 }

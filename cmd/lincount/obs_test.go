@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read CLI output while run() is still writing
+// it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var obsAddrRE = regexp.MustCompile(`observability on http://([^/\s]+)/`)
+
+// TestObsSmoke is the end-to-end observability check behind `make
+// obs-smoke`: run a query with -obs on an ephemeral port, fetch /metrics
+// and /trace.json, and validate the trace parses as Chrome trace-event
+// JSON with the expected span names.
+func TestObsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "sg.dl", sgText)
+	facts := writeFile(t, dir, "facts.dl", "up(a,b). flat(b,c). down(c,d).")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out, errOut := &syncBuffer{}, &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-program", prog, "-facts", facts,
+			"-obs", "127.0.0.1:0", "-obs-linger",
+		}, out, errOut)
+	}()
+
+	// The linger banner prints after the queries ran and the trace was
+	// published, so once it appears every endpoint is ready.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(errOut.String(), "serving until interrupted") {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never lingered; stderr:\n%s", errOut.String())
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("run exited early with %d; stderr:\n%s", code, errOut.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	m := obsAddrRE.FindStringSubmatch(errOut.String())
+	if m == nil {
+		t.Fatalf("no observability banner in stderr:\n%s", errOut.String())
+	}
+	base := "http://" + m[1]
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, w := range []string{
+		"# TYPE lincount_evaluations_total counter",
+		"lincount_evaluations_total{strategy=",
+		"# TYPE lincount_inferences_total counter",
+		"# TYPE lincount_eval_duration_seconds histogram",
+		"lincount_eval_duration_seconds_bucket{le=",
+	} {
+		if !strings.Contains(metrics, w) {
+			t.Errorf("/metrics missing %q\n%s", w, metrics)
+		}
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	raw := get("/trace.json")
+	if err := json.Unmarshal([]byte(raw), &trace); err != nil {
+		t.Fatalf("/trace.json does not parse: %v\n%s", err, raw)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("/trace.json has no events")
+	}
+	names := make(map[string]bool)
+	for _, e := range trace.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, w := range []string{"eval", "parse"} {
+		if !names[w] {
+			t.Errorf("trace missing span %q; have %v", w, names)
+		}
+	}
+
+	if !strings.Contains(out.String(), "a, d") {
+		t.Errorf("query answer missing from stdout:\n%s", out.String())
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit %d; stderr:\n%s", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+}

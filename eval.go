@@ -17,6 +17,7 @@ import (
 	"lincount/internal/faultinject"
 	"lincount/internal/limits"
 	"lincount/internal/magic"
+	"lincount/internal/obsv"
 	"lincount/internal/parser"
 	"lincount/internal/topdown"
 )
@@ -34,6 +35,12 @@ type evalConfig struct {
 	faultSeed         int64
 	faultSpec         string
 	inject            *faultinject.Injector
+	tracer            *obsv.Tracer
+	// statsSink, when non-nil, receives the evaluation's work counters
+	// even when it fails partway — the partial stats of a degraded
+	// attempt. Always non-nil below EvalContext (it points at a local
+	// there when no caller supplied one).
+	statsSink *Stats
 }
 
 // WithParallel evaluates independent strata concurrently (engine
@@ -60,6 +67,26 @@ type TraceEvent struct {
 // runtime (Algorithm 2) is not iteration-based and emits no events.
 func WithTrace(fn func(TraceEvent)) Option {
 	return func(c *evalConfig) { c.trace = fn }
+}
+
+// Tracer records a structured trace of an evaluation: spans for the
+// facade phases (parse, adorn, rewrite, answers), engine components,
+// fixpoint iterations and rule runs, counting-runtime phases and
+// worklist progress, QSQ passes, and each Auto fallback attempt. A nil
+// *Tracer is a valid disabled tracer whose hook sites cost one pointer
+// comparison. Render the result with WriteText or WriteChromeJSON
+// (Chrome trace-event JSON, loadable in chrome://tracing and Perfetto).
+type Tracer = obsv.Tracer
+
+// NewTracer returns an empty Tracer ready to pass to WithTracer.
+func NewTracer() *Tracer { return obsv.NewTracer() }
+
+// WithTracer records the evaluation's structured trace into t and
+// enables per-rule profiling (Result.RuleProfile). Tracing is opt-in:
+// without this option the hook sites are single nil checks and the
+// evaluation allocates nothing extra.
+func WithTracer(t *Tracer) Option {
+	return func(c *evalConfig) { c.tracer = t }
 }
 
 // WithMaxIterations bounds fixpoint iterations (engine strategies).
@@ -166,13 +193,22 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 		defer cancel(nil)
 		cfg.inject.BindCancel(func() { cancel(faultinject.ErrInjected) })
 	}
+	var sink Stats
+	if cfg.statsSink == nil {
+		cfg.statsSink = &sink
+	}
+	esp := cfg.tracer.Begin("eval", "eval")
+	psp := cfg.tracer.Begin("eval", "parse")
 	q, err := parser.ParseQuery(p.bank, query)
+	psp.End()
 	if err != nil {
+		esp.End()
 		return nil, fmt.Errorf("lincount: parsing query: %w", err)
 	}
 	// A context that is already done returns promptly, before any
 	// rewriting or evaluation work.
 	if err := ctx.Err(); err != nil {
+		esp.End()
 		return nil, &CanceledError{Component: "lincount", Cause: context.Cause(ctx)}
 	}
 	var dbi *database.Database
@@ -192,12 +228,63 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 	} else {
 		res, err = evalResolved(ctx, p, dbi, q, strategy, resolved, cfg)
 	}
+	dur := time.Since(start)
+	esp.End()
 	if err != nil {
+		recordEval(resolved, *cfg.statsSink, 0, cfg.inject.Fired(), dur, err)
 		return nil, err
 	}
 	res.Resolved = resolved
-	res.Stats.Duration = time.Since(start)
+	res.Stats.Duration = dur
+	recordEval(res.Strategy, res.Stats, len(res.Degraded), cfg.inject.Fired(), dur, nil)
 	return res, nil
+}
+
+// recordEval folds one finished evaluation — successful or not — into
+// the process-wide metrics registry (served at /metrics when a CLI runs
+// with -obs). The fold is a fixed handful of atomic adds; it is recorded
+// unconditionally.
+func recordEval(s Strategy, st Stats, degradations int, faultHits uint64, dur time.Duration, err error) {
+	obsv.RecordEval(obsv.EvalSample{
+		Strategy:      s.String(),
+		Inferences:    st.Inferences,
+		Probes:        st.Probes,
+		DerivedFacts:  st.DerivedFacts,
+		AnswerTuples:  int64(st.AnswerTuples),
+		ArenaValues:   st.ArenaValues,
+		CountingNodes: int64(st.CountingNodes),
+		Degradations:  int64(degradations),
+		FaultHits:     int64(faultHits),
+		Duration:      dur,
+		ErrClass:      errClass(err),
+	})
+}
+
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// errClass maps an evaluation error to its metrics label: "" (success),
+// "limit", "canceled", "internal", or "other".
+func errClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ce *CanceledError
+	var ie *InternalError
+	switch {
+	case errors.Is(err, ErrResourceLimit):
+		return "limit"
+	case errors.As(err, &ce), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.As(err, &ie):
+		return "internal"
+	default:
+		return "other"
+	}
 }
 
 // evalAuto runs the Auto degradation chain: the resolved strategy first,
@@ -219,8 +306,17 @@ func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Que
 		if cfg.maxFacts > 0 {
 			acfg.maxFacts = int(remaining)
 		}
+		// Each attempt gets its own stats sink so a failed attempt's
+		// partial work counters survive into AttemptInfo.Stats.
+		var attemptStats Stats
+		acfg.statsSink = &attemptStats
+		asp := cfg.tracer.Begin("eval", "attempt:"+s.String())
 		attemptStart := time.Now()
 		res, err := evalResolved(ctx, p, dbi, q, Auto, s, acfg)
+		asp.End(obsv.A("failed", boolArg(err != nil)))
+		if cfg.statsSink != nil {
+			*cfg.statsSink = attemptStats
+		}
 		if err == nil {
 			res.Degraded = attempts
 			return res, nil
@@ -240,6 +336,7 @@ func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Que
 			Strategy: s,
 			Err:      err.Error(),
 			Duration: time.Since(attemptStart),
+			Stats:    attemptStats,
 		})
 		if cfg.maxFacts > 0 {
 			// Charge what the failed attempt measurably consumed (its
@@ -399,6 +496,7 @@ func engineOpts(cfg evalConfig, naive bool) engine.Options {
 		MaxDerivedFacts: cfg.maxFacts,
 		Parallel:        cfg.parallel,
 		Inject:          cfg.inject,
+		Tracer:          cfg.tracer,
 	}
 	if cfg.trace != nil {
 		fn := cfg.trace
@@ -443,17 +541,51 @@ func finishRows(p *Program, tuples []database.Tuple) [][]string {
 	return rows
 }
 
+// ruleProfileFromEngine converts the engine's per-rule profiles to the
+// public type (nil in, nil out).
+func ruleProfileFromEngine(rs []engine.RuleStat) []RuleProfile {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]RuleProfile, len(rs))
+	for i, r := range rs {
+		out[i] = RuleProfile{
+			Rule: r.Rule, Runs: r.Runs,
+			Inferences: r.Inferences, DerivedFacts: r.DerivedFacts,
+			Duration: r.Duration,
+		}
+	}
+	return out
+}
+
+// sinkEngineStats wires an engine stats sink into eopts so partial work
+// counters survive a failed evaluation; the returned flush copies them
+// into cfg.statsSink and must run before the caller returns.
+func sinkEngineStats(cfg evalConfig, eopts *engine.Options) func() {
+	if cfg.statsSink == nil {
+		return func() {}
+	}
+	es := new(engine.Stats)
+	eopts.StatsOut = es
+	return func() { *cfg.statsSink = statsFromEngine(*es) }
+}
+
 func evalDirect(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
-	res, err := engine.EvalContext(ctx, p.program, db, engineOpts(cfg, s == Naive))
+	eopts := engineOpts(cfg, s == Naive)
+	defer sinkEngineStats(cfg, &eopts)()
+	res, err := engine.EvalContext(ctx, p.program, db, eopts)
 	if err != nil {
 		return nil, err
 	}
+	asp := cfg.tracer.Begin("eval", "answers")
 	tuples := engine.Answers(res, db, q)
 	out := &Result{
-		Answers:  finishRows(p, tuples),
-		Strategy: s,
-		Stats:    statsFromEngine(res.Stats),
+		Answers:     finishRows(p, tuples),
+		Strategy:    s,
+		Stats:       statsFromEngine(res.Stats),
+		RuleProfile: ruleProfileFromEngine(res.Rules),
 	}
+	asp.End(obsv.A("rows", int64(len(out.Answers))))
 	if rel := res.Relation(q.Goal.Pred); rel != nil {
 		out.Stats.AnswerTuples = rel.Len()
 	}
@@ -461,7 +593,9 @@ func evalDirect(ctx context.Context, p *Program, db *database.Database, q ast.Qu
 }
 
 func evalMagic(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+	adsp := cfg.tracer.Begin("eval", "adorn")
 	a, err := adorn.Adorn(p.program, q)
+	adsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -469,19 +603,24 @@ func evalMagic(ctx context.Context, p *Program, db *database.Database, q ast.Que
 		// Purely extensional goal.
 		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
+	rwsp := cfg.tracer.Begin("eval", "rewrite:"+s.String())
 	var rw *magic.Rewritten
 	if s == MagicSup {
 		rw, err = magic.RewriteSupplementary(a)
 	} else {
 		rw, err = magic.Rewrite(a)
 	}
+	rwsp.End()
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.EvalContext(ctx, rw.Program, db, engineOpts(cfg, false))
+	eopts := engineOpts(cfg, false)
+	defer sinkEngineStats(cfg, &eopts)()
+	res, err := engine.EvalContext(ctx, rw.Program, db, eopts)
 	if err != nil {
 		return nil, err
 	}
+	asp := cfg.tracer.Begin("eval", "answers")
 	tuples := engine.Answers(res, db, rw.Query)
 	out := &Result{
 		Answers:        finishRows(p, tuples),
@@ -489,7 +628,9 @@ func evalMagic(ctx context.Context, p *Program, db *database.Database, q ast.Que
 		Rewritten:      rw.Program.Format(),
 		RewrittenQuery: ast.FormatQuery(p.bank, rw.Query),
 		Stats:          statsFromEngine(res.Stats),
+		RuleProfile:    ruleProfileFromEngine(res.Rules),
 	}
+	asp.End(obsv.A("rows", int64(len(out.Answers))))
 	if rel := res.Relation(rw.Query.Goal.Pred); rel != nil {
 		out.Stats.AnswerTuples = rel.Len()
 	}
@@ -502,13 +643,16 @@ func evalMagic(ctx context.Context, p *Program, db *database.Database, q ast.Que
 }
 
 func evalCounting(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
+	adsp := cfg.tracer.Begin("eval", "adorn")
 	a, err := adorn.Adorn(p.program, q)
+	adsp.End()
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
 		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
+	rwsp := cfg.tracer.Begin("eval", "rewrite:"+s.String())
 	var rw *counting.Rewritten
 	switch s {
 	case CountingClassic:
@@ -516,16 +660,20 @@ func evalCounting(ctx context.Context, p *Program, db *database.Database, q ast.
 	default:
 		rw, err = counting.RewriteExtended(a)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if s == CountingReduced {
+	if err == nil && s == CountingReduced {
 		rw = counting.Reduce(rw)
 	}
-	res, err := engine.EvalContext(ctx, rw.Program, db, engineOpts(cfg, false))
+	rwsp.End()
 	if err != nil {
 		return nil, err
 	}
+	eopts := engineOpts(cfg, false)
+	defer sinkEngineStats(cfg, &eopts)()
+	res, err := engine.EvalContext(ctx, rw.Program, db, eopts)
+	if err != nil {
+		return nil, err
+	}
+	asp := cfg.tracer.Begin("eval", "answers")
 	raw := engine.Answers(res, db, rw.Query)
 	tuples := rw.ReconstructAnswers(raw)
 	out := &Result{
@@ -534,7 +682,9 @@ func evalCounting(ctx context.Context, p *Program, db *database.Database, q ast.
 		Rewritten:      rw.Program.Format(),
 		RewrittenQuery: ast.FormatQuery(p.bank, rw.Query),
 		Stats:          statsFromEngine(res.Stats),
+		RuleProfile:    ruleProfileFromEngine(res.Rules),
 	}
+	asp.End(obsv.A("rows", int64(len(out.Answers))))
 	for c := range rw.CountingPreds {
 		if rel := res.Relation(c); rel != nil {
 			out.Stats.CountingNodes += rel.Len()
@@ -548,15 +698,31 @@ func evalCounting(ctx context.Context, p *Program, db *database.Database, q ast.
 	return out, nil
 }
 
+// statsFromRuntime converts counting-runtime stats to the public shape.
+func statsFromRuntime(s counting.RuntimeStats) Stats {
+	return Stats{
+		Inferences:    s.Moves,
+		Probes:        s.Probes,
+		CountingNodes: s.CountingNodes,
+		AnswerTuples:  s.AnswerTuples,
+		DerivedFacts:  int64(s.AnswerTuples + s.CountingNodes),
+		ArenaValues:   s.ArenaValues,
+	}
+}
+
 func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+	adsp := cfg.tracer.Begin("eval", "adorn")
 	a, err := adorn.Adorn(p.program, q)
+	adsp.End()
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
 		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
+	ansp := cfg.tracer.Begin("eval", "rewrite:counting-runtime")
 	an, err := counting.Analyze(a)
+	ansp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -564,25 +730,27 @@ func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Q
 	if maxTuples == 0 {
 		maxTuples = cfg.maxFacts
 	}
-	rres, err := counting.RunContext(ctx, an, db, counting.RuntimeOptions{MaxTuples: maxTuples, Inject: cfg.inject})
+	ropts := counting.RuntimeOptions{MaxTuples: maxTuples, Inject: cfg.inject, Tracer: cfg.tracer}
+	if cfg.statsSink != nil {
+		rs := new(counting.RuntimeStats)
+		ropts.StatsOut = rs
+		defer func() { *cfg.statsSink = statsFromRuntime(*rs) }()
+	}
+	rres, err := counting.RunContext(ctx, an, db, ropts)
 	if err != nil {
 		return nil, err
 	}
+	asp := cfg.tracer.Begin("eval", "answers")
 	tuples := counting.ReconstructRuntimeAnswers(an, rres.Answers)
-	return &Result{
+	out := &Result{
 		Answers:        finishRows(p, tuples),
 		Strategy:       CountingRuntime,
 		Rewritten:      counting.RewriteCyclicText(an),
 		RewrittenQuery: strings.TrimSpace(ast.FormatQuery(p.bank, a.Query)),
-		Stats: Stats{
-			Inferences:    rres.Stats.Moves,
-			Probes:        rres.Stats.Probes,
-			CountingNodes: rres.Stats.CountingNodes,
-			AnswerTuples:  rres.Stats.AnswerTuples,
-			DerivedFacts:  int64(rres.Stats.AnswerTuples + rres.Stats.CountingNodes),
-			ArenaValues:   rres.Stats.ArenaValues,
-		},
-	}, nil
+		Stats:          statsFromRuntime(rres.Stats),
+	}
+	asp.End(obsv.A("rows", int64(len(out.Answers))))
+	return out, nil
 }
 
 // evalMagicCounting implements the magic-counting hybrid (reference [16]):
@@ -697,34 +865,47 @@ func rewriteAST(p *Program, q ast.Query, strategy Strategy) (*ast.Program, ast.Q
 	return nil, ast.Query{}, fmt.Errorf("lincount: no rule-engine rewriting for strategy %v", strategy)
 }
 
+// statsFromQSQ converts QSQ stats to the public shape.
+func statsFromQSQ(s topdown.Stats) Stats {
+	return Stats{
+		Iterations:    s.Passes,
+		Inferences:    s.Inferences,
+		DerivedFacts:  int64(s.AnswerTuples),
+		Probes:        s.Probes,
+		CountingNodes: s.InputTuples, // the subquery (magic) set
+		AnswerTuples:  s.AnswerTuples,
+		ArenaValues:   s.ArenaValues,
+	}
+}
+
 // evalQSQ runs the top-down Query-SubQuery method.
 func evalQSQ(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
+	adsp := cfg.tracer.Begin("eval", "adorn")
 	a, err := adorn.Adorn(p.program, q)
+	adsp.End()
 	if err != nil {
 		return nil, err
 	}
 	if len(a.Program.Rules) == 0 {
 		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
 	}
+	topts := topdown.Options{MaxPasses: cfg.maxIterations, Inject: cfg.inject, Tracer: cfg.tracer}
+	if cfg.statsSink != nil {
+		ts := new(topdown.Stats)
+		topts.StatsOut = ts
+		defer func() { *cfg.statsSink = statsFromQSQ(*ts) }()
+	}
 	// Facts embedded in the program are fact rules of adorned predicates
 	// (Adorn treats every rule head as derived), so QSQ reads them
 	// through its answer sets; only db supplies extensional relations.
-	res, err := topdown.EvalContext(ctx, a, db, topdown.Options{MaxPasses: cfg.maxIterations, Inject: cfg.inject})
+	res, err := topdown.EvalContext(ctx, a, db, topts)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Answers:  finishRows(p, res.Answers),
 		Strategy: QSQ,
-		Stats: Stats{
-			Iterations:    res.Stats.Passes,
-			Inferences:    res.Stats.Inferences,
-			DerivedFacts:  int64(res.Stats.AnswerTuples),
-			Probes:        res.Stats.Probes,
-			CountingNodes: res.Stats.InputTuples, // the subquery (magic) set
-			AnswerTuples:  res.Stats.AnswerTuples,
-			ArenaValues:   res.Stats.ArenaValues,
-		},
+		Stats:    statsFromQSQ(res.Stats),
 	}, nil
 }
 

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonRow is one measurement in the machine-readable report. The names
+// follow Go benchmark conventions (ns/op, allocs/op, bytes/op); each
+// bench cell runs the evaluation once, so per-op equals per-run.
+type jsonRow struct {
+	Name          string `json:"name"`
+	Strategy      string `json:"strategy"`
+	Answers       int    `json:"answers"`
+	Inferences    int64  `json:"inferences"`
+	Probes        int64  `json:"probes"`
+	NsOp          int64  `json:"ns_op"`
+	AllocsOp      uint64 `json:"allocs_op"`
+	BytesOp       uint64 `json:"bytes_op"`
+	CountingNodes int    `json:"counting_nodes"`
+	Err           string `json:"err,omitempty"`
+}
+
+type jsonExperiment struct {
+	ID    string    `json:"id"`
+	Title string    `json:"title"`
+	Rows  []jsonRow `json:"rows"`
+}
+
+type jsonReport struct {
+	Generated   string           `json:"generated"`
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// WriteJSON renders the experiment tables as an indented JSON report.
+// generated is an RFC 3339 timestamp supplied by the caller.
+func WriteJSON(w io.Writer, generated string, quick bool, tables []Table) error {
+	rep := jsonReport{Generated: generated, Quick: quick, Experiments: []jsonExperiment{}}
+	for _, t := range tables {
+		exp := jsonExperiment{ID: t.ID, Title: t.Title, Rows: []jsonRow{}}
+		for _, r := range t.Rows {
+			exp.Rows = append(exp.Rows, jsonRow{
+				Name:          r.Workload,
+				Strategy:      r.Strategy,
+				Answers:       r.Answers,
+				Inferences:    r.Inferences,
+				Probes:        r.Probes,
+				NsOp:          r.Duration.Nanoseconds(),
+				AllocsOp:      r.Allocs,
+				BytesOp:       r.Bytes,
+				CountingNodes: r.CountingNodes,
+				Err:           r.Err,
+			})
+		}
+		rep.Experiments = append(rep.Experiments, exp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -9,6 +9,7 @@ import (
 	"lincount/internal/engine"
 	"lincount/internal/faultinject"
 	"lincount/internal/limits"
+	"lincount/internal/obsv"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
@@ -93,6 +94,14 @@ type RuntimeOptions struct {
 	// engine sites of the passthrough strata. Nil costs one pointer
 	// comparison per site.
 	Inject *faultinject.Injector
+	// Tracer, when non-nil, records phase spans (counting set
+	// construction, answer saturation), worklist-depth counter samples,
+	// and the passthrough strata's engine spans. Nil costs one pointer
+	// comparison per site.
+	Tracer *obsv.Tracer
+	// StatsOut, when non-nil, receives the runtime's Stats even when a
+	// phase fails partway (budget trip, injected fault, cancellation).
+	StatsOut *RuntimeStats
 }
 
 // DefaultMaxRuntimeTuples bounds runaway evaluations.
@@ -266,7 +275,7 @@ func NewRuntimeContext(ctx context.Context, an *Analysis, db *database.Database,
 	if len(an.Passthrough) > 0 {
 		sub := ast.NewProgram(bank)
 		sub.Add(an.Passthrough...)
-		res, err := engine.EvalContext(ctx, sub, db, engine.Options{Inject: opts.Inject})
+		res, err := engine.EvalContext(ctx, sub, db, engine.Options{Inject: opts.Inject, Tracer: opts.Tracer})
 		if err != nil {
 			return nil, fmt.Errorf("counting: evaluating lower strata: %w", err)
 		}
@@ -360,24 +369,53 @@ func RunContext(ctx context.Context, an *Analysis, db *database.Database, opts R
 
 // Run executes the two phases.
 func (rt *Runtime) Run() (*RunResult, error) {
+	if rt.opts.StatsOut != nil {
+		// Fill even on the error paths: a failed attempt's partial work
+		// counters are what Auto-degradation reporting needs.
+		defer func() {
+			rt.snapshotStats()
+			*rt.opts.StatsOut = rt.stats
+		}()
+	}
+	tracer := rt.opts.Tracer
+	bsp := tracer.Begin("counting", "counting.build")
 	if err := rt.buildCountingSet(); err != nil {
+		bsp.End(obsv.A("nodes", int64(len(rt.nodes))))
 		return nil, err
 	}
+	if tracer != nil {
+		var ahead, back int64
+		for i := range rt.nodes {
+			ahead += int64(len(rt.nodes[i].ahead))
+			back += int64(len(rt.nodes[i].back))
+		}
+		bsp.End(obsv.A("nodes", int64(len(rt.nodes))),
+			obsv.A("ahead", ahead), obsv.A("back", back))
+	}
+	asp := tracer.Begin("counting", "counting.answer")
 	answers, err := rt.answerPhase()
+	asp.End(obsv.A("tuples", int64(len(rt.tuples))), obsv.A("moves", rt.stats.Moves))
 	if err != nil {
 		return nil, err
 	}
+	rt.snapshotStats()
+	engine.SortTuplesFormatted(rt.bank, answers)
+	return &RunResult{Answers: answers, Stats: rt.stats}, nil
+}
+
+// snapshotStats fills the derived counters of rt.stats from the current
+// node/tuple/matcher state; safe to call mid-run or after a failure.
+func (rt *Runtime) snapshotStats() {
 	rt.stats.Solves = rt.matcher.Solves
 	rt.stats.Probes = rt.matcher.Probes
 	rt.stats.CountingNodes = len(rt.nodes)
+	rt.stats.AheadEntries, rt.stats.BackEntries = 0, 0
 	for i := range rt.nodes {
 		rt.stats.AheadEntries += len(rt.nodes[i].ahead)
 		rt.stats.BackEntries += len(rt.nodes[i].back)
 	}
 	rt.stats.AnswerTuples = len(rt.tuples)
 	rt.stats.ArenaValues = int64(len(rt.nodeArena) + len(rt.tupleArena))
-	engine.SortTuplesFormatted(rt.bank, answers)
-	return &RunResult{Answers: answers, Stats: rt.stats}, nil
 }
 
 // limitErr builds the structured budget error for this runtime.
@@ -746,10 +784,16 @@ func (rt *Runtime) answerPhase() ([]database.Tuple, error) {
 
 	var answers []database.Tuple
 	srcID := int32(0) // the source is always node 0
+	tracer := rt.opts.Tracer
 
-	for len(queue) > 0 {
+	for pops := int64(0); len(queue) > 0; pops++ {
 		if err := rt.check.Tick(); err != nil {
 			return nil, err
+		}
+		if tracer != nil && pops%4096 == 0 {
+			// Sampled, not per-pop: the worklist-depth counter track shows
+			// saturation progress without flooding the event buffer.
+			tracer.Counter("counting.worklist", int64(len(queue)))
 		}
 		tid := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"lincount/internal/ast"
 	"lincount/internal/database"
 	"lincount/internal/faultinject"
 	"lincount/internal/limits"
+	"lincount/internal/obsv"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
@@ -52,6 +55,17 @@ type Options struct {
 	// surface injected errors, latency, or cancellations. Nil costs one
 	// pointer comparison per site.
 	Inject *faultinject.Injector
+	// Tracer, when non-nil, records structured spans: one per component,
+	// one per fixpoint iteration, and one per rule run, with integer
+	// arguments for the delta and cumulative fact counts. It also enables
+	// per-rule profiling (Result.Rules). Nil costs one pointer comparison
+	// per hook site.
+	Tracer *obsv.Tracer
+	// StatsOut, when non-nil, receives the evaluator's Stats even when
+	// evaluation fails partway (budget trip, injected fault,
+	// cancellation) — the partial work counters a degraded attempt would
+	// otherwise discard.
+	StatsOut *Stats
 }
 
 // TraceEvent is one step of an evaluation trace.
@@ -99,6 +113,23 @@ func (s *Stats) Add(other Stats) {
 	s.ArenaValues += other.ArenaValues
 }
 
+// RuleStat is one rule's profiling record, collected only when a Tracer
+// is attached (profiling costs clock reads per rule run, so untraced
+// evaluations skip it entirely).
+type RuleStat struct {
+	// Rule is the rule's source text.
+	Rule string
+	// Runs counts evaluations of the rule (one per occurrence per
+	// fixpoint iteration in semi-naive mode).
+	Runs int
+	// Inferences and DerivedFacts are the rule's share of the Stats
+	// counters of the same names.
+	Inferences   int64
+	DerivedFacts int64
+	// Duration is the wall-clock time spent joining this rule's body.
+	Duration time.Duration
+}
+
 // deltaView is a semi-naive delta represented as a RowID window: the rows
 // of rel with lo <= id < hi are exactly the facts derived in the previous
 // iteration. Deltas are watermarks over the head relation itself, not
@@ -113,6 +144,9 @@ type Result struct {
 	bank    *term.Bank
 	Derived map[symtab.Sym]*database.Relation
 	Stats   Stats
+	// Rules holds per-rule profiles when Options.Tracer was set (nil
+	// otherwise), in component order.
+	Rules []RuleStat
 }
 
 // Relation returns the derived relation for pred, or nil.
@@ -137,6 +171,14 @@ type evaluator struct {
 	ctx   context.Context
 	// inject is the fault-injection hook (nil when disabled).
 	inject *faultinject.Injector
+	// tracer records structured spans (nil when disabled); tid is this
+	// evaluator's track in the trace (parallel strata get their own).
+	tracer *obsv.Tracer
+	tid    int64
+	// prof accumulates per-rule profiles when the tracer is attached;
+	// profOrder preserves first-run order for Result.Rules.
+	prof      map[*compiledRule]*RuleStat
+	profOrder []*RuleStat
 	// factTotal is the global derived-fact count the budget is enforced
 	// against. It is shared (one atomic counter) across the concurrent
 	// strata of a parallel evaluation, so MaxDerivedFacts is a true
@@ -166,7 +208,20 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 		check:     limits.NewChecker(ctx, "engine"),
 		ctx:       ctx,
 		inject:    opts.Inject,
+		tracer:    opts.Tracer,
+		tid:       1,
 		factTotal: new(atomic.Int64),
+	}
+	if ev.tracer != nil {
+		ev.prof = make(map[*compiledRule]*RuleStat)
+	}
+	if opts.StatsOut != nil {
+		// Fill even on the error paths: a failed attempt's partial work
+		// counters are what Auto-degradation reporting needs.
+		defer func() {
+			ev.noteArenas()
+			*opts.StatsOut = ev.stats
+		}()
 	}
 	if ev.maxIter == 0 {
 		ev.maxIter = DefaultMaxIterations
@@ -255,7 +310,7 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 			}
 		}
 		ev.noteArenas()
-		return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats}, nil
+		return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats, Rules: ev.ruleStats()}, nil
 	}
 
 	for _, comp := range comps {
@@ -265,7 +320,31 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 		}
 	}
 	ev.noteArenas()
-	return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats}, nil
+	return &Result{bank: p.Bank, Derived: ev.derived, Stats: ev.stats, Rules: ev.ruleStats()}, nil
+}
+
+// ruleStats flattens the per-rule profiles in first-run order (nil when
+// profiling was off).
+func (ev *evaluator) ruleStats() []RuleStat {
+	if len(ev.profOrder) == 0 {
+		return nil
+	}
+	out := make([]RuleStat, len(ev.profOrder))
+	for i, p := range ev.profOrder {
+		out[i] = *p
+	}
+	return out
+}
+
+// profFor returns (creating if needed) the profile record for cr.
+func (ev *evaluator) profFor(cr *compiledRule) *RuleStat {
+	if p, ok := ev.prof[cr]; ok {
+		return p
+	}
+	p := &RuleStat{Rule: ast.FormatRule(ev.bank, cr.src)}
+	ev.prof[cr] = p
+	ev.profOrder = append(ev.profOrder, p)
+	return p
 }
 
 // noteArenas records the derived relations' resident arena size in Stats.
@@ -343,8 +422,16 @@ func (ev *evaluator) predNames(preds []symtab.Sym) []string {
 	return out
 }
 
-func (ev *evaluator) evalComponent(comp Component) error {
+func (ev *evaluator) evalComponent(comp Component) (err error) {
 	ev.trace(TraceEvent{Kind: "component", Preds: ev.predNames(comp.Preds)})
+	if ev.tracer != nil {
+		sp := ev.tracer.BeginTID("engine", "component "+strings.Join(ev.predNames(comp.Preds), ","), ev.tid)
+		iter0, facts0 := ev.stats.Iterations, ev.stats.DerivedFacts
+		defer func() {
+			sp.End(obsv.A("iterations", int64(ev.stats.Iterations-iter0)),
+				obsv.A("facts", ev.stats.DerivedFacts-facts0))
+		}()
+	}
 	inComp := make(map[symtab.Sym]bool, len(comp.Preds))
 	for _, p := range comp.Preds {
 		inComp[p] = true
@@ -404,11 +491,13 @@ func (ev *evaluator) naiveFixpoint(rules []*compiledRule) error {
 			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
 		ev.stats.Iterations++
+		isp := ev.tracer.BeginTID("engine", "iteration", ev.tid)
 		before := ev.stats.DerivedFacts
 		newFacts := false
 		for _, cr := range rules {
 			grew := false
 			if err := ev.runRule(cr, -1, nil, &grew); err != nil {
+				isp.End(obsv.A("iter", int64(iter)))
 				return err
 			}
 			newFacts = newFacts || grew
@@ -418,6 +507,9 @@ func (ev *evaluator) naiveFixpoint(rules []*compiledRule) error {
 			DeltaFacts: ev.stats.DerivedFacts - before,
 			TotalFacts: ev.stats.DerivedFacts,
 		})
+		isp.End(obsv.A("iter", int64(iter)),
+			obsv.A("delta", ev.stats.DerivedFacts-before),
+			obsv.A("total", ev.stats.DerivedFacts))
 		if !newFacts {
 			return nil
 		}
@@ -458,8 +550,10 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 
 	// Iteration 0: naive pass over all rules.
 	ev.stats.Iterations++
+	isp := ev.tracer.BeginTID("engine", "iteration", ev.tid)
 	for _, cr := range rules {
 		if err := ev.runRule(cr, -1, nil, nil); err != nil {
+			isp.End(obsv.A("iter", 0))
 			return err
 		}
 	}
@@ -468,6 +562,7 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 		Kind: "iteration", Iteration: 0,
 		DeltaFacts: dn, TotalFacts: ev.stats.DerivedFacts,
 	})
+	isp.End(obsv.A("iter", 0), obsv.A("delta", dn), obsv.A("total", ev.stats.DerivedFacts))
 
 	for iter := 1; dn > 0; iter++ {
 		if err := ev.check.Check(); err != nil {
@@ -480,9 +575,11 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 			return ev.limitErr(limits.KindIterations, int64(iter), int64(ev.maxIter))
 		}
 		ev.stats.Iterations++
+		isp := ev.tracer.BeginTID("engine", "iteration", ev.tid)
 		for _, cr := range rules {
 			for occ := 0; occ < cr.nRecOccur(); occ++ {
 				if err := ev.runRule(cr, occ, delta, nil); err != nil {
+					isp.End(obsv.A("iter", int64(iter)))
 					return err
 				}
 			}
@@ -492,13 +589,33 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 			Kind: "iteration", Iteration: iter,
 			DeltaFacts: dn, TotalFacts: ev.stats.DerivedFacts,
 		})
+		isp.End(obsv.A("iter", int64(iter)), obsv.A("delta", dn), obsv.A("total", ev.stats.DerivedFacts))
 	}
 	return nil
 }
 
 // runRule evaluates one rule variant into the head relation; grew, if non-
-// nil, is set when a new tuple appeared.
+// nil, is set when a new tuple appeared. With a tracer attached each run
+// is also timed into the rule's profile and recorded as a span.
 func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, grew *bool) error {
+	if ev.tracer == nil {
+		return ev.runRuleFast(cr, deltaOcc, delta, grew)
+	}
+	p := ev.profFor(cr)
+	sp := ev.tracer.BeginTID("engine.rule", p.Rule, ev.tid)
+	inf0, df0 := ev.stats.Inferences, ev.stats.DerivedFacts
+	start := time.Now()
+	err := ev.runRuleFast(cr, deltaOcc, delta, grew)
+	p.Duration += time.Since(start)
+	p.Runs++
+	p.Inferences += ev.stats.Inferences - inf0
+	p.DerivedFacts += ev.stats.DerivedFacts - df0
+	sp.End(obsv.A("inferences", ev.stats.Inferences-inf0),
+		obsv.A("facts", ev.stats.DerivedFacts-df0))
+	return err
+}
+
+func (ev *evaluator) runRuleFast(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, grew *bool) error {
 	headRel := ev.derived[cr.headPred]
 	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
 		ev.stats.Inferences++

@@ -129,7 +129,15 @@ func (ev *evaluator) evalComponentsParallel(comps []Component) error {
 			check:     limits.NewChecker(layerCtx, "engine"),
 			ctx:       layerCtx,
 			inject:    ev.inject,
+			tracer:    ev.tracer,
 			factTotal: ev.factTotal,
+		}
+		if ev.tracer != nil {
+			// Each concurrent stratum gets its own track in the trace and
+			// its own profile map (merged below); the Tracer itself is
+			// safe for concurrent recording.
+			child.tid = ev.tracer.NewTID()
+			child.prof = make(map[*compiledRule]*RuleStat)
 		}
 		// Serialize trace callbacks across goroutines.
 		if ev.opts.Trace != nil {
@@ -160,6 +168,7 @@ func (ev *evaluator) evalComponentsParallel(comps []Component) error {
 	wg.Wait()
 	for _, child := range children {
 		ev.stats.Add(child.stats)
+		ev.profOrder = append(ev.profOrder, child.profOrder...)
 	}
 	if firstErr != nil {
 		return firstErr

@@ -1,0 +1,311 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The metrics registry: counters, gauges and histograms backed by the
+// stdlib expvar package (every metric of the default registry is also
+// visible under /debug/vars), rendered in the Prometheus text exposition
+// format by WritePrometheus. No third-party client library — the text
+// format is a few lines of fmt.
+
+// metric is what every instrument renders for the exposition endpoint.
+type metric interface {
+	name() string
+	help() string
+	kind() string // "counter", "gauge", "histogram"
+	expose(w io.Writer)
+}
+
+// Registry holds metrics in registration order. Use NewRegistry for
+// tests; package-level evaluation metrics live in Default.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+	// publish mirrors scalar metrics into the process-global expvar
+	// namespace (only the default registry does, since expvar.Publish
+	// panics on duplicate names).
+	publish bool
+}
+
+// NewRegistry returns an empty registry that does not publish to expvar.
+func NewRegistry() *Registry { return &Registry{names: map[string]bool{}} }
+
+// Default is the process-wide registry the evaluation facade records
+// into and the /metrics endpoint serves.
+var Default = &Registry{names: map[string]bool{}, publish: true}
+
+func (r *Registry) add(m metric, v expvar.Var) {
+	r.mu.Lock()
+	if r.names[m.name()] {
+		r.mu.Unlock()
+		panic("obsv: duplicate metric " + m.name())
+	}
+	r.names[m.name()] = true
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+	if r.publish && v != nil {
+		expvar.Publish(m.name(), v)
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name(), m.help(), m.name(), m.kind())
+		m.expose(w)
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	n, h string
+	v    expvar.Int
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{n: name, h: help}
+	r.add(c, &c.v)
+	return c
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Value() }
+
+func (c *Counter) name() string { return c.n }
+func (c *Counter) help() string { return c.h }
+func (c *Counter) kind() string { return "counter" }
+func (c *Counter) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.n, c.v.Value())
+}
+
+// Gauge is a settable integer metric.
+type Gauge struct {
+	n, h string
+	v    expvar.Int
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{n: name, h: help}
+	r.add(g, &g.v)
+	return g
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Set(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Value() }
+
+func (g *Gauge) name() string { return g.n }
+func (g *Gauge) help() string { return g.h }
+func (g *Gauge) kind() string { return "gauge" }
+func (g *Gauge) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", g.n, g.v.Value())
+}
+
+// LabeledCounter is a family of counters keyed by one label (e.g. the
+// evaluation strategy). Backed by expvar.Map so the default registry's
+// families also appear under /debug/vars.
+type LabeledCounter struct {
+	n, h, label string
+	m           expvar.Map
+}
+
+// NewLabeledCounter registers a counter family with one label dimension.
+func (r *Registry) NewLabeledCounter(name, help, label string) *LabeledCounter {
+	c := &LabeledCounter{n: name, h: help, label: label}
+	c.m.Init()
+	r.add(c, &c.m)
+	return c
+}
+
+// Add increments the counter for the given label value.
+func (c *LabeledCounter) Add(labelValue string, d int64) { c.m.Add(labelValue, d) }
+
+// Value returns the count for one label value.
+func (c *LabeledCounter) Value(labelValue string) int64 {
+	if v, ok := c.m.Get(labelValue).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+func (c *LabeledCounter) name() string { return c.n }
+func (c *LabeledCounter) help() string { return c.h }
+func (c *LabeledCounter) kind() string { return "counter" }
+func (c *LabeledCounter) expose(w io.Writer) {
+	type kv struct {
+		k string
+		v int64
+	}
+	var rows []kv
+	c.m.Do(func(e expvar.KeyValue) {
+		if v, ok := e.Value.(*expvar.Int); ok {
+			rows = append(rows, kv{e.Key, v.Value()})
+		}
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", c.n, c.label, r.k, r.v)
+	}
+}
+
+// Histogram is a fixed-bucket cumulative histogram of float64
+// observations.
+type Histogram struct {
+	n, h    string
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	mu      sync.Mutex
+	counts  []uint64 // len(bounds)+1, last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// NewHistogram registers a histogram with the given ascending bucket
+// upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{n: name, h: help, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.add(h, expvar.Func(h.snapshot))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// snapshot is the expvar view of the histogram.
+func (h *Histogram) snapshot() any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return map[string]any{"count": h.samples, "sum": h.sum}
+}
+
+func (h *Histogram) name() string { return h.n }
+func (h *Histogram) help() string { return h.h }
+func (h *Histogram) kind() string { return "histogram" }
+func (h *Histogram) expose(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.n, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.n, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.n, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", h.n, h.samples)
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// The canonical evaluation metrics, recorded once per Eval by the public
+// facade — coarse enough that an evaluation's hot loops never touch an
+// atomic, complete enough to keep the paper's comparative quantities
+// (inferences, probes, counting-set size) trending on a dashboard.
+var (
+	MEvaluations = Default.NewLabeledCounter("lincount_evaluations_total",
+		"Completed evaluations by concrete strategy.", "strategy")
+	MEvalErrors = Default.NewLabeledCounter("lincount_eval_errors_total",
+		"Failed evaluations by error class (limit, canceled, internal, other).", "class")
+	MInferences = Default.NewCounter("lincount_inferences_total",
+		"Successful rule instantiations across all evaluations (including rederivations).")
+	MProbes = Default.NewCounter("lincount_probes_total",
+		"Index probes and scans across all evaluations.")
+	MDerivedFacts = Default.NewCounter("lincount_derived_facts_total",
+		"Distinct derived tuples across all evaluations.")
+	MAnswerTuples = Default.NewCounter("lincount_answer_tuples_total",
+		"Distinct answer-predicate tuples across all evaluations.")
+	MArenaValues = Default.NewCounter("lincount_arena_values_total",
+		"Term values appended to columnar storage arenas (arena growth).")
+	MCountingSetLast = Default.NewGauge("lincount_counting_set_size",
+		"Counting-set size (nodes) of the most recent counting evaluation.")
+	MCountingSet = Default.NewHistogram("lincount_counting_set_nodes",
+		"Distribution of counting-set sizes across counting evaluations.",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536})
+	MDegradations = Default.NewCounter("lincount_degradation_attempts_total",
+		"Failed Auto-chain strategy attempts that fell back to the next strategy.")
+	MFaultHits = Default.NewCounter("lincount_fault_injection_hits_total",
+		"Injected faults fired by the chaos harness.")
+	MEvalDuration = Default.NewHistogram("lincount_eval_duration_seconds",
+		"Wall-clock evaluation time, including rewriting.",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60})
+)
+
+// EvalSample is the once-per-evaluation metrics record. Fields mirror
+// the public Stats plus the outcome.
+type EvalSample struct {
+	Strategy      string // concrete strategy that answered (or was attempted)
+	Inferences    int64
+	Probes        int64
+	DerivedFacts  int64
+	AnswerTuples  int64
+	ArenaValues   int64
+	CountingNodes int64
+	Degradations  int64
+	FaultHits     int64
+	Duration      time.Duration
+	// ErrClass is "" for success, else one of "limit", "canceled",
+	// "internal", "other".
+	ErrClass string
+}
+
+// RecordEval folds one evaluation into the default registry. It performs
+// a fixed handful of atomic adds and two mutexed histogram observations —
+// no allocation — so the facade can call it unconditionally.
+func RecordEval(s EvalSample) {
+	if s.ErrClass != "" {
+		MEvalErrors.Add(s.ErrClass, 1)
+	} else {
+		MEvaluations.Add(s.Strategy, 1)
+	}
+	MInferences.Add(s.Inferences)
+	MProbes.Add(s.Probes)
+	MDerivedFacts.Add(s.DerivedFacts)
+	MAnswerTuples.Add(s.AnswerTuples)
+	MArenaValues.Add(s.ArenaValues)
+	if s.CountingNodes > 0 {
+		MCountingSetLast.Set(s.CountingNodes)
+		MCountingSet.Observe(float64(s.CountingNodes))
+	}
+	MDegradations.Add(s.Degradations)
+	MFaultHits.Add(s.FaultHits)
+	MEvalDuration.Observe(s.Duration.Seconds())
+}

@@ -1,0 +1,107 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// The serving surface: one http.Handler exposing the metrics registry in
+// Prometheus text format, the runtime profiler, and the most recent
+// evaluation trace. CLIs opt in with an -obs flag; the library never
+// starts a server on its own.
+
+// lastTrace holds the most recently completed evaluation trace for
+// /trace.json; CLIs publish into it after each traced evaluation.
+var lastTrace atomic.Pointer[Tracer]
+
+// SetLastTrace publishes t as the trace served at /trace.json.
+func SetLastTrace(t *Tracer) {
+	if t != nil {
+		lastTrace.Store(t)
+	}
+}
+
+// LastTrace returns the most recently published trace, or nil.
+func LastTrace() *Tracer { return lastTrace.Load() }
+
+// Handler returns the observability mux:
+//
+//	/              a plain-text index of the endpoints
+//	/metrics       the default registry, Prometheus text format
+//	/trace.json    the last published trace, Chrome trace-event JSON
+//	/trace.txt     the same trace as human-readable text
+//	/debug/pprof/  the net/http/pprof profiler family
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "lincount observability\n\n"+
+			"/metrics        Prometheus text exposition\n"+
+			"/trace.json     last evaluation trace (chrome://tracing format)\n"+
+			"/trace.txt      last evaluation trace (text)\n"+
+			"/debug/pprof/   runtime profiles (cpu, heap, goroutine, ...)\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		t := LastTrace()
+		if t == nil {
+			http.Error(w, "no trace recorded yet; run a traced evaluation first", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChromeJSON(w)
+	})
+	mux.HandleFunc("/trace.txt", func(w http.ResponseWriter, r *http.Request) {
+		t := LastTrace()
+		if t == nil {
+			http.Error(w, "no trace recorded yet; run a traced evaluation first", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = t.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	l    net.Listener
+	srv  *http.Server
+}
+
+// Serve binds addr (e.g. ":9464" or "127.0.0.1:0") and serves Handler on
+// it in a background goroutine until Close.
+func Serve(addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: %w", err)
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(l) }()
+	return &Server{Addr: l.Addr().String(), l: l, srv: srv}, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -23,6 +23,7 @@ import (
 	"lincount/internal/database"
 	"lincount/internal/faultinject"
 	"lincount/internal/limits"
+	"lincount/internal/obsv"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
@@ -77,6 +78,18 @@ type evaluator struct {
 	maxPasses    int
 	check        *limits.Checker
 	inject       *faultinject.Injector
+	tracer       *obsv.Tracer
+}
+
+// tally recomputes the set-size counters from the per-predicate state;
+// safe to call mid-fixpoint or after a failure.
+func (ev *evaluator) tally() {
+	ev.stats.InputTuples, ev.stats.AnswerTuples, ev.stats.ArenaValues = 0, 0, 0
+	for _, st := range ev.preds {
+		ev.stats.InputTuples += st.input.Len()
+		ev.stats.AnswerTuples += st.answers.Len()
+		ev.stats.ArenaValues += int64(st.input.ArenaLen() + st.answers.ArenaLen())
+	}
 }
 
 // Options bounds an evaluation.
@@ -86,6 +99,14 @@ type Options struct {
 	// Inject, when non-nil, is consulted at QSQ's hook sites (per probe
 	// and per global sweep). Nil costs one pointer comparison per site.
 	Inject *faultinject.Injector
+	// Tracer, when non-nil, records one span per global sweep with the
+	// cumulative inference and probe counts. Nil costs one pointer
+	// comparison per sweep.
+	Tracer *obsv.Tracer
+	// StatsOut, when non-nil, receives the evaluation's Stats even when
+	// the fixpoint fails partway (pass limit, injected fault,
+	// cancellation).
+	StatsOut *Stats
 }
 
 // Eval runs QSQ for the adorned query over db.
@@ -105,6 +126,15 @@ func EvalContext(ctx context.Context, a *adorn.Adorned, db *database.Database, o
 		maxPasses: opts.MaxPasses,
 		check:     limits.NewChecker(ctx, "topdown"),
 		inject:    opts.Inject,
+		tracer:    opts.Tracer,
+	}
+	if opts.StatsOut != nil {
+		// Fill even on the error paths: a failed attempt's partial work
+		// counters are what Auto-degradation reporting needs.
+		defer func() {
+			ev.tally()
+			*opts.StatsOut = ev.stats
+		}()
 	}
 	if ev.maxPasses == 0 {
 		ev.maxPasses = 1_000_000
@@ -164,21 +194,22 @@ func EvalContext(ctx context.Context, a *adorn.Adorned, db *database.Database, o
 		}
 		ev.stats.Passes++
 		ev.grewThisPass = false
+		psp := ev.tracer.Begin("qsq", "qsq.pass")
 		for _, r := range ev.a.Program.Rules {
 			if err := ev.sweepRule(r); err != nil {
+				psp.End(obsv.A("pass", int64(pass)))
 				return nil, err
 			}
 		}
+		psp.End(obsv.A("pass", int64(pass)),
+			obsv.A("inferences", ev.stats.Inferences),
+			obsv.A("probes", ev.stats.Probes))
 		if !ev.grewThisPass {
 			break
 		}
 	}
 
-	for _, st := range ev.preds {
-		ev.stats.InputTuples += st.input.Len()
-		ev.stats.AnswerTuples += st.answers.Len()
-		ev.stats.ArenaValues += int64(st.input.ArenaLen() + st.answers.ArenaLen())
-	}
+	ev.tally()
 
 	// Collect the goal's answers matching the query constants.
 	var out []database.Tuple

@@ -253,6 +253,28 @@ type AttemptInfo struct {
 	Err string
 	// Duration is the wall-clock time the attempt consumed.
 	Duration time.Duration
+	// Stats holds the work counters the attempt accumulated before it
+	// failed — the partial work a degraded run would otherwise discard.
+	// Duration inside Stats is zero; use the field above.
+	Stats Stats
+}
+
+// RuleProfile is one rule's share of an evaluation's work, collected
+// only when a Tracer is attached (see WithTracer); Result.RuleProfile is
+// nil otherwise. For rewriting strategies the rules are those of the
+// rewritten program.
+type RuleProfile struct {
+	// Rule is the rule's source text.
+	Rule string
+	// Runs counts evaluations of the rule's join (one per delta
+	// occurrence per fixpoint iteration under semi-naive evaluation).
+	Runs int
+	// Inferences and DerivedFacts are the rule's share of the Stats
+	// counters of the same names.
+	Inferences   int64
+	DerivedFacts int64
+	// Duration is the wall-clock time spent joining the rule's body.
+	Duration time.Duration
 }
 
 // Result is the outcome of Eval.
@@ -280,6 +302,10 @@ type Result struct {
 	// RewrittenQuery is the rewritten goal text, when applicable.
 	RewrittenQuery string
 	Stats          Stats
+	// RuleProfile holds per-rule work profiles when the evaluation ran
+	// with WithTracer (engine-evaluated strategies only; nil otherwise),
+	// in component order — the data behind EXPLAIN ANALYZE output.
+	RuleProfile []RuleProfile
 }
 
 // ErrWrongDatabase is returned when a Database is used with a different

@@ -1,0 +1,69 @@
+package lincount_test
+
+// Overhead benchmarks for the observability hooks: with no Tracer
+// attached every hook must be free — identical allocs/op and ns/op within
+// noise to the pre-instrumentation engine. Compare the off/on pairs with
+//
+//	go test -bench TracingOverhead -benchmem
+//
+// The "off" variants are the numbers that must match the plain P1/P2
+// benchmarks above; the "on" variants show what a trace costs when asked
+// for.
+
+import (
+	"fmt"
+	"testing"
+
+	"lincount"
+	"lincount/internal/workload"
+)
+
+// benchTraced is benchStrategy with a fresh Tracer attached per run.
+func benchTraced(b *testing.B, src, facts, query string, s lincount.Strategy) {
+	b.Helper()
+	p, err := lincount.ParseProgram(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(facts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lincount.Eval(p, db, query, s, lincount.WithTracer(lincount.NewTracer())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingOverheadP1: the P1 cylinder workload with tracing off
+// (the default) and on, per strategy family.
+func BenchmarkTracingOverheadP1(b *testing.B) {
+	const depth, width = 12, 8
+	facts := workload.Cylinder(depth, width, 2)
+	query := fmt.Sprintf("?- sg(%s,Y).", workload.CylinderQuery)
+	for _, s := range []lincount.Strategy{lincount.Magic, lincount.Counting, lincount.CountingRuntime} {
+		b.Run(s.String()+"/off", func(b *testing.B) {
+			benchStrategy(b, workload.SGProgram, facts, query, s)
+		})
+		b.Run(s.String()+"/on", func(b *testing.B) {
+			benchTraced(b, workload.SGProgram, facts, query, s)
+		})
+	}
+}
+
+// BenchmarkTracingOverheadP2: the shortcut-chain workload (the n²
+// counting-set shape), tracing off vs on.
+func BenchmarkTracingOverheadP2(b *testing.B) {
+	facts := workload.ShortcutChain(64)
+	for _, s := range []lincount.Strategy{lincount.Counting, lincount.CountingRuntime} {
+		b.Run(s.String()+"/off", func(b *testing.B) {
+			benchStrategy(b, workload.SGProgram, facts, "?- sg(v0,Y).", s)
+		})
+		b.Run(s.String()+"/on", func(b *testing.B) {
+			benchTraced(b, workload.SGProgram, facts, "?- sg(v0,Y).", s)
+		})
+	}
+}
