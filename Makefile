@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos obs-smoke bench benchcheck experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos obs-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
 
 all: build vet test
 
@@ -16,6 +16,8 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) obs-smoke
+	$(MAKE) planner-smoke
+	$(MAKE) golden-explain
 
 # The seeded chaos suite: fault schedules × strategies × corpus programs
 # under the race detector, checked by the differential oracle, plus the
@@ -31,6 +33,20 @@ chaos:
 # expected span names. See docs/INTERNALS.md § Observability.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./cmd/lincount
+
+# The planner smoke quartet: acyclic/cyclic same-generation plus
+# left-/right-linear closure, each asserting the cost-informed planner
+# ranks the structurally proven strategy first with real data loaded and
+# that its pick answers identically to semi-naive.
+planner-smoke:
+	$(GO) test -run TestPlannerSmoke -count=1 .
+
+# Golden-file check of lincount-explain over the representative program
+# quartet: every strategy's rewritten program plus the planner ranking.
+# Regenerate intentionally changed rewrites with:
+#   go test ./cmd/lincount-explain -run TestExplainGolden -update
+golden-explain:
+	$(GO) test -run TestExplainGolden -count=1 ./cmd/lincount-explain
 
 build:
 	$(GO) build ./...

@@ -198,3 +198,62 @@ func BenchmarkP10_Selectivity(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkP14_PreparedVsCold: compilation amortization through the plan
+// cache. "cold" evaluates with the cache bypassed (every iteration pays
+// query parsing, adornment, analysis and rewriting); "prepared"
+// evaluates a PreparedQuery whose plan is compiled once and hit
+// thereafter. The workload shapes are P1's cylinder and P2's shortcut
+// chain at small sizes, where compilation and execution cost are
+// comparable — the regime the cache exists for (a service answering
+// many point queries); on large instances execution dominates both
+// sides and the gap narrows toward zero.
+func BenchmarkP14_PreparedVsCold(b *testing.B) {
+	workloads := []struct {
+		name, src, facts, query string
+	}{
+		{"P1cylinder", workload.SGProgram,
+			workload.Cylinder(3, 2, 2),
+			fmt.Sprintf("?- sg(%s,Y).", workload.CylinderQuery)},
+		{"P2shortcut", workload.SGProgram,
+			workload.ShortcutChain(4), "?- sg(v0,Y)."},
+	}
+	for _, w := range workloads {
+		p, err := lincount.ParseProgram(w.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := lincount.NewDatabase(p)
+		if err := db.LoadFacts(w.facts); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(w.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lincount.Eval(p, db, w.query, lincount.Auto, lincount.WithoutPlanCache()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/prepared", func(b *testing.B) {
+			pq, err := lincount.Prepare(p, w.query, lincount.Auto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pq.Eval(db); err != nil { // warm the cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := pq.Eval(db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.PlanCacheHit {
+					b.Fatal("prepared evaluation missed the plan cache")
+				}
+			}
+		})
+	}
+}

@@ -87,6 +87,9 @@ func suite() []experiment {
 		{"P12",
 			func() bench.Table { return bench.P12QSQ([]int{16, 32, 64}) },
 			func() bench.Table { return bench.P12QSQ([]int{16, 32}) }},
+		{"P14",
+			func() bench.Table { return bench.P14PreparedVsCold(200) },
+			func() bench.Table { return bench.P14PreparedVsCold(50) }},
 	}
 }
 

@@ -1,0 +1,72 @@
+package main
+
+// Golden-file tests over the explain output: every strategy's rewritten
+// program plus the planner's ranking, for the representative program
+// quartet (mixed-linear sg, right-linear, left-linear, nonlinear).
+// The goldens pin the rewrites — a pipeline or planner change that
+// alters any rewritten program or the auto resolution shows up as a
+// golden diff, not as a silent behavior change. Regenerate with
+//
+//	go test ./cmd/lincount-explain -run TestExplainGolden -update
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+func TestExplainGolden(t *testing.T) {
+	progs, err := filepath.Glob(filepath.Join("testdata", "explain", "*.dl"))
+	if err != nil || len(progs) == 0 {
+		t.Fatalf("no golden programs found: %v", err)
+	}
+	for _, prog := range progs {
+		name := strings.TrimSuffix(filepath.Base(prog), ".dl")
+		t.Run(name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(context.Background(), []string{"-program", prog}, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d: %s", code, errOut.String())
+			}
+			golden := strings.TrimSuffix(prog, ".dl") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (regenerate with -update if intended):\n%s",
+					golden, diffText(string(want), out.String()))
+			}
+		})
+	}
+}
+
+// diffText renders a minimal line diff (golden files are small).
+func diffText(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			sb.WriteString("- " + w + "\n+ " + g + "\n")
+		}
+	}
+	return sb.String()
+}

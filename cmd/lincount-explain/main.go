@@ -114,14 +114,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "%% query: %s\n%% original program:\n%s\n", q, indent(p.Text()))
-	// Show what Auto would do before the per-strategy rewrites: its
-	// resolution plus the graceful-degradation order behind it.
-	if chain, err := lincount.FallbackChain(p, q); err == nil {
-		names := make([]string, len(chain))
-		for i, s := range chain {
-			names[i] = s.String()
+	// Show what Auto would do before the per-strategy rewrites: the
+	// planner's ranking (cost estimates use facts embedded in the program;
+	// no database is loaded here) and the graceful-degradation order it
+	// implies.
+	if choices, err := lincount.PlannerChoices(p, nil, q); err == nil {
+		names := make([]string, len(choices))
+		for i, c := range choices {
+			names[i] = c.Strategy.String()
 		}
-		fmt.Fprintf(stdout, "%% auto resolves to %s; fallback chain: %s\n\n", chain[0], strings.Join(names, " -> "))
+		fmt.Fprintf(stdout, "%% auto resolves to %s; fallback chain: %s\n", choices[0].Strategy, strings.Join(names, " -> "))
+		for _, c := range choices {
+			fmt.Fprintf(stdout, "%%   cost %6.0f  %-17s %s\n", c.Cost, c.Strategy, c.Reason)
+		}
+		fmt.Fprintln(stdout)
 	}
 	for _, s := range strategies {
 		if ctx.Err() != nil {

@@ -34,7 +34,11 @@ import (
 )
 
 type session struct {
-	src      strings.Builder
+	src strings.Builder
+	// prog is the parsed form of src, reused across queries so repeated
+	// goals hit the program's plan cache; nil after src changes
+	// (defining, :clear), which also discards every cached plan.
+	prog     *lincount.Program
 	strategy lincount.Strategy
 	out      *bufio.Writer
 	// last is the most recent successful evaluation, for :last.
@@ -148,7 +152,7 @@ func (s *session) command(line string) (quit bool) {
 		}
 		s.strategy = st
 	case ":lint":
-		p, err := lincount.ParseProgram(s.src.String())
+		p, err := s.program()
 		if err != nil {
 			fmt.Fprintln(s.out, err)
 			return false
@@ -161,7 +165,7 @@ func (s *session) command(line string) (quit bool) {
 			fmt.Fprintln(s.out, f)
 		}
 	case ":list":
-		p, err := lincount.ParseProgram(s.src.String())
+		p, err := s.program()
 		if err != nil {
 			fmt.Fprintln(s.out, err)
 			return false
@@ -224,6 +228,7 @@ func (s *session) command(line string) (quit bool) {
 		}
 	case ":clear":
 		s.src.Reset()
+		s.prog = nil
 	case ":load":
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: :load <path>")
@@ -237,7 +242,7 @@ func (s *session) command(line string) (quit bool) {
 		s.define(string(data))
 	case ":rewrite":
 		goal := strings.TrimSpace(strings.TrimPrefix(line, ":rewrite"))
-		p, err := lincount.ParseProgram(s.src.String())
+		p, err := s.program()
 		if err != nil {
 			fmt.Fprintln(s.out, err)
 			return false
@@ -250,7 +255,7 @@ func (s *session) command(line string) (quit bool) {
 		fmt.Fprintf(s.out, "%sgoal: %s\n", prog, g)
 	case ":why":
 		goal := strings.TrimSpace(strings.TrimPrefix(line, ":why"))
-		p, err := lincount.ParseProgram(s.src.String())
+		p, err := s.program()
 		if err != nil {
 			fmt.Fprintln(s.out, err)
 			return false
@@ -272,15 +277,34 @@ func (s *session) command(line string) (quit bool) {
 	return false
 }
 
-// define validates and appends program text.
+// define validates and appends program text. The validation parse of the
+// extended source becomes the session's cached program (the old one is
+// discarded along with its compiled plans — rules changed).
 func (s *session) define(text string) {
 	candidate := s.src.String() + text + "\n"
-	if _, err := lincount.ParseProgram(candidate); err != nil {
+	p, err := lincount.ParseProgram(candidate)
+	if err != nil {
 		fmt.Fprintln(s.out, err)
 		return
 	}
 	s.src.WriteString(text)
 	s.src.WriteByte('\n')
+	s.prog = p
+}
+
+// program returns the parsed form of the accumulated source, cached until
+// the source changes. Reusing one Program across queries is what makes
+// the plan cache effective in the shell: a repeated goal skips adornment,
+// analysis and rewriting entirely.
+func (s *session) program() (*lincount.Program, error) {
+	if s.prog == nil {
+		p, err := lincount.ParseProgram(s.src.String())
+		if err != nil {
+			return nil, err
+		}
+		s.prog = p
+	}
+	return s.prog, nil
 }
 
 // query evaluates one goal against the accumulated program. Facts live in
@@ -288,7 +312,7 @@ func (s *session) define(text string) {
 // A SIGINT delivered while the evaluation runs cancels it; the shell
 // reports "interrupted." and prompts again.
 func (s *session) query(goal string) {
-	p, err := lincount.ParseProgram(s.src.String())
+	p, err := s.program()
 	if err != nil {
 		fmt.Fprintln(s.out, err)
 		return
@@ -321,7 +345,12 @@ func (s *session) query(goal string) {
 		obsv.SetLastTrace(s.lastTrace)
 		opts = append(opts, lincount.WithTracer(s.lastTrace))
 	}
-	res, err := lincount.EvalContext(ctx, p, lincount.NewDatabase(p), goal, s.strategy, opts...)
+	pq, err := lincount.Prepare(p, goal, s.strategy, opts...)
+	if err != nil {
+		fmt.Fprintln(s.out, err)
+		return
+	}
+	res, err := pq.EvalContext(ctx, lincount.NewDatabase(p))
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):

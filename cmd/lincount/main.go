@@ -181,7 +181,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if tracer != nil {
 			opts = append(opts, lincount.WithTracer(tracer))
 		}
-		res, err := lincount.EvalContext(ctx, p, db, q, s, opts...)
+		// Queries go through the prepared-query facade: repeated goals in
+		// one input (common in generated query files) compile once and hit
+		// the program's plan cache afterwards.
+		pq, err := lincount.Prepare(p, q, s, opts...)
+		if err != nil {
+			return fail(fmt.Errorf("compiling %s: %w", q, err))
+		}
+		res, err := pq.EvalContext(ctx, db)
 		if err != nil {
 			switch {
 			case errors.Is(err, context.Canceled):

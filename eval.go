@@ -4,12 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"sort"
-	"strings"
 	"time"
 
-	"lincount/internal/adorn"
 	"lincount/internal/ast"
 	"lincount/internal/counting"
 	"lincount/internal/database"
@@ -19,6 +18,8 @@ import (
 	"lincount/internal/magic"
 	"lincount/internal/obsv"
 	"lincount/internal/parser"
+	"lincount/internal/plan"
+	"lincount/internal/symtab"
 	"lincount/internal/topdown"
 )
 
@@ -31,6 +32,7 @@ type evalConfig struct {
 	maxCountingTuples int
 	maxDuration       time.Duration
 	parallel          bool
+	noCache           bool
 	trace             func(TraceEvent)
 	faultSeed         int64
 	faultSpec         string
@@ -38,9 +40,20 @@ type evalConfig struct {
 	tracer            *obsv.Tracer
 	// statsSink, when non-nil, receives the evaluation's work counters
 	// even when it fails partway — the partial stats of a degraded
-	// attempt. Always non-nil below EvalContext (it points at a local
+	// attempt. Always non-nil below evalCore (it points at a local
 	// there when no caller supplied one).
 	statsSink *Stats
+
+	// Compilation state threaded by the facade once per evaluation: the
+	// normalized query text (the plan-cache key's query component), the
+	// shared adornment/analysis every candidate strategy compiles
+	// against, and the fingerprint of the plan-relevant options above —
+	// computed from the caller-supplied values before any per-attempt
+	// budget adjustment, so Auto fallback attempts share cache entries
+	// with explicit evaluations of the same options.
+	queryText string
+	shared    *plan.Shared
+	optsFP    uint64
 }
 
 // WithParallel evaluates independent strata concurrently (engine
@@ -50,6 +63,15 @@ type evalConfig struct {
 // cancels the sibling strata, which drain before Eval returns.
 func WithParallel() Option {
 	return func(c *evalConfig) { c.parallel = true }
+}
+
+// WithoutPlanCache makes this evaluation bypass the program's plan
+// cache entirely: nothing is looked up and nothing is stored, so every
+// compilation pass runs from scratch. This is the cold path —
+// benchmarks use it to measure compilation cost, and it is the escape
+// hatch if a cached plan is ever suspected of misbehaving.
+func WithoutPlanCache() Option {
+	return func(c *evalConfig) { c.noCache = true }
 }
 
 // TraceEvent is one step of an evaluation trace: a stratum starting
@@ -70,12 +92,13 @@ func WithTrace(fn func(TraceEvent)) Option {
 }
 
 // Tracer records a structured trace of an evaluation: spans for the
-// facade phases (parse, adorn, rewrite, answers), engine components,
-// fixpoint iterations and rule runs, counting-runtime phases and
-// worklist progress, QSQ passes, and each Auto fallback attempt. A nil
-// *Tracer is a valid disabled tracer whose hook sites cost one pointer
-// comparison. Render the result with WriteText or WriteChromeJSON
-// (Chrome trace-event JSON, loadable in chrome://tracing and Perfetto).
+// facade phases (parse, plan, the compile passes, answers), engine
+// components, fixpoint iterations and rule runs, counting-runtime
+// phases and worklist progress, QSQ passes, and each Auto fallback
+// attempt. A nil *Tracer is a valid disabled tracer whose hook sites
+// cost one pointer comparison. Render the result with WriteText or
+// WriteChromeJSON (Chrome trace-event JSON, loadable in chrome://tracing
+// and Perfetto).
 type Tracer = obsv.Tracer
 
 // NewTracer returns an empty Tracer ready to pass to WithTracer.
@@ -161,16 +184,36 @@ func Eval(p *Program, db *Database, query string, strategy Strategy, opts ...Opt
 // ResourceLimitError), errors.Is(err, context.Canceled) /
 // errors.Is(err, context.DeadlineExceeded) for interruptions, and
 // *InternalError for panics recovered at this boundary.
+//
+// Repeated evaluations of the same query text on the same Program hit
+// the program's plan cache and skip compilation (adornment, analysis,
+// rewrite); see Prepare for the explicit prepared-query API.
 func EvalContext(ctx context.Context, p *Program, db *Database, query string, strategy Strategy, opts ...Option) (*Result, error) {
+	cfg := evalConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	esp := cfg.tracer.Begin("eval", "eval")
+	defer esp.End()
+	psp := cfg.tracer.Begin("eval", "parse")
+	q, err := parser.ParseQuery(p.bank, query)
+	psp.End()
+	if err != nil {
+		return nil, fmt.Errorf("lincount: parsing query: %w", err)
+	}
+	return evalCore(ctx, p, db, q, strategy, cfg)
+}
+
+// evalCore is everything after query parsing: plan (for Auto), compile
+// through the plan cache, execute, record. It is shared between
+// EvalContext and PreparedQuery.EvalContext (which parsed at Prepare
+// time).
+func evalCore(ctx context.Context, p *Program, db *Database, q ast.Query, strategy Strategy, cfg evalConfig) (*Result, error) {
 	if db != nil && db.owner != p {
 		return nil, ErrWrongDatabase
 	}
 	if ctx == nil {
 		ctx = context.Background()
-	}
-	cfg := evalConfig{}
-	for _, o := range opts {
-		o(&cfg)
 	}
 	if cfg.faultSpec != "" {
 		inj, err := faultinject.ParseSpec(cfg.faultSeed, cfg.faultSpec)
@@ -197,18 +240,9 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 	if cfg.statsSink == nil {
 		cfg.statsSink = &sink
 	}
-	esp := cfg.tracer.Begin("eval", "eval")
-	psp := cfg.tracer.Begin("eval", "parse")
-	q, err := parser.ParseQuery(p.bank, query)
-	psp.End()
-	if err != nil {
-		esp.End()
-		return nil, fmt.Errorf("lincount: parsing query: %w", err)
-	}
 	// A context that is already done returns promptly, before any
-	// rewriting or evaluation work.
+	// compilation or evaluation work.
 	if err := ctx.Err(); err != nil {
-		esp.End()
 		return nil, &CanceledError{Component: "lincount", Cause: context.Cause(ctx)}
 	}
 	var dbi *database.Database
@@ -216,20 +250,33 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 		dbi = db.db
 	}
 
+	cfg.queryText = ast.FormatQuery(p.bank, q)
+	cfg.optsFP = cfg.fingerprint()
+	cfg.shared = p.sharedFor(cfg.queryText, q, cfg.noCache)
+
 	resolved := strategy
+	var chain []Strategy
 	if strategy == Auto {
-		resolved = resolveAuto(p, q)
+		plsp := cfg.tracer.Begin("eval", "plan")
+		choices := plan.Rank(cfg.shared, p.statsFunc(dbi))
+		plsp.End(obsv.A("candidates", int64(len(choices))))
+		chain = make([]Strategy, len(choices))
+		for i, c := range choices {
+			chain[i] = c.Strategy
+		}
+		resolved = chain[0]
+		obsv.MPlannerChoices.Add(resolved.String(), 1)
 	}
 
 	start := time.Now()
 	var res *Result
+	var err error
 	if strategy == Auto {
-		res, err = evalAuto(ctx, p, dbi, q, resolved, cfg)
+		res, err = evalAuto(ctx, p, dbi, chain, cfg)
 	} else {
-		res, err = evalResolved(ctx, p, dbi, q, strategy, resolved, cfg)
+		res, _, err = evalResolved(ctx, p, dbi, strategy, cfg)
 	}
 	dur := time.Since(start)
-	esp.End()
 	if err != nil {
 		recordEval(resolved, *cfg.statsSink, 0, cfg.inject.Fired(), dur, err)
 		return nil, err
@@ -238,6 +285,80 @@ func EvalContext(ctx context.Context, p *Program, db *Database, query string, st
 	res.Stats.Duration = dur
 	recordEval(res.Strategy, res.Stats, len(res.Degraded), cfg.inject.Fired(), dur, nil)
 	return res, nil
+}
+
+// fingerprint hashes the options that are part of a plan's cache key.
+// Compiled plans do not actually depend on budgets — they are pure
+// functions of (program, query, strategy) — but keying on the options
+// keeps an entry's observable behavior identical across hits and makes
+// option changes an explicit cache miss, which is cheap insurance and
+// easy to reason about. Observers (tracer, trace fn, stats sink) and
+// cache-control flags are deliberately excluded.
+func (c *evalConfig) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%t|%d|%s",
+		c.maxIterations, c.maxFacts, c.maxCountingTuples, c.maxDuration,
+		c.parallel, c.faultSeed, c.faultSpec)
+	return h.Sum64()
+}
+
+// sharedFor returns the shared compilation state for a query, reusing
+// the cached one so every strategy (and every Auto fallback attempt)
+// adorns and analyzes at most once per query text.
+func (p *Program) sharedFor(qtext string, q ast.Query, noCache bool) *plan.Shared {
+	if noCache || p.plans == nil {
+		return plan.NewShared(p.program, q)
+	}
+	return p.plans.SharedFor(qtext, func() *plan.Shared {
+		return plan.NewShared(p.program, q)
+	})
+}
+
+// statsFunc supplies the planner's per-predicate cardinalities: base
+// facts in the database plus fact rules embedded in the program source
+// (the REPL's facts live there).
+func (p *Program) statsFunc(dbi *database.Database) plan.StatsFunc {
+	facts := p.programFactCounts()
+	return func(pred symtab.Sym) int64 {
+		n := facts[pred]
+		if dbi != nil {
+			if rel := dbi.Relation(pred); rel != nil {
+				n += int64(rel.Len())
+			}
+		}
+		return n
+	}
+}
+
+// planFor returns the compiled plan for a strategy, consulting the
+// program's plan cache unless the evaluation opted out. It reports
+// whether the plan was a cache hit and how long compilation took (zero
+// on a hit). Compile failures are returned without being cached.
+func (p *Program) planFor(s Strategy, cfg evalConfig) (cq *plan.CompiledQuery, hit bool, compileTime time.Duration, err error) {
+	useCache := !cfg.noCache && p.plans != nil
+	key := plan.Key{Query: cfg.queryText, Strategy: s, Opts: cfg.optsFP}
+	if useCache {
+		if cq, ok := p.plans.Get(key); ok {
+			obsv.MPlanCacheHits.Add(1)
+			sp := cfg.tracer.Begin("eval", "compile:"+s.String())
+			sp.End(obsv.A("cache_hit", 1))
+			return cq, true, 0, nil
+		}
+		obsv.MPlanCacheMisses.Add(1)
+	}
+	csp := cfg.tracer.Begin("eval", "compile:"+s.String())
+	start := time.Now()
+	cq, err = plan.Compile(cfg.shared, s, cfg.tracer)
+	compileTime = time.Since(start)
+	csp.End(obsv.A("cache_hit", 0))
+	if err != nil {
+		return nil, false, compileTime, err
+	}
+	obsv.MCompileDuration.Observe(compileTime.Seconds())
+	if useCache {
+		p.plans.Put(key, cq)
+	}
+	return cq, false, compileTime, nil
 }
 
 // recordEval folds one finished evaluation — successful or not — into
@@ -287,18 +408,19 @@ func errClass(err error) string {
 	}
 }
 
-// evalAuto runs the Auto degradation chain: the resolved strategy first,
-// then — if it fails with a retryable error (a resource-limit trip, an
-// injected fault, or a recovered internal panic) — each fallback in
-// fallbackChain order against a fresh scratch state, until one succeeds
-// or the chain is exhausted. Non-retryable errors (cancellation,
-// deadline, semantic errors in the program) fail fast. The shared
-// derived-fact budget is charged across attempts: a fallback only gets
-// what the failed attempts measurably left, and the wall-clock budget is
-// shared naturally through the context deadline. Failed attempts are
-// recorded in Result.Degraded.
-func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Query, resolved Strategy, cfg evalConfig) (*Result, error) {
-	chain := fallbackChain(p, q, resolved)
+// evalAuto runs the Auto degradation chain — the planner's ranking, best
+// estimate first — until one strategy succeeds or the chain is
+// exhausted. A failed attempt retries with the next strategy only on a
+// retryable error (a resource-limit trip, an injected fault, or a
+// recovered internal panic) or when the strategy turned out not to
+// cover the program; non-retryable errors (cancellation, deadline,
+// semantic errors) fail fast. The shared derived-fact budget is charged
+// across attempts — a fallback only gets what the failed attempts
+// measurably left — and every attempt compiles through the shared
+// analysis and the plan cache, so retries never re-adorn. Failed
+// attempts are recorded in Result.Degraded with compile and execute
+// time split out.
+func evalAuto(ctx context.Context, p *Program, dbi *database.Database, chain []Strategy, cfg evalConfig) (*Result, error) {
 	var attempts []AttemptInfo
 	remaining := int64(cfg.maxFacts) // shared budget; 0 = per-attempt defaults
 	for i, s := range chain {
@@ -312,7 +434,7 @@ func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Que
 		acfg.statsSink = &attemptStats
 		asp := cfg.tracer.Begin("eval", "attempt:"+s.String())
 		attemptStart := time.Now()
-		res, err := evalResolved(ctx, p, dbi, q, Auto, s, acfg)
+		res, timing, err := evalResolved(ctx, p, dbi, s, acfg)
 		asp.End(obsv.A("failed", boolArg(err != nil)))
 		if cfg.statsSink != nil {
 			*cfg.statsSink = attemptStats
@@ -333,10 +455,13 @@ func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Que
 			return nil, err
 		}
 		attempts = append(attempts, AttemptInfo{
-			Strategy: s,
-			Err:      err.Error(),
-			Duration: time.Since(attemptStart),
-			Stats:    attemptStats,
+			Strategy:     s,
+			Err:          err.Error(),
+			Duration:     time.Since(attemptStart),
+			Compile:      timing.compile,
+			Execute:      timing.execute,
+			PlanCacheHit: timing.cacheHit,
+			Stats:        attemptStats,
 		})
 		if cfg.maxFacts > 0 {
 			// Charge what the failed attempt measurably consumed (its
@@ -352,7 +477,7 @@ func evalAuto(ctx context.Context, p *Program, dbi *database.Database, q ast.Que
 		}
 	}
 	// Unreachable: the loop returns on the last chain element.
-	return nil, fmt.Errorf("lincount: empty fallback chain for %v", resolved)
+	return nil, errors.New("lincount: empty fallback chain")
 }
 
 // retryableError reports whether a failed attempt may be retried with
@@ -382,110 +507,120 @@ func notApplicableError(err error) bool {
 		errors.Is(err, topdown.ErrUnsupported)
 }
 
-// fallbackChain orders the strategies Auto tries for this query: the
-// analyzer's pick, then the cycle-safe counting runtime (when the pick
-// was a counting rewriting — cyclic data is the usual reason one blows
-// its budget), then magic sets, then semi-naive, which is always
-// applicable and so terminates the chain.
-func fallbackChain(p *Program, q ast.Query, resolved Strategy) []Strategy {
-	chain := []Strategy{resolved}
-	seen := map[Strategy]bool{resolved: true}
-	add := func(s Strategy) {
-		if !seen[s] {
-			seen[s] = true
-			chain = append(chain, s)
-		}
+// FallbackChain reports the strategy order Auto would try for the query:
+// the first element is the planner's pick (ranked without database
+// statistics — pass a database via PlannerChoices to see data-informed
+// estimates), the rest are the graceful-degradation fallbacks in order.
+// Explicit strategies never degrade.
+func FallbackChain(p *Program, query string) ([]Strategy, error) {
+	choices, err := PlannerChoices(p, nil, query)
+	if err != nil {
+		return nil, err
 	}
-	switch resolved {
-	case CountingClassic, Counting, CountingReduced:
-		add(CountingRuntime)
+	out := make([]Strategy, len(choices))
+	for i, c := range choices {
+		out[i] = c.Strategy
 	}
-	if resolved != SemiNaive && resolved != Naive {
-		if _, err := adorn.Adorn(p.program, q); err == nil {
-			add(Magic)
-		}
-	}
-	add(SemiNaive)
-	return chain
+	return out, nil
 }
 
-// FallbackChain reports the strategy order Auto would try for the query:
-// the first element is the resolved strategy, the rest are the graceful-
-// degradation fallbacks in order. Explicit strategies never degrade.
-func FallbackChain(p *Program, query string) ([]Strategy, error) {
+// PlannerChoice is one entry of the Auto planner's ranking: a candidate
+// strategy whose applicability gates passed, its estimated cost in
+// visited-fact units (comparable within one ranking; lower is better),
+// and the reasoning behind the estimate.
+type PlannerChoice struct {
+	Strategy Strategy
+	Cost     float64
+	Reason   string
+}
+
+// PlannerChoices ranks the candidate strategies for the query the way
+// Auto would: by estimated cost from the shared linearity analysis and
+// the per-relation cardinalities of db (and of facts embedded in the
+// program). With a nil db the ranking is purely structural. The first
+// choice is what Auto resolves to; the rest is its degradation chain.
+func PlannerChoices(p *Program, db *Database, query string) ([]PlannerChoice, error) {
+	if db != nil && db.owner != p {
+		return nil, ErrWrongDatabase
+	}
 	q, err := parser.ParseQuery(p.bank, query)
 	if err != nil {
 		return nil, fmt.Errorf("lincount: parsing query: %w", err)
 	}
-	return fallbackChain(p, q, resolveAuto(p, q)), nil
+	var dbi *database.Database
+	if db != nil {
+		dbi = db.db
+	}
+	sh := p.sharedFor(ast.FormatQuery(p.bank, q), q, false)
+	ranked := plan.Rank(sh, p.statsFunc(dbi))
+	out := make([]PlannerChoice, len(ranked))
+	for i, c := range ranked {
+		out[i] = PlannerChoice{Strategy: c.Strategy, Cost: c.Cost, Reason: c.Reason}
+	}
+	return out, nil
 }
 
-// evalResolved dispatches to the strategy evaluators with panic
-// containment: a panic in a rewriting or an evaluator is recovered here
-// and returned as *InternalError, so one bad query cannot crash a
-// process embedding the library. Panics that arose inside parallel
-// strata goroutines arrive as *limits.PanicError and are converted to
-// the same public type.
-func evalResolved(ctx context.Context, p *Program, dbi *database.Database, q ast.Query, strategy, resolved Strategy, cfg evalConfig) (res *Result, err error) {
+// attemptTiming splits one attempt's wall time into its compile and
+// execute shares.
+type attemptTiming struct {
+	compile  time.Duration
+	execute  time.Duration
+	cacheHit bool
+}
+
+// evalResolved compiles (through the plan cache) and executes one
+// concrete strategy, with panic containment: a panic in a compilation
+// pass or an evaluator is recovered here and returned as
+// *InternalError, so one bad query cannot crash a process embedding the
+// library. Panics that arose inside parallel strata goroutines arrive
+// as *limits.PanicError and are converted to the same public type.
+func evalResolved(ctx context.Context, p *Program, dbi *database.Database, resolved Strategy, cfg evalConfig) (res *Result, timing attemptTiming, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, &InternalError{Strategy: resolved, Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	switch resolved {
-	case Naive, SemiNaive:
-		res, err = evalDirect(ctx, p, dbi, q, resolved, cfg)
-	case Magic, MagicSup:
-		res, err = evalMagic(ctx, p, dbi, q, resolved, cfg)
-	case CountingClassic, Counting, CountingReduced:
-		res, err = evalCounting(ctx, p, dbi, q, resolved, cfg)
-	case CountingRuntime:
-		res, err = evalRuntime(ctx, p, dbi, q, cfg)
-	case MagicCounting:
-		res, err = evalMagicCounting(ctx, p, dbi, q, cfg)
-	case QSQ:
-		res, err = evalQSQ(ctx, p, dbi, q, cfg)
-	default:
-		return nil, fmt.Errorf("lincount: unknown strategy %v", strategy)
+	cq, hit, compileTime, err := p.planFor(resolved, cfg)
+	timing.compile, timing.cacheHit = compileTime, hit
+	if err != nil {
+		return nil, timing, err
 	}
+	execStart := time.Now()
+	res, err = executeCompiled(ctx, p, dbi, cq, cfg)
+	timing.execute = time.Since(execStart)
 	var pe *limits.PanicError
 	if errors.As(err, &pe) {
 		res, err = nil, &InternalError{Strategy: resolved, Value: pe.Value, Stack: string(pe.Stack)}
 	}
-	return res, err
+	if res != nil {
+		res.CompileTime = timing.compile
+		res.PlanCacheHit = hit
+	}
+	return res, timing, err
 }
 
-// resolveAuto picks a concrete strategy for the query.
-func resolveAuto(p *Program, q ast.Query) Strategy {
-	derived := false
-	for _, r := range p.program.Rules {
-		if r.Head.Pred == q.Goal.Pred {
-			derived = true
-			break
-		}
+// executeCompiled runs a compiled plan against the database. This is
+// the execute half of the compile-then-execute split: everything
+// data-independent already happened in plan.Compile.
+func executeCompiled(ctx context.Context, p *Program, dbi *database.Database, cq *plan.CompiledQuery, cfg evalConfig) (*Result, error) {
+	if cq.Extensional {
+		// Purely extensional goal: every strategy delegates to
+		// semi-naive evaluation of the original program.
+		return execEngine(ctx, p, dbi, cq, SemiNaive, false, cfg)
 	}
-	if !derived {
-		return SemiNaive
-	}
-	a, err := adorn.Adorn(p.program, q)
-	if err != nil {
-		return SemiNaive
-	}
-	an, err := counting.Analyze(a)
-	switch {
-	case errors.Is(err, counting.ErrNoBoundArgs):
-		return SemiNaive
-	case err != nil:
-		return Magic
-	}
-	switch an.Classify() {
-	case counting.RightLinearClass, counting.LeftLinearClass, counting.MixedLinearClass:
-		if an.ListRewriteSafe() {
-			return CountingReduced
-		}
-		return CountingRuntime
+	switch cq.Strategy {
+	case Naive:
+		return execEngine(ctx, p, dbi, cq, Naive, true, cfg)
+	case SemiNaive, Magic, MagicSup, CountingClassic, Counting, CountingReduced:
+		return execEngine(ctx, p, dbi, cq, cq.Strategy, false, cfg)
+	case CountingRuntime:
+		return execRuntime(ctx, p, dbi, cq, cfg)
+	case QSQ:
+		return execQSQ(ctx, p, dbi, cq, cfg)
+	case MagicCounting:
+		return execMagicCounting(ctx, p, dbi, cq, cfg)
 	default:
-		return CountingRuntime
+		return nil, fmt.Errorf("lincount: unknown strategy %v", cq.Strategy)
 	}
 }
 
@@ -570,129 +705,58 @@ func sinkEngineStats(cfg evalConfig, eopts *engine.Options) func() {
 	return func() { *cfg.statsSink = statsFromEngine(*es) }
 }
 
-func evalDirect(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
-	eopts := engineOpts(cfg, s == Naive)
+// execEngine evaluates an engine-compiled plan (direct, magic and
+// counting families) bottom-up and reads answers at the plan's entry
+// query, reconstructing them through the counting rewrite's answer
+// predicates when the plan carries one.
+func execEngine(ctx context.Context, p *Program, dbi *database.Database, cq *plan.CompiledQuery, outStrategy Strategy, naive bool, cfg evalConfig) (*Result, error) {
+	eopts := engineOpts(cfg, naive)
 	defer sinkEngineStats(cfg, &eopts)()
-	res, err := engine.EvalContext(ctx, p.program, db, eopts)
+	res, err := engine.EvalContext(ctx, cq.Program, dbi, eopts)
 	if err != nil {
 		return nil, err
 	}
 	asp := cfg.tracer.Begin("eval", "answers")
-	tuples := engine.Answers(res, db, q)
-	out := &Result{
-		Answers:     finishRows(p, tuples),
-		Strategy:    s,
-		Stats:       statsFromEngine(res.Stats),
-		RuleProfile: ruleProfileFromEngine(res.Rules),
+	entry := cq.EntryQuery
+	tuples := engine.Answers(res, dbi, entry)
+	counted := cq.Counting
+	if cq.Extensional {
+		counted = nil
 	}
-	asp.End(obsv.A("rows", int64(len(out.Answers))))
-	if rel := res.Relation(q.Goal.Pred); rel != nil {
-		out.Stats.AnswerTuples = rel.Len()
+	if counted != nil {
+		tuples = counted.ReconstructAnswers(tuples)
 	}
-	return out, nil
-}
-
-func evalMagic(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
-	adsp := cfg.tracer.Begin("eval", "adorn")
-	a, err := adorn.Adorn(p.program, q)
-	adsp.End()
-	if err != nil {
-		return nil, err
-	}
-	if len(a.Program.Rules) == 0 {
-		// Purely extensional goal.
-		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
-	}
-	rwsp := cfg.tracer.Begin("eval", "rewrite:"+s.String())
-	var rw *magic.Rewritten
-	if s == MagicSup {
-		rw, err = magic.RewriteSupplementary(a)
-	} else {
-		rw, err = magic.Rewrite(a)
-	}
-	rwsp.End()
-	if err != nil {
-		return nil, err
-	}
-	eopts := engineOpts(cfg, false)
-	defer sinkEngineStats(cfg, &eopts)()
-	res, err := engine.EvalContext(ctx, rw.Program, db, eopts)
-	if err != nil {
-		return nil, err
-	}
-	asp := cfg.tracer.Begin("eval", "answers")
-	tuples := engine.Answers(res, db, rw.Query)
 	out := &Result{
 		Answers:        finishRows(p, tuples),
-		Strategy:       s,
-		Rewritten:      rw.Program.Format(),
-		RewrittenQuery: ast.FormatQuery(p.bank, rw.Query),
+		Strategy:       outStrategy,
+		Rewritten:      cq.RewrittenText,
+		RewrittenQuery: cq.RewrittenQueryText,
 		Stats:          statsFromEngine(res.Stats),
 		RuleProfile:    ruleProfileFromEngine(res.Rules),
 	}
 	asp.End(obsv.A("rows", int64(len(out.Answers))))
-	if rel := res.Relation(rw.Query.Goal.Pred); rel != nil {
-		out.Stats.AnswerTuples = rel.Len()
-	}
-	for m := range rw.MagicPreds {
-		if rel := res.Relation(m); rel != nil {
-			out.Stats.CountingNodes += rel.Len() // magic-set size, for comparison
+	switch {
+	case counted != nil:
+		for c := range counted.CountingPreds {
+			if rel := res.Relation(c); rel != nil {
+				out.Stats.CountingNodes += rel.Len()
+			}
 		}
-	}
-	return out, nil
-}
-
-func evalCounting(ctx context.Context, p *Program, db *database.Database, q ast.Query, s Strategy, cfg evalConfig) (*Result, error) {
-	adsp := cfg.tracer.Begin("eval", "adorn")
-	a, err := adorn.Adorn(p.program, q)
-	adsp.End()
-	if err != nil {
-		return nil, err
-	}
-	if len(a.Program.Rules) == 0 {
-		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
-	}
-	rwsp := cfg.tracer.Begin("eval", "rewrite:"+s.String())
-	var rw *counting.Rewritten
-	switch s {
-	case CountingClassic:
-		rw, err = counting.RewriteClassic(a)
+		for ap := range counted.AnswerPreds {
+			if rel := res.Relation(ap); rel != nil {
+				out.Stats.AnswerTuples += rel.Len()
+			}
+		}
 	default:
-		rw, err = counting.RewriteExtended(a)
-	}
-	if err == nil && s == CountingReduced {
-		rw = counting.Reduce(rw)
-	}
-	rwsp.End()
-	if err != nil {
-		return nil, err
-	}
-	eopts := engineOpts(cfg, false)
-	defer sinkEngineStats(cfg, &eopts)()
-	res, err := engine.EvalContext(ctx, rw.Program, db, eopts)
-	if err != nil {
-		return nil, err
-	}
-	asp := cfg.tracer.Begin("eval", "answers")
-	raw := engine.Answers(res, db, rw.Query)
-	tuples := rw.ReconstructAnswers(raw)
-	out := &Result{
-		Answers:        finishRows(p, tuples),
-		Strategy:       s,
-		Rewritten:      rw.Program.Format(),
-		RewrittenQuery: ast.FormatQuery(p.bank, rw.Query),
-		Stats:          statsFromEngine(res.Stats),
-		RuleProfile:    ruleProfileFromEngine(res.Rules),
-	}
-	asp.End(obsv.A("rows", int64(len(out.Answers))))
-	for c := range rw.CountingPreds {
-		if rel := res.Relation(c); rel != nil {
-			out.Stats.CountingNodes += rel.Len()
+		if rel := res.Relation(entry.Goal.Pred); rel != nil {
+			out.Stats.AnswerTuples = rel.Len()
 		}
-	}
-	for ap := range rw.AnswerPreds {
-		if rel := res.Relation(ap); rel != nil {
-			out.Stats.AnswerTuples += rel.Len()
+		if cq.Magic != nil && !cq.Extensional {
+			for m := range cq.Magic.MagicPreds {
+				if rel := res.Relation(m); rel != nil {
+					out.Stats.CountingNodes += rel.Len() // magic-set size, for comparison
+				}
+			}
 		}
 	}
 	return out, nil
@@ -710,22 +774,9 @@ func statsFromRuntime(s counting.RuntimeStats) Stats {
 	}
 }
 
-func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
-	adsp := cfg.tracer.Begin("eval", "adorn")
-	a, err := adorn.Adorn(p.program, q)
-	adsp.End()
-	if err != nil {
-		return nil, err
-	}
-	if len(a.Program.Rules) == 0 {
-		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
-	}
-	ansp := cfg.tracer.Begin("eval", "rewrite:counting-runtime")
-	an, err := counting.Analyze(a)
-	ansp.End()
-	if err != nil {
-		return nil, err
-	}
+// execRuntime runs the pointer-based counting runtime (Algorithm 2)
+// over the plan's shared analysis.
+func execRuntime(ctx context.Context, p *Program, dbi *database.Database, cq *plan.CompiledQuery, cfg evalConfig) (*Result, error) {
 	maxTuples := cfg.maxCountingTuples
 	if maxTuples == 0 {
 		maxTuples = cfg.maxFacts
@@ -736,54 +787,105 @@ func evalRuntime(ctx context.Context, p *Program, db *database.Database, q ast.Q
 		ropts.StatsOut = rs
 		defer func() { *cfg.statsSink = statsFromRuntime(*rs) }()
 	}
-	rres, err := counting.RunContext(ctx, an, db, ropts)
+	rres, err := counting.RunContext(ctx, cq.Analysis, dbi, ropts)
 	if err != nil {
 		return nil, err
 	}
 	asp := cfg.tracer.Begin("eval", "answers")
-	tuples := counting.ReconstructRuntimeAnswers(an, rres.Answers)
+	tuples := counting.ReconstructRuntimeAnswers(cq.Analysis, rres.Answers)
 	out := &Result{
 		Answers:        finishRows(p, tuples),
 		Strategy:       CountingRuntime,
-		Rewritten:      counting.RewriteCyclicText(an),
-		RewrittenQuery: strings.TrimSpace(ast.FormatQuery(p.bank, a.Query)),
+		Rewritten:      cq.RewrittenText,
+		RewrittenQuery: cq.RewrittenQueryText,
 		Stats:          statsFromRuntime(rres.Stats),
 	}
 	asp.End(obsv.A("rows", int64(len(out.Answers))))
 	return out, nil
 }
 
-// evalMagicCounting implements the magic-counting hybrid (reference [16]):
-// probe the left-part graph; run the reduced counting program when it is
-// acyclic, magic sets otherwise.
-func evalMagicCounting(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
-	a, err := adorn.Adorn(p.program, q)
+// execMagicCounting implements the magic-counting hybrid (reference
+// [16]): probe the left-part graph; run the reduced counting program
+// when it is acyclic, magic sets otherwise. The chosen sub-strategy is
+// compiled through the same shared state and plan cache as a direct
+// evaluation would use.
+func execMagicCounting(ctx context.Context, p *Program, dbi *database.Database, cq *plan.CompiledQuery, cfg evalConfig) (*Result, error) {
+	sub := Magic
+	if cq.Analysis != nil {
+		probe, err := counting.ProbeLeftGraphContext(ctx, cq.Analysis, dbi, cfg.maxFacts)
+		if err != nil {
+			return nil, err
+		}
+		if probe.Acyclic && cq.Analysis.ListRewriteSafe() {
+			sub = CountingReduced
+		}
+	}
+	scq, _, _, err := p.planFor(sub, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(a.Program.Rules) == 0 {
-		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
-	}
-	an, err := counting.Analyze(a)
-	if err != nil {
-		// Outside the counting class (e.g. non-linear): plain magic.
-		return evalMagic(ctx, p, db, q, Magic, cfg)
-	}
-	probe, err := counting.ProbeLeftGraphContext(ctx, an, db, cfg.maxFacts)
-	if err != nil {
-		return nil, err
-	}
-	var res *Result
-	if probe.Acyclic && an.ListRewriteSafe() {
-		res, err = evalCounting(ctx, p, db, q, CountingReduced, cfg)
-	} else {
-		res, err = evalMagic(ctx, p, db, q, Magic, cfg)
-	}
+	res, err := executeCompiled(ctx, p, dbi, scq, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.Strategy = MagicCounting
 	return res, nil
+}
+
+// statsFromQSQ converts QSQ stats to the public shape.
+func statsFromQSQ(s topdown.Stats) Stats {
+	return Stats{
+		Iterations:    s.Passes,
+		Inferences:    s.Inferences,
+		DerivedFacts:  int64(s.AnswerTuples),
+		Probes:        s.Probes,
+		CountingNodes: s.InputTuples, // the subquery (magic) set
+		AnswerTuples:  s.AnswerTuples,
+		ArenaValues:   s.ArenaValues,
+	}
+}
+
+// execQSQ runs the top-down Query-SubQuery method over the plan's
+// shared adornment.
+func execQSQ(ctx context.Context, p *Program, dbi *database.Database, cq *plan.CompiledQuery, cfg evalConfig) (*Result, error) {
+	topts := topdown.Options{MaxPasses: cfg.maxIterations, Inject: cfg.inject, Tracer: cfg.tracer}
+	if cfg.statsSink != nil {
+		ts := new(topdown.Stats)
+		topts.StatsOut = ts
+		defer func() { *cfg.statsSink = statsFromQSQ(*ts) }()
+	}
+	// Facts embedded in the program are fact rules of adorned predicates
+	// (Adorn treats every rule head as derived), so QSQ reads them
+	// through its answer sets; only db supplies extensional relations.
+	res, err := topdown.EvalContext(ctx, cq.Adorned, dbi, topts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Answers:  finishRows(p, res.Answers),
+		Strategy: QSQ,
+		Stats:    statsFromQSQ(res.Stats),
+	}, nil
+}
+
+// compileFor compiles one strategy for an introspection entry point
+// (Plan, Rewrite), resolving Auto with the planner first. It goes
+// through the plan cache with default options, so introspection warms
+// the same entries evaluation uses.
+func (p *Program) compileFor(q ast.Query, db *Database, strategy Strategy) (*plan.CompiledQuery, Strategy, error) {
+	var dbi *database.Database
+	if db != nil {
+		dbi = db.db
+	}
+	cfg := evalConfig{}
+	cfg.queryText = ast.FormatQuery(p.bank, q)
+	cfg.optsFP = cfg.fingerprint()
+	cfg.shared = p.sharedFor(cfg.queryText, q, false)
+	if strategy == Auto {
+		strategy = plan.Rank(cfg.shared, p.statsFunc(dbi))[0].Strategy
+	}
+	cq, _, _, err := p.planFor(strategy, cfg)
+	return cq, strategy, err
 }
 
 // Plan returns the evaluation plan — strata in execution order and, per
@@ -800,113 +902,21 @@ func Plan(p *Program, db *Database, query string, strategy Strategy) (string, er
 	if err != nil {
 		return "", err
 	}
-	if strategy == Auto {
-		strategy = resolveAuto(p, q)
-	}
-	var dbi *database.Database
-	if db != nil {
-		dbi = db.db
-	}
-	switch strategy {
-	case Naive, SemiNaive:
-		return engine.PlanText(p.program, dbi)
+	cq, resolved, err := p.compileFor(q, db, strategy)
+	switch resolved {
 	case CountingRuntime:
 		return "", errors.New("lincount: the counting runtime is not evaluated by the rule engine; see Rewrite for its declarative form")
 	case MagicCounting:
 		return "", errors.New("lincount: magic-counting chooses its rewriting from the data; plan the Magic or CountingReduced strategy instead")
 	}
-	prog, _, err := rewriteAST(p, q, strategy)
 	if err != nil {
 		return "", err
 	}
-	return engine.PlanText(prog, dbi)
-}
-
-// rewriteAST produces the rewritten program for an engine-evaluated
-// strategy, sharing p's term bank.
-func rewriteAST(p *Program, q ast.Query, strategy Strategy) (*ast.Program, ast.Query, error) {
-	a, err := adorn.Adorn(p.program, q)
-	if err != nil {
-		return nil, ast.Query{}, err
+	var dbi *database.Database
+	if db != nil {
+		dbi = db.db
 	}
-	switch strategy {
-	case Magic:
-		rw, err := magic.Rewrite(a)
-		if err != nil {
-			return nil, ast.Query{}, err
-		}
-		return rw.Program, rw.Query, nil
-	case MagicSup:
-		rw, err := magic.RewriteSupplementary(a)
-		if err != nil {
-			return nil, ast.Query{}, err
-		}
-		return rw.Program, rw.Query, nil
-	case CountingClassic:
-		rw, err := counting.RewriteClassic(a)
-		if err != nil {
-			return nil, ast.Query{}, err
-		}
-		return rw.Program, rw.Query, nil
-	case Counting:
-		rw, err := counting.RewriteExtended(a)
-		if err != nil {
-			return nil, ast.Query{}, err
-		}
-		return rw.Program, rw.Query, nil
-	case CountingReduced:
-		rw, err := counting.RewriteExtended(a)
-		if err != nil {
-			return nil, ast.Query{}, err
-		}
-		rw = counting.Reduce(rw)
-		return rw.Program, rw.Query, nil
-	}
-	return nil, ast.Query{}, fmt.Errorf("lincount: no rule-engine rewriting for strategy %v", strategy)
-}
-
-// statsFromQSQ converts QSQ stats to the public shape.
-func statsFromQSQ(s topdown.Stats) Stats {
-	return Stats{
-		Iterations:    s.Passes,
-		Inferences:    s.Inferences,
-		DerivedFacts:  int64(s.AnswerTuples),
-		Probes:        s.Probes,
-		CountingNodes: s.InputTuples, // the subquery (magic) set
-		AnswerTuples:  s.AnswerTuples,
-		ArenaValues:   s.ArenaValues,
-	}
-}
-
-// evalQSQ runs the top-down Query-SubQuery method.
-func evalQSQ(ctx context.Context, p *Program, db *database.Database, q ast.Query, cfg evalConfig) (*Result, error) {
-	adsp := cfg.tracer.Begin("eval", "adorn")
-	a, err := adorn.Adorn(p.program, q)
-	adsp.End()
-	if err != nil {
-		return nil, err
-	}
-	if len(a.Program.Rules) == 0 {
-		return evalDirect(ctx, p, db, q, SemiNaive, cfg)
-	}
-	topts := topdown.Options{MaxPasses: cfg.maxIterations, Inject: cfg.inject, Tracer: cfg.tracer}
-	if cfg.statsSink != nil {
-		ts := new(topdown.Stats)
-		topts.StatsOut = ts
-		defer func() { *cfg.statsSink = statsFromQSQ(*ts) }()
-	}
-	// Facts embedded in the program are fact rules of adorned predicates
-	// (Adorn treats every rule head as derived), so QSQ reads them
-	// through its answer sets; only db supplies extensional relations.
-	res, err := topdown.EvalContext(ctx, a, db, topts)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Answers:  finishRows(p, res.Answers),
-		Strategy: QSQ,
-		Stats:    statsFromQSQ(res.Stats),
-	}, nil
+	return engine.PlanText(cq.Program, dbi)
 }
 
 // Rewrite returns the rewritten program and goal text for a strategy
@@ -917,29 +927,18 @@ func Rewrite(p *Program, query string, strategy Strategy) (program, goal string,
 	if err != nil {
 		return "", "", err
 	}
-	if strategy == Auto {
-		strategy = resolveAuto(p, q)
-	}
-	switch strategy {
+	cq, resolved, err := p.compileFor(q, nil, strategy)
+	switch resolved {
 	case Naive, SemiNaive:
 		return p.program.Format(), ast.FormatQuery(p.bank, q), nil
 	case MagicCounting:
 		return "", "", errors.New("lincount: magic-counting chooses its rewriting from the data; use Eval and inspect Result.Rewritten")
 	}
-	if strategy == CountingRuntime {
-		a, err := adorn.Adorn(p.program, q)
-		if err != nil {
-			return "", "", err
-		}
-		an, err := counting.Analyze(a)
-		if err != nil {
-			return "", "", err
-		}
-		return counting.RewriteCyclicText(an), ast.FormatQuery(p.bank, a.Query), nil
-	}
-	prog, goalQ, err := rewriteAST(p, q, strategy)
 	if err != nil {
 		return "", "", err
 	}
-	return prog.Format(), ast.FormatQuery(p.bank, goalQ), nil
+	if cq.Extensional {
+		return p.program.Format(), ast.FormatQuery(p.bank, q), nil
+	}
+	return cq.RewrittenText, cq.RewrittenQueryText, nil
 }

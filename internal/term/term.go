@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lincount/internal/symtab"
 )
@@ -89,17 +91,39 @@ type Compound struct {
 }
 
 // Bank hash-conses compound terms. The zero value is not usable; call
-// NewBank. A Bank is not safe for concurrent mutation; the engine is
-// single-goroutine per evaluation, and independent evaluations use
-// independent Banks.
+// NewBank.
+//
+// A Bank is safe for concurrent use: Compound interns under a mutex, and
+// Deref is lock-free. Compounds live in fixed-size chunks that are never
+// reallocated once published (the chunk table is swapped atomically), so
+// a reader holding a Value handle can dereference it while another
+// goroutine interns — the property concurrent evaluations of prepared
+// queries over one shared Program rely on. A handle is dereferenceable
+// by any goroutine that obtained it through a happens-before edge with
+// its interning (its own Compound call, or state built before the
+// goroutines forked).
 type Bank struct {
-	syms  *symtab.Table
-	comps []Compound
-	index map[string]int32
+	syms *symtab.Table
+
+	mu     sync.Mutex
+	index  map[string]int32
+	n      int32                    // number of interned compounds, guarded by mu
+	chunks atomic.Pointer[[]*chunk] // published table of immutable-once-visible chunks
 
 	nilSym  symtab.Sym
 	consSym symtab.Sym
 }
+
+// Compounds are stored in fixed-size chunks so published slots are never
+// moved by an append; 4096 entries keeps the table small and the
+// two-level index cheap (a shift and a mask).
+const (
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+type chunk [chunkSize]Compound
 
 // ListNilName and ListConsName are the reserved functor names used for list
 // cells. The parser maps `[...]` syntax onto them.
@@ -110,12 +134,14 @@ const (
 
 // NewBank returns an empty bank tied to the given symbol table.
 func NewBank(syms *symtab.Table) *Bank {
-	return &Bank{
+	b := &Bank{
 		syms:    syms,
 		index:   make(map[string]int32, 256),
 		nilSym:  syms.Intern(ListNilName),
 		consSym: syms.Intern(ListConsName),
 	}
+	b.chunks.Store(&[]*chunk{})
+	return b
 }
 
 // Symbols returns the symbol table this bank interns functors into.
@@ -135,24 +161,39 @@ func compKey(functor symtab.Sym, args []Value) string {
 // A zero-argument compound is legal and distinct from the bare symbol.
 func (b *Bank) Compound(functor symtab.Sym, args ...Value) Value {
 	key := compKey(functor, args)
+	b.mu.Lock()
 	if idx, ok := b.index[key]; ok {
+		b.mu.Unlock()
 		return compValue(idx)
 	}
-	idx := int32(len(b.comps))
-	b.comps = append(b.comps, Compound{Functor: functor, Args: append([]Value(nil), args...)})
+	idx := b.n
+	tab := *b.chunks.Load()
+	if int(idx>>chunkBits) == len(tab) {
+		grown := make([]*chunk, len(tab)+1)
+		copy(grown, tab)
+		grown[len(tab)] = new(chunk)
+		b.chunks.Store(&grown)
+		tab = grown
+	}
+	tab[idx>>chunkBits][idx&chunkMask] = Compound{Functor: functor, Args: append([]Value(nil), args...)}
 	b.index[key] = idx
+	b.n = idx + 1
+	b.mu.Unlock()
 	return compValue(idx)
 }
 
 // Deref returns the stored compound for a compound Value.
 // The returned Compound's Args slice must not be mutated.
 func (b *Bank) Deref(v Value) Compound {
-	return b.comps[v.compIndex()]
+	idx := v.compIndex()
+	return (*b.chunks.Load())[idx>>chunkBits][idx&chunkMask]
 }
 
 // DerefIndex returns the i-th interned compound (interning order). Used by
 // serializers that externalize the whole bank.
-func (b *Bank) DerefIndex(i int) Compound { return b.comps[i] }
+func (b *Bank) DerefIndex(i int) Compound {
+	return (*b.chunks.Load())[i>>chunkBits][i&chunkMask]
+}
 
 // CompIndex returns the bank index of a compound Value; it panics if v is
 // not a compound. Argument compounds always have smaller indexes than the
@@ -160,7 +201,11 @@ func (b *Bank) DerefIndex(i int) Compound { return b.comps[i] }
 func (v Value) CompIndex() int { return int(v.compIndex()) }
 
 // Len reports the number of distinct compounds interned.
-func (b *Bank) Len() int { return len(b.comps) }
+func (b *Bank) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.n)
+}
 
 // Nil returns the empty-list value.
 func (b *Bank) Nil() Value { return Symbol(b.nilSym) }

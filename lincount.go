@@ -5,114 +5,93 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"lincount/internal/ast"
 	"lincount/internal/database"
 	"lincount/internal/lint"
+	"lincount/internal/obsv"
 	"lincount/internal/parser"
+	"lincount/internal/plan"
 	"lincount/internal/symtab"
 	"lincount/internal/term"
 )
 
-// Strategy selects how a query is evaluated.
-type Strategy int
+// Strategy selects how a query is evaluated. The canonical definition
+// (and the per-strategy documentation) lives in internal/plan, next to
+// the compilation pipeline; the type and every constant are re-exported
+// here unchanged.
+type Strategy = plan.Strategy
 
 const (
-	// Auto analyzes the program and picks the best applicable method:
-	// the reduced counting program for right-/left-/mixed-linear
-	// programs, the counting runtime for other linear programs (safe on
-	// cyclic data), and magic sets otherwise.
-	Auto Strategy = iota
+	// Auto analyzes the program and picks the best applicable method via
+	// the cost-informed planner: the reduced counting program for
+	// right-/left-/mixed-linear programs, the counting runtime for other
+	// linear programs (safe on cyclic data), and magic sets otherwise.
+	Auto = plan.Auto
 	// Naive evaluates the program bottom-up without rewriting, recomputing
 	// every rule each iteration. Baseline of baselines.
-	Naive
+	Naive = plan.Naive
 	// SemiNaive evaluates bottom-up with differential iteration.
-	SemiNaive
+	SemiNaive = plan.SemiNaive
 	// Magic applies the magic-set rewriting, then evaluates semi-naively.
-	Magic
+	Magic = plan.Magic
 	// CountingClassic applies the classical counting method (integer
 	// distance index). Applicable only to a single linear recursive rule
 	// with disjoint left and right parts; unsafe on cyclic data.
-	CountingClassic
+	CountingClassic = plan.CountingClassic
 	// Counting applies the extended counting rewriting (Algorithm 1 of
 	// the paper) with path arguments. Applicable to every linear program;
 	// unsafe on cyclic data (use CountingRuntime there).
-	Counting
+	Counting = plan.Counting
 	// CountingReduced applies Algorithm 1 followed by the reduction of
 	// Algorithm 3.
-	CountingReduced
+	CountingReduced = plan.CountingReduced
 	// CountingRuntime evaluates with the pointer-based counting runtime
 	// (Algorithm 2), which is safe on cyclic databases.
-	CountingRuntime
+	CountingRuntime = plan.CountingRuntime
 	// MagicSup applies the supplementary magic-set rewriting (Beeri &
 	// Ramakrishnan), which materializes rule prefixes so they are not
 	// re-joined per derived body literal.
-	MagicSup
+	MagicSup = plan.MagicSup
 	// MagicCounting is the hybrid of Saccà & Zaniolo (SIGMOD 1987, the
 	// paper's reference [16]): probe the left-part graph reachable from
 	// the query constants; if acyclic, run the (fast) reduced extended
-	// counting program, otherwise fall back to magic sets. The paper's
-	// Algorithm 2 supersedes it by handling cycles inside the counting
-	// framework; both are provided for comparison.
-	MagicCounting
+	// counting program, otherwise fall back to magic sets.
+	MagicCounting = plan.MagicCounting
 	// QSQ evaluates top-down with Query-SubQuery (Vieille), the
-	// operational counterpart of magic sets from the [4] comparison
-	// suite. Negated derived literals are not supported.
-	QSQ
+	// operational counterpart of magic sets. Negated derived literals
+	// are not supported.
+	QSQ = plan.QSQ
 )
 
-// String implements fmt.Stringer.
-func (s Strategy) String() string {
-	switch s {
-	case Auto:
-		return "auto"
-	case Naive:
-		return "naive"
-	case SemiNaive:
-		return "semi-naive"
-	case Magic:
-		return "magic"
-	case CountingClassic:
-		return "counting-classic"
-	case Counting:
-		return "counting"
-	case CountingReduced:
-		return "counting-reduced"
-	case CountingRuntime:
-		return "counting-runtime"
-	case MagicSup:
-		return "magic-sup"
-	case MagicCounting:
-		return "magic-counting"
-	case QSQ:
-		return "qsq"
-	default:
-		return fmt.Sprintf("strategy(%d)", int(s))
-	}
-}
-
 // ParseStrategy converts a name (as printed by String) to a Strategy.
-func ParseStrategy(name string) (Strategy, error) {
-	for s := Auto; s <= QSQ; s++ {
-		if s.String() == name {
-			return s, nil
-		}
-	}
-	return Auto, fmt.Errorf("lincount: unknown strategy %q", name)
-}
+func ParseStrategy(name string) (Strategy, error) { return plan.ParseStrategy(name) }
 
 // Strategies lists all concrete strategies (excluding Auto), for sweeps.
-func Strategies() []Strategy {
-	return []Strategy{Naive, SemiNaive, Magic, MagicSup, MagicCounting, QSQ, CountingClassic, Counting, CountingReduced, CountingRuntime}
-}
+func Strategies() []Strategy { return plan.Strategies() }
+
+// planCacheCapacity bounds the compiled plans retained per Program. A
+// service evaluates a small, hot set of query forms per program; 128
+// plans comfortably covers that while bounding memory for adversarial
+// query streams.
+const planCacheCapacity = 128
 
 // Program is a parsed Datalog program. Programs are immutable after
-// parsing; the same Program may be evaluated against many databases.
+// parsing; the same Program may be evaluated against many databases,
+// concurrently. Each Program owns a cache of compiled query plans
+// (plans carry symbols interned in the program's term bank, so they are
+// never shared across Programs; re-parsing a program therefore
+// invalidates every plan by construction).
 type Program struct {
 	bank    *term.Bank
 	program *ast.Program
 	queries []ast.Query
+	plans   *plan.Cache
+
+	factCountsOnce sync.Once
+	factCounts     map[symtab.Sym]int64
 }
 
 // ParseProgram parses Datalog source text. Facts embedded in the source
@@ -124,7 +103,30 @@ func ParseProgram(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{bank: bank, program: res.Program, queries: res.Queries}, nil
+	return &Program{
+		bank:    bank,
+		program: res.Program,
+		queries: res.Queries,
+		plans: plan.NewCache(planCacheCapacity, func(delta int) {
+			obsv.MPlanCacheEntries.Add(int64(delta))
+		}),
+	}, nil
+}
+
+// programFactCounts returns the number of fact rules per head predicate —
+// facts embedded in the program source, which the planner counts as base
+// cardinality alongside the database's relations. Computed once; the
+// program is immutable.
+func (p *Program) programFactCounts() map[symtab.Sym]int64 {
+	p.factCountsOnce.Do(func() {
+		p.factCounts = make(map[symtab.Sym]int64)
+		for _, r := range p.program.Rules {
+			if len(r.Body) == 0 {
+				p.factCounts[r.Head.Pred]++
+			}
+		}
+	})
+	return p.factCounts
 }
 
 // MustParseProgram is ParseProgram that panics on error, for tests and
@@ -253,6 +255,16 @@ type AttemptInfo struct {
 	Err string
 	// Duration is the wall-clock time the attempt consumed.
 	Duration time.Duration
+	// Compile is the attempt's share of Duration spent compiling the
+	// query (adornment, analysis, rewrite) — zero when the plan came
+	// from the program's plan cache.
+	Compile time.Duration
+	// Execute is the attempt's share of Duration spent executing the
+	// compiled plan before it failed.
+	Execute time.Duration
+	// PlanCacheHit reports whether the attempt's plan came from the
+	// program's plan cache.
+	PlanCacheHit bool
 	// Stats holds the work counters the attempt accumulated before it
 	// failed — the partial work a degraded run would otherwise discard.
 	// Duration inside Stats is zero; use the field above.
@@ -302,6 +314,13 @@ type Result struct {
 	// RewrittenQuery is the rewritten goal text, when applicable.
 	RewrittenQuery string
 	Stats          Stats
+	// CompileTime is the time this evaluation spent compiling the query
+	// (adornment, analysis, rewrite, formatting). Near zero when the
+	// plan came from the program's plan cache.
+	CompileTime time.Duration
+	// PlanCacheHit reports whether the successful strategy's plan came
+	// from the program's plan cache rather than being compiled here.
+	PlanCacheHit bool
 	// RuleProfile holds per-rule work profiles when the evaluation ran
 	// with WithTracer (engine-evaluated strategies only; nil otherwise),
 	// in component order — the data behind EXPLAIN ANALYZE output.

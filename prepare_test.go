@@ -1,0 +1,191 @@
+package lincount_test
+
+// Prepared-query and plan-cache behavior: hits after the first
+// compilation, invalidation by re-parse and by option changes, the
+// cache-bypass option, and concurrent use of one PreparedQuery (the
+// latter matters under -race, which make check runs).
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"lincount"
+	"lincount/internal/workload"
+)
+
+func sgSetup(t testing.TB) (*lincount.Program, *lincount.Database) {
+	t.Helper()
+	p, err := lincount.ParseProgram(workload.SGProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(workload.Cylinder(8, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return p, db
+}
+
+func sgQuery() string { return "?- sg(" + workload.CylinderQuery + ",Y)." }
+
+func TestPreparedQueryCacheHit(t *testing.T) {
+	p, db := sgSetup(t)
+	for _, s := range []lincount.Strategy{lincount.Auto, lincount.SemiNaive, lincount.Magic, lincount.CountingReduced} {
+		t.Run(s.String(), func(t *testing.T) {
+			pq, err := lincount.Prepare(p, sgQuery(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := pq.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := pq.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !second.PlanCacheHit {
+				t.Errorf("second Eval: PlanCacheHit = false, want true")
+			}
+			if second.CompileTime != 0 {
+				t.Errorf("second Eval: CompileTime = %v, want 0 on a cache hit", second.CompileTime)
+			}
+			if !reflect.DeepEqual(first.Answers, second.Answers) {
+				t.Errorf("cached plan changed the answers")
+			}
+			cold, err := lincount.Eval(p, db, sgQuery(), s, lincount.WithoutPlanCache())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.PlanCacheHit {
+				t.Errorf("WithoutPlanCache: PlanCacheHit = true, want false")
+			}
+			if !reflect.DeepEqual(first.Answers, cold.Answers) {
+				t.Errorf("cached and cold answers differ")
+			}
+		})
+	}
+}
+
+func TestPrepareSurfacesInapplicability(t *testing.T) {
+	// Nonlinear recursion: the counting strategies must refuse it at
+	// Prepare time, before any database work.
+	p, err := lincount.ParseProgram(`
+tc(X,Y) :- arc(X,Y).
+tc(X,Y) :- tc(X,Z), tc(Z,Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lincount.Prepare(p, "?- tc(a,Y).", lincount.CountingReduced); err == nil {
+		t.Fatalf("Prepare(nonlinear, CountingReduced) succeeded, want analysis error")
+	}
+	// Auto defers planning to Eval time, so Prepare succeeds.
+	if _, err := lincount.Prepare(p, "?- tc(a,Y).", lincount.Auto); err != nil {
+		t.Fatalf("Prepare(nonlinear, Auto): %v", err)
+	}
+}
+
+func TestPlanCacheInvalidatedByReparse(t *testing.T) {
+	p1, db1 := sgSetup(t)
+	warm, err := lincount.Eval(p1, db1, sgQuery(), lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.PlanCacheHit {
+		t.Fatalf("first evaluation on a fresh program hit the cache")
+	}
+	hit, err := lincount.Eval(p1, db1, sgQuery(), lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.PlanCacheHit {
+		t.Fatalf("second evaluation missed the cache")
+	}
+
+	// Re-parsing the identical source yields a new Program with an empty
+	// plan cache: nothing survives the program's lifetime.
+	p2, db2 := sgSetup(t)
+	res, err := lincount.Eval(p2, db2, sgQuery(), lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCacheHit {
+		t.Errorf("re-parsed program served a stale plan")
+	}
+}
+
+func TestPlanCacheMissesOnOptionChange(t *testing.T) {
+	p, db := sgSetup(t)
+	if _, err := lincount.Eval(p, db, sgQuery(), lincount.SemiNaive); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := lincount.Eval(p, db, sgQuery(), lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.PlanCacheHit {
+		t.Fatalf("identical options missed the cache")
+	}
+	changed, err := lincount.Eval(p, db, sgQuery(), lincount.SemiNaive,
+		lincount.WithMaxIterations(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed.PlanCacheHit {
+		t.Errorf("changed options (WithMaxIterations) reused the old entry, want a miss")
+	}
+	// And the changed-options entry caches independently.
+	again, err := lincount.Eval(p, db, sgQuery(), lincount.SemiNaive,
+		lincount.WithMaxIterations(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.PlanCacheHit {
+		t.Errorf("repeated changed-options evaluation missed the cache")
+	}
+}
+
+func TestPreparedQueryConcurrentEval(t *testing.T) {
+	p, db := sgSetup(t)
+	pq, err := lincount.Prepare(p, sgQuery(), lincount.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pq.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, rounds = 8, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := pq.Eval(db)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Answers, want.Answers) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errForConcurrent("concurrent prepared eval returned different answers")
+
+type errForConcurrent string
+
+func (e errForConcurrent) Error() string { return string(e) }
