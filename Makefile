@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos obs-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos obs-smoke server-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
 
 all: build vet test
 
@@ -16,6 +16,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) obs-smoke
+	$(MAKE) server-smoke
 	$(MAKE) planner-smoke
 	$(MAKE) golden-explain
 
@@ -33,6 +34,15 @@ chaos:
 # expected span names. See docs/INTERNALS.md § Observability.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./cmd/lincount
+
+# End-to-end daemon check: build lincountd, start it in-process on an
+# ephemeral port, query it, write a fact (read-your-writes across
+# epochs), provoke a deterministic shed under admission pressure, then
+# deliver the shutdown signal during load and assert a clean drain with
+# exit 0. See docs/INTERNALS.md § Serving.
+server-smoke:
+	$(GO) build -o /dev/null ./cmd/lincountd
+	$(GO) test -run TestServerSmoke -count=1 ./cmd/lincountd
 
 # The planner smoke quartet: acyclic/cyclic same-generation plus
 # left-/right-linear closure, each asserting the cost-informed planner

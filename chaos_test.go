@@ -11,13 +11,19 @@ package lincount_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"lincount"
+	"lincount/internal/faultinject"
 	"lincount/internal/oracle"
+	"lincount/internal/server"
 )
 
 type chaosCase struct {
@@ -345,4 +351,198 @@ func join(rows [][]string) string {
 		parts[i] = strings.Join(r, ",")
 	}
 	return strings.Join(parts, "|")
+}
+
+// TestChaosServerMVCC is the server-side chaos scenario: a live query
+// server under concurrent readers and writers while seeded faults hit
+// the write path (server.write, server.publish) and delays perturb the
+// read path. Three invariants:
+//
+//  1. Snapshot isolation — every write request carries exactly K facts,
+//     so any reader count not a multiple of K is a torn batch.
+//  2. Classified failure — a request either succeeds or fails with a
+//     typed, explainable error; never a panic, never a garbage answer.
+//  3. Convergence — the final snapshot equals a fresh database with
+//     exactly the acknowledged writes replayed (differential oracle).
+func TestChaosServerMVCC(t *testing.T) {
+	const (
+		K          = 4
+		numWriters = 3
+		numWrites  = 20
+		numReaders = 3
+	)
+	schedules := []struct {
+		name  string
+		seed  int64
+		spec  string // write-path schedule, armed on the server injector
+		evals string // read-path schedule, applied to every evaluation
+	}{
+		{"write-err", 11, "server.write=err~0.15", ""},
+		{"publish-err", 12, "server.publish=err~0.10", ""},
+		{"write-latency", 13, "server.write=delay~0.5:200us,server.publish=delay~0.3:100us", ""},
+		{"mixed-storm", 14, "server.write=err~0.08,server.publish=err~0.05", "engine.iter=delay~0.2:100us,counting.step=delay~0.1:50us"},
+	}
+	for _, sched := range schedules {
+		sched := sched
+		t.Run(sched.name, func(t *testing.T) {
+			t.Parallel()
+			p := lincount.MustParseProgram("p(X,Y) :- f(X,Y).")
+			inj, err := faultinject.ParseSpec(sched.seed, sched.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := server.Config{
+				Program:      p,
+				DB:           lincount.NewDatabase(p),
+				Inject:       inj,
+				WriteRetries: 2,
+				RetryBackoff: 100 * time.Microsecond,
+			}
+			if sched.evals != "" {
+				cfg.EvalOptions = []lincount.Option{
+					lincount.WithFaultInjection(sched.seed, sched.evals),
+				}
+			}
+			s, err := server.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+
+			var mu sync.Mutex
+			var applied []struct {
+				assert, retract string
+			}
+
+			var writers sync.WaitGroup
+			for w := 0; w < numWriters; w++ {
+				writers.Add(1)
+				go func(w int) {
+					defer writers.Done()
+					lastOK := -1 // index of this writer's last acknowledged assert
+					for j := 0; j < numWrites; j++ {
+						req := server.WriteRequest{}
+						factsOf := func(j int) string {
+							var sb strings.Builder
+							for k := 0; k < K; k++ {
+								fmt.Fprintf(&sb, "f(w%d_%d,k%d). ", w, j, k)
+							}
+							return sb.String()
+						}
+						// Every third op retracts the writer's previous
+						// acknowledged group — still exactly K facts, so
+						// the multiple-of-K invariant holds throughout.
+						if j%3 == 2 && lastOK >= 0 {
+							req.Retract = factsOf(lastOK)
+							lastOK = -1
+						} else {
+							req.Assert = factsOf(j)
+						}
+						res, err := s.Write(ctx, req)
+						if err != nil {
+							if !errors.Is(err, faultinject.ErrInjected) {
+								t.Errorf("writer %d: unclassified error: %v", w, err)
+							}
+							continue
+						}
+						if res.Epoch == 0 {
+							t.Errorf("writer %d: acknowledged write at epoch 0", w)
+						}
+						if req.Assert != "" {
+							lastOK = j
+						}
+						mu.Lock()
+						applied = append(applied, struct{ assert, retract string }{req.Assert, req.Retract})
+						mu.Unlock()
+					}
+				}(w)
+			}
+
+			stop := make(chan struct{})
+			var readers sync.WaitGroup
+			for r := 0; r < numReaders; r++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					var lastEpoch uint64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := s.Query(ctx, server.QueryRequest{Query: "?- p(X,Y)."})
+						if err != nil {
+							// Read-path faults must surface classified.
+							if !errors.Is(err, faultinject.ErrInjected) &&
+								!errors.Is(err, lincount.ErrResourceLimit) &&
+								!errors.Is(err, context.Canceled) {
+								t.Errorf("reader: unclassified error: %v", err)
+								return
+							}
+							continue
+						}
+						if len(res.Answers)%K != 0 {
+							t.Errorf("torn batch: %d facts at epoch %d (not a multiple of %d)",
+								len(res.Answers), res.Epoch, K)
+							return
+						}
+						if res.Epoch < lastEpoch {
+							t.Errorf("epoch regressed: %d after %d", res.Epoch, lastEpoch)
+							return
+						}
+						lastEpoch = res.Epoch
+					}
+				}()
+			}
+
+			writers.Wait()
+			close(stop)
+			readers.Wait()
+
+			// Differential oracle on the final state: replay exactly the
+			// acknowledged operations, in acknowledgment order, on a
+			// fresh database. Writers use disjoint fact namespaces and
+			// each writer's ops are sequential, so replay order across
+			// writers commutes.
+			oracleDB := lincount.NewDatabase(p)
+			for _, op := range applied {
+				if op.assert != "" {
+					if err := oracleDB.LoadFacts(op.assert); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if op.retract != "" {
+					if _, err := oracleDB.RetractFacts(op.retract); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			want, err := lincount.Eval(p, oracleDB, "?- p(X,Y).", lincount.SemiNaive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := lincount.Eval(p, s.Snapshot().DB, "?- p(X,Y).", lincount.SemiNaive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortRows := func(rows [][]string) []string {
+				out := make([]string, len(rows))
+				for i, r := range rows {
+					out[i] = strings.Join(r, ",")
+				}
+				sort.Strings(out)
+				return out
+			}
+			g, o := sortRows(got.Answers), sortRows(want.Answers)
+			if strings.Join(g, "|") != strings.Join(o, "|") {
+				t.Fatalf("final state diverged from oracle:\nserver: %d answers\noracle: %d answers",
+					len(g), len(o))
+			}
+
+			if err := s.Drain(ctx); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		})
+	}
 }

@@ -138,7 +138,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		defer server.Close()
+		// Graceful: finish an in-flight /metrics scrape or pprof profile
+		// before the process exits, instead of dropping the connection.
+		defer server.ShutdownTimeout(2 * time.Second)
 		fmt.Fprintf(stderr, "lincount-bench: observability on http://%s/\n", server.Addr)
 	}
 	if *cpuProf != "" {

@@ -66,7 +66,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lincount-repl:", err)
 			os.Exit(1)
 		}
-		defer server.Close()
+		// Graceful: finish an in-flight /metrics scrape or pprof profile
+		// before the process exits, instead of dropping the connection.
+		defer server.ShutdownTimeout(2 * time.Second)
 		fmt.Fprintf(os.Stderr, "lincount-repl: observability on http://%s/\n", server.Addr)
 	}
 	sig := make(chan os.Signal, 1)

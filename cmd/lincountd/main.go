@@ -1,0 +1,177 @@
+// Command lincountd is the resident query server: it loads a Datalog
+// program and a fact database once, then serves queries and fact writes
+// over HTTP/JSON until told to stop.
+//
+// Usage:
+//
+//	lincountd -program sg.dl -facts data.dl -addr 127.0.0.1:7090
+//
+// Endpoints (all on the one listener):
+//
+//	POST /v1/query   {"query":"?- sg(a,Y)."}            evaluate
+//	POST /v1/write   {"assert":"up(a,b).","retract":""}  mutate (atomic)
+//	GET  /v1/stats   lifecycle state, epoch, admission gauges
+//	GET  /healthz    liveness          GET /readyz   readiness
+//	GET  /metrics    Prometheus text   /debug/pprof/ profiler
+//
+// Reads run against immutable snapshots (MVCC); writes batch through a
+// single writer that publishes a new epoch atomically, so a query never
+// observes a half-applied write. SIGTERM/SIGINT triggers a graceful
+// drain: readiness flips, in-flight requests finish (or are canceled at
+// -drain-timeout), and the process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lincount"
+	"lincount/internal/faultinject"
+	"lincount/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the daemon; factored out of main so tests can drive it
+// in-process. ctx carries the shutdown signal: when it fires, the server
+// drains gracefully and run returns.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lincountd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		programPath  = fs.String("program", "", "path to the Datalog program (required)")
+		factsPath    = fs.String("facts", "", "comma-separated fact files (.dl text or .lcdb snapshots)")
+		addr         = fs.String("addr", "127.0.0.1:7090", "listen address (use :0 for an ephemeral port)")
+		maxConc      = fs.Int("max-concurrent", 16, "max concurrently evaluating requests")
+		maxQueue     = fs.Int("max-queue", 64, "max requests waiting for a slot before shedding")
+		timeout      = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout   = fs.Duration("max-timeout", 60*time.Second, "upper bound on requested deadlines")
+		maxFacts     = fs.Int("max-facts", 10_000_000, "per-request derived-fact budget (-1 = unlimited)")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests at shutdown")
+		faultSpec    = fs.String("faults", "", "fault-injection schedule for the write path, e.g. 'server.publish=err@3' (chaos testing)")
+		faultSeed    = fs.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules")
+		evalFaults   = fs.String("eval-faults", "", "fault-injection schedule applied to every evaluation (chaos testing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lincountd:", err)
+		return 1
+	}
+
+	if *programPath == "" {
+		fmt.Fprintln(stderr, "lincountd: -program is required")
+		fs.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		return fail(err)
+	}
+	p, err := lincount.ParseProgram(string(src))
+	if err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", *programPath, err))
+	}
+	db := lincount.NewDatabase(p)
+	if *factsPath != "" {
+		for _, path := range strings.Split(*factsPath, ",") {
+			if strings.HasSuffix(path, ".lcdb") {
+				f, err := os.Open(path)
+				if err != nil {
+					return fail(err)
+				}
+				err = db.LoadSnapshot(f)
+				f.Close()
+				if err != nil {
+					return fail(fmt.Errorf("loading snapshot %s: %w", path, err))
+				}
+				continue
+			}
+			facts, err := os.ReadFile(path)
+			if err != nil {
+				return fail(err)
+			}
+			if err := db.LoadFacts(string(facts)); err != nil {
+				return fail(fmt.Errorf("loading %s: %w", path, err))
+			}
+		}
+	}
+
+	cfg := server.Config{
+		Program:        p,
+		DB:             db,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxDerivedFacts: func() int {
+			if *maxFacts < 0 {
+				return -1
+			}
+			return *maxFacts
+		}(),
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.ParseSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			return fail(fmt.Errorf("-faults: %w", err))
+		}
+		cfg.Inject = inj
+	}
+	if *evalFaults != "" {
+		cfg.EvalOptions = append(cfg.EvalOptions,
+			lincount.WithFaultInjection(*faultSeed, *evalFaults))
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = s.Close()
+		return fail(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	// The banner goes to stderr so scripts can scrape the bound address
+	// (":0" resolves here) the same way the -obs CLIs announce theirs.
+	fmt.Fprintf(stderr, "lincountd: serving %s (%d facts) on http://%s/\n",
+		*programPath, db.FactCount(), l.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		_ = s.Close()
+		return fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stderr, "lincountd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	_ = srv.Shutdown(dctx)
+	<-errc // Serve returns ErrServerClosed once Shutdown completes
+	if drainErr != nil {
+		fmt.Fprintln(stderr, "lincountd:", drainErr)
+		return 1
+	}
+	fmt.Fprintln(stderr, "lincountd: drained cleanly")
+	return 0
+}

@@ -1,0 +1,150 @@
+package lincount_test
+
+// Plan-cache behavior across MVCC snapshot epochs. Plans are pure
+// functions of (program, query, strategy); epochs are database forks of
+// one program. So one PreparedQuery — and one plan-cache entry — must
+// serve every epoch, concurrently, while a writer keeps publishing new
+// forks. Run under -race (make check): the test's value is mostly what
+// the race detector sees.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lincount"
+)
+
+// TestPlanCacheAcrossEpochs: sequential baseline — the second epoch's
+// evaluation hits the plan cache compiled on the first, and each epoch's
+// answers track its own fork.
+func TestPlanCacheAcrossEpochs(t *testing.T) {
+	p := lincount.MustParseProgram("p(X,Y) :- f(X,Y).")
+	pq, err := lincount.Prepare(p, "?- p(X,Y).", lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts("f(a,b)."); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("epoch 0: %d answers, want 1", len(res.Answers))
+	}
+
+	fork := db.Fork()
+	if err := fork.LoadFacts("f(b,c)."); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pq.Eval(fork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.PlanCacheHit {
+		t.Error("evaluation against the forked epoch missed the plan cache")
+	}
+	if len(res2.Answers) != 2 {
+		t.Fatalf("epoch 1: %d answers, want 2", len(res2.Answers))
+	}
+	// The older epoch still answers from its own state.
+	res, err = pq.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("epoch 0 after fork write: %d answers, want 1", len(res.Answers))
+	}
+}
+
+// TestPlanCacheEpochRace: concurrent Prepare / write / eval. One writer
+// publishes a chain of forks; evaluator goroutines pin an epoch and
+// demand its exact fact count; preparer goroutines concurrently compile
+// fresh query variants into the shared plan cache (forcing eviction
+// churn alongside the hot entry). Any locking slip between the plan
+// cache, the prepared facade, and the COW fork path is a race report.
+func TestPlanCacheEpochRace(t *testing.T) {
+	const epochs = 40
+	p := lincount.MustParseProgram("p(X,Y) :- f(X,Y).")
+	pq, err := lincount.Prepare(p, "?- p(X,Y).", lincount.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := lincount.NewDatabase(p)
+	if err := base.LoadFacts("f(seed,seed)."); err != nil {
+		t.Fatal(err)
+	}
+
+	// published[i] is epoch i (i+1 facts); filled by the writer.
+	published := make([]atomic.Pointer[lincount.Database], epochs+1)
+	published[0].Store(base)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: fork, write, publish
+		defer wg.Done()
+		tip := base
+		for i := 1; i <= epochs; i++ {
+			fork := tip.Fork()
+			if err := fork.LoadFacts(fmt.Sprintf("f(a%d,b%d).", i, i)); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			published[i].Store(fork)
+			tip = fork
+		}
+	}()
+
+	for r := 0; r < 4; r++ { // evaluators: pin whatever epoch is out, check its count
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for pass := 0; pass < 100; pass++ {
+				i := (r*31 + pass) % (epochs + 1)
+				db := published[i].Load()
+				if db == nil {
+					continue // not published yet
+				}
+				res, err := pq.Eval(db)
+				if err != nil {
+					t.Errorf("eval epoch %d: %v", i, err)
+					return
+				}
+				if len(res.Answers) != i+1 {
+					t.Errorf("epoch %d saw %d answers, want %d", i, len(res.Answers), i+1)
+					return
+				}
+			}
+		}(r)
+	}
+
+	for r := 0; r < 2; r++ { // preparers: churn the shared plan cache
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for pass := 0; pass < 50; pass++ {
+				q := fmt.Sprintf("?- p(a%d,Y).", (r*53+pass)%epochs)
+				pq2, err := lincount.Prepare(p, q, lincount.SemiNaive)
+				if err != nil {
+					t.Errorf("prepare %s: %v", q, err)
+					return
+				}
+				db := published[epochs/2].Load()
+				if db == nil {
+					continue
+				}
+				if _, err := pq2.Eval(db); err != nil {
+					t.Errorf("eval %s: %v", q, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -222,6 +222,26 @@ func (r *Relation) findKey(ix *rowIndex, vals []term.Value) int32 {
 	}
 }
 
+// CloneForAppend returns a writable clone of r holding the same rows.
+// The clone shares r's arena backing array with its capacity clamped, so
+// the clone's first insert reallocates and copies — copy-on-write at
+// relation granularity. The dedup table is copied (a memcpy of row ids);
+// indexes are not carried over and rebuild lazily on the clone's first
+// probe. r itself is never read again through the clone after this
+// returns and is never mutated by it, so a published relation keeps
+// serving concurrent readers while its clone takes writes.
+func (r *Relation) CloneForAppend() *Relation {
+	c := &Relation{
+		arity:   r.arity,
+		rows:    r.rows,
+		arena:   r.arena[:len(r.arena):len(r.arena)],
+		indexes: make(map[uint64]*rowIndex),
+	}
+	c.dedup.slots = append([]RowID(nil), r.dedup.slots...)
+	c.dedup.used = r.dedup.used
+	return c
+}
+
 // RowIter iterates the rows produced by a Probe or Scan. Iteration order is
 // insertion order. The iterator snapshots the relation's length at creation
 // (hi): rows inserted after the iterator is created are not yielded, so the

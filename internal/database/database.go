@@ -274,11 +274,39 @@ func (r *Relation) Sorted() []Tuple {
 type Database struct {
 	bank *term.Bank
 	rels map[symtab.Sym]*Relation
+	// shared marks relations still owned by a fork parent: copy-on-write
+	// state, cleared per relation when a write first touches it. Nil for
+	// databases that were never forked from (or into).
+	shared map[symtab.Sym]bool
 }
 
 // New returns an empty database over the given bank.
 func New(b *term.Bank) *Database {
 	return &Database{bank: b, rels: make(map[symtab.Sym]*Relation)}
+}
+
+// Fork returns a copy-on-write fork of the database: the fork initially
+// shares every relation with db, and the first write to a relation
+// through the fork clones it (see CloneForAppend), so db is never
+// mutated through the fork. This is the MVCC seam the query server
+// builds epoch snapshots on: the published database stays immutable and
+// keeps serving concurrent readers while the single writer prepares the
+// next epoch in a fork and publishes it atomically.
+//
+// Forks are meant for a linear single-writer chain (fork the tip, write,
+// publish, repeat). The fork shares db's term bank, which is safe: banks
+// are internally synchronized.
+func (db *Database) Fork() *Database {
+	f := &Database{
+		bank:   db.bank,
+		rels:   make(map[symtab.Sym]*Relation, len(db.rels)),
+		shared: make(map[symtab.Sym]bool, len(db.rels)),
+	}
+	for p, r := range db.rels {
+		f.rels[p] = r
+		f.shared[p] = true
+	}
+	return f
 }
 
 // Bank returns the term bank the database interns values in.
@@ -289,17 +317,87 @@ func (db *Database) Relation(pred symtab.Sym) *Relation { return db.rels[pred] }
 
 // Ensure returns the relation for pred, creating it with the given arity if
 // absent. It returns an error on arity mismatch with an existing relation.
+// Ensure declares write intent: on a forked database, a relation still
+// shared with the fork parent is cloned here, so the caller may insert
+// into the returned relation freely. Read-only access goes through
+// Relation instead.
 func (db *Database) Ensure(pred symtab.Sym, arity int) (*Relation, error) {
 	if r, ok := db.rels[pred]; ok {
 		if r.arity != arity {
 			return nil, fmt.Errorf("database: predicate %s used with arity %d and %d",
 				db.bank.Symbols().String(pred), r.arity, arity)
 		}
+		if db.shared[pred] {
+			r = r.CloneForAppend()
+			db.rels[pred] = r
+			delete(db.shared, pred)
+		}
 		return r, nil
 	}
 	r := NewRelation(arity)
 	db.rels[pred] = r
 	return r, nil
+}
+
+// Retract removes one fact, reporting whether it was present. The arena
+// is append-only, so retraction rebuilds the predicate's relation
+// without the tuple — O(relation size); batch retractions so the rebuild
+// is paid per batch, not per fact. On a forked database the rebuild is
+// itself the copy-on-write step: the parent's relation is never touched.
+func (db *Database) Retract(pred symtab.Sym, t Tuple) (bool, error) {
+	r, ok := db.rels[pred]
+	if !ok {
+		return false, nil
+	}
+	if r.arity != len(t) {
+		return false, fmt.Errorf("database: predicate %s used with arity %d and %d",
+			db.bank.Symbols().String(pred), r.arity, len(t))
+	}
+	if !r.Contains(t) {
+		return false, nil
+	}
+	n := NewRelation(r.arity)
+	for id := RowID(0); int(id) < r.rows; id++ {
+		row := Tuple(r.rowSlice(id))
+		if !row.Equal(t) {
+			n.Insert(row)
+		}
+	}
+	db.rels[pred] = n
+	delete(db.shared, pred)
+	return true, nil
+}
+
+// RetractText parses src (facts only, same format as LoadText) and
+// retracts each fact, returning how many were actually present and
+// removed. Facts absent from the database are no-ops, not errors.
+func (db *Database) RetractText(src string) (int, error) {
+	res, err := parser.Parse(db.bank, src)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Queries) != 0 {
+		return 0, fmt.Errorf("database: queries are not allowed in fact files")
+	}
+	removed := 0
+	for _, r := range res.Program.Rules {
+		if !r.IsFact() {
+			return removed, fmt.Errorf("database: %s is not a ground fact",
+				ast.FormatRule(db.bank, r))
+		}
+		t := make(Tuple, len(r.Head.Args))
+		for i, a := range r.Head.Args {
+			t[i] = a.Value
+		}
+		ok, err := db.Retract(r.Head.Pred, t)
+		if err != nil {
+			return removed, err
+		}
+		if ok {
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // Assert inserts a fact, creating the relation as needed, and reports

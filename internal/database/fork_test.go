@@ -1,0 +1,181 @@
+package database
+
+// Copy-on-write fork semantics: a fork shares relations with its parent
+// until first write, the parent is never mutated through the fork, and a
+// published (parent) relation keeps serving concurrent readers while its
+// fork takes writes — the MVCC invariants the query server's epoch
+// snapshots rely on.
+
+import (
+	"sync"
+	"testing"
+
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+func forkFixture(t *testing.T) (*Database, symtab.Sym) {
+	t.Helper()
+	db := New(term.NewBank(symtab.New()))
+	if err := db.LoadText("e(a,b). e(b,c). e(c,d)."); err != nil {
+		t.Fatal(err)
+	}
+	return db, db.bank.Symbols().Intern("e")
+}
+
+func TestForkSharesUntilWrite(t *testing.T) {
+	db, e := forkFixture(t)
+	f := db.Fork()
+	if db.Relation(e) != f.Relation(e) {
+		t.Fatal("fork should share untouched relations with its parent")
+	}
+	if err := f.LoadText("e(d,e)."); err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation(e) == f.Relation(e) {
+		t.Fatal("first write should have cloned the relation")
+	}
+	if got, want := db.Relation(e).Len(), 3; got != want {
+		t.Fatalf("parent mutated through fork: len = %d, want %d", got, want)
+	}
+	if got, want := f.Relation(e).Len(), 4; got != want {
+		t.Fatalf("fork len = %d, want %d", got, want)
+	}
+}
+
+func TestForkRetract(t *testing.T) {
+	db, e := forkFixture(t)
+	f := db.Fork()
+	tup := Tuple{term.Symbol(db.bank.Symbols().Intern("b")), term.Symbol(db.bank.Symbols().Intern("c"))}
+	ok, err := f.Retract(e, tup)
+	if err != nil || !ok {
+		t.Fatalf("Retract = %v, %v; want true, nil", ok, err)
+	}
+	// Retracting again is a no-op, not an error.
+	ok, err = f.Retract(e, tup)
+	if err != nil || ok {
+		t.Fatalf("second Retract = %v, %v; want false, nil", ok, err)
+	}
+	if got, want := db.Relation(e).Len(), 3; got != want {
+		t.Fatalf("parent mutated by fork retract: len = %d, want %d", got, want)
+	}
+	if got, want := f.Relation(e).Len(), 2; got != want {
+		t.Fatalf("fork len after retract = %d, want %d", got, want)
+	}
+	if f.Relation(e).Contains(tup) {
+		t.Fatal("fork still contains retracted tuple")
+	}
+	// The fork stays fully usable after the rebuild: dedup and probes work.
+	if err := f.LoadText("e(b,c)."); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Relation(e).Len(), 3; got != want {
+		t.Fatalf("re-assert after retract: len = %d, want %d", got, want)
+	}
+}
+
+func TestRetractText(t *testing.T) {
+	db, e := forkFixture(t)
+	n, err := db.RetractText("e(a,b). e(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("removed = %d, want 1 (e(x,y) was never present)", n)
+	}
+	if got, want := db.Relation(e).Len(), 2; got != want {
+		t.Fatalf("len = %d, want %d", got, want)
+	}
+}
+
+func TestForkChainIsolation(t *testing.T) {
+	// A linear chain of forks: each epoch sees exactly its own prefix of
+	// writes, no matter how many later epochs were published.
+	db := New(term.NewBank(symtab.New()))
+	if err := db.LoadText("n(0)."); err != nil {
+		t.Fatal(err)
+	}
+	nsym := db.bank.Symbols().Intern("n")
+	epochs := []*Database{db}
+	tip := db
+	for i := 1; i <= 20; i++ {
+		f := tip.Fork()
+		if _, err := f.Assert(nsym, Tuple{term.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, f)
+		tip = f
+	}
+	for i, e := range epochs {
+		if got, want := e.Relation(nsym).Len(), i+1; got != want {
+			t.Fatalf("epoch %d: len = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestForkConcurrentReaders is the race-detector check for the MVCC
+// seam: many readers probe and scan a published database while a single
+// writer advances a fork chain off it. Run under -race (make check).
+func TestForkConcurrentReaders(t *testing.T) {
+	db := New(term.NewBank(symtab.New()))
+	for i := 0; i < 64; i++ {
+		if _, err := db.Assert(db.bank.Symbols().Intern("e"),
+			Tuple{term.Int(int64(i)), term.Int(int64(i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := db.bank.Symbols().Intern("e")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rel := db.Relation(e)
+				// Full scans and index probes, including lazily built
+				// indexes, against the published relation.
+				it := rel.Scan()
+				n := 0
+				for _, ok := it.Next(); ok; _, ok = it.Next() {
+					n++
+				}
+				if n != 64 {
+					t.Errorf("reader saw %d rows in published snapshot, want 64", n)
+					return
+				}
+				ids := rel.ProbeIDs(1<<0, []term.Value{term.Int(7)})
+				if len(ids) != 1 {
+					t.Errorf("probe saw %d rows, want 1", len(ids))
+					return
+				}
+			}
+		}()
+	}
+
+	tip := db
+	for i := 0; i < 200; i++ {
+		f := tip.Fork()
+		if _, err := f.Assert(e, Tuple{term.Int(int64(1000 + i)), term.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := f.Retract(e, Tuple{term.Int(int64(1000 + i)), term.Int(int64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tip = f
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := db.Relation(e).Len(); got != 64 {
+		t.Fatalf("original snapshot changed: len = %d, want 64", got)
+	}
+}

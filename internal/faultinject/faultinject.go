@@ -45,6 +45,16 @@ const (
 	SiteTopdownProbe = "topdown.probe"
 	// SiteTopdownPass: one global QSQ fixpoint sweep.
 	SiteTopdownPass = "topdown.pass"
+	// SiteServerApply: the query server's write batcher is about to
+	// apply one write request's asserts/retracts to the next epoch's
+	// fork. Injected errors here are retryable: the batcher discards the
+	// fork and retries the batch with backoff.
+	SiteServerApply = "server.write"
+	// SiteServerPublish: the query server is about to publish a fully
+	// applied write batch as the next epoch snapshot. Fires after the
+	// fork is complete and before readers can see it, so an injected
+	// error proves readers never observe a half-applied batch.
+	SiteServerPublish = "server.publish"
 )
 
 // Sites lists every known hook site, sorted, for validation and help
@@ -54,6 +64,7 @@ func Sites() []string {
 		SiteEngineInsert, SiteEngineProbe, SiteEngineIter,
 		SiteCountingNode, SiteCountingStep,
 		SiteTopdownProbe, SiteTopdownPass,
+		SiteServerApply, SiteServerPublish,
 	}
 	sort.Strings(s)
 	return s

@@ -284,6 +284,40 @@ var (
 		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
 )
 
+// The query-server metrics, recorded by internal/server: request
+// outcomes, admission-control sheds, the in-flight/queued gauges the
+// load shedder exposes, write-batch behavior, and the current snapshot
+// epoch. Latencies are end-to-end (admission wait included) so p99 under
+// load reflects what a client actually sees.
+var (
+	MServerRequests = Default.NewLabeledCounter("lincount_server_requests_total",
+		"Query-server requests accepted for processing, by endpoint.", "endpoint")
+	MServerErrors = Default.NewLabeledCounter("lincount_server_errors_total",
+		"Query-server requests that failed, by error class (busy, draining, canceled, limit, bad_request, internal, other).", "class")
+	MServerShed = Default.NewCounter("lincount_server_shed_total",
+		"Requests rejected by admission control (semaphore full and wait queue at capacity, or write queue full).")
+	MServerInFlight = Default.NewGauge("lincount_server_in_flight",
+		"Requests currently holding an admission slot or waiting on the write path.")
+	MServerQueued = Default.NewGauge("lincount_server_queued",
+		"Requests waiting in the admission queue for a concurrency slot.")
+	MServerLatency = Default.NewHistogram("lincount_server_request_seconds",
+		"End-to-end query-server request latency, admission wait included.",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60})
+	MServerWriteBatches = Default.NewCounter("lincount_server_write_batches_total",
+		"Write batches published as new epoch snapshots.")
+	MServerWriteBatchOps = Default.NewHistogram("lincount_server_write_batch_ops",
+		"Write requests coalesced per published batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	MServerWriteRetries = Default.NewCounter("lincount_server_write_retries_total",
+		"Write-batch apply attempts retried after a retryable failure.")
+	MServerEpoch = Default.NewGauge("lincount_server_epoch",
+		"Current published snapshot epoch (increments once per write batch).")
+	MServerDrains = Default.NewCounter("lincount_server_drains_total",
+		"Graceful drains initiated (SIGTERM/SIGINT or explicit Drain).")
+	MServerDrainCanceled = Default.NewCounter("lincount_server_drain_canceled_total",
+		"In-flight requests force-canceled because the drain deadline expired.")
+)
+
 // EvalSample is the once-per-evaluation metrics record. Fields mirror
 // the public Stats plus the outcome.
 type EvalSample struct {

@@ -1,11 +1,13 @@
 package obsv
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync/atomic"
+	"time"
 )
 
 // The serving surface: one http.Handler exposing the metrics registry in
@@ -98,7 +100,31 @@ func Serve(addr string) (*Server, error) {
 	return &Server{Addr: l.Addr().String(), l: l, srv: srv}, nil
 }
 
-// Close stops the listener.
+// Shutdown stops the listener gracefully: it stops accepting new
+// connections and waits for in-flight requests (a half-fetched /metrics
+// scrape, a running pprof profile) to finish, up to ctx's deadline. The
+// serving goroutine exits once http.Server.Shutdown returns, so a CLI
+// that shuts down at exit leaks nothing.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// ShutdownTimeout is Shutdown bounded by a fresh deadline — the one-line
+// form every CLI defers at exit.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the listener immediately, dropping in-flight requests.
+// Prefer Shutdown/ShutdownTimeout at orderly exit.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil

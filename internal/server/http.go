@@ -1,0 +1,180 @@
+package server
+
+// The HTTP/JSON surface over Server. One mux serves the query API, the
+// health probes, and the whole obsv handler (metrics, traces, pprof) —
+// lincountd binds a single listener for everything.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+
+	"lincount"
+	"lincount/internal/obsv"
+)
+
+// maxBodyBytes bounds request bodies; a fact-load bigger than this
+// should arrive as a file at startup, not over the write API.
+const maxBodyBytes = 8 << 20
+
+// errorResponse is the JSON error shape: a stable machine-readable
+// class plus the human-readable detail.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail"`
+}
+
+// StatsResponse is /v1/stats: a point-in-time view of the server.
+type StatsResponse struct {
+	State    string `json:"state"`
+	Epoch    uint64 `json:"epoch"`
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	POST /v1/query   evaluate a query against the current snapshot
+//	POST /v1/write   assert/retract facts (one atomic batch entry)
+//	GET  /v1/stats   lifecycle state, epoch, admission gauges
+//	GET  /healthz    200 while the process serves HTTP at all
+//	GET  /readyz     200 while serving, 503 once draining
+//	/...             the obsv handler (/metrics, /trace.json, /debug/pprof/)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/write", s.handleWrite)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if st := s.State(); st != "serving" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, st)
+			return
+		}
+		fmt.Fprintln(w, "serving")
+	})
+	mux.Handle("/", obsv.Handler())
+	return contain(mux)
+}
+
+// contain is the outermost middleware: a panic anywhere in a handler is
+// converted to a 500 instead of killing the connection (and, with
+// http.Server's default, logging a stack to stderr while other requests
+// proceed — here we keep the process quiet and the client informed).
+func contain(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				obsv.MServerErrors.Add("internal", 1)
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack()))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeError(w http.ResponseWriter, status int, class, detail string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: class, Detail: detail})
+}
+
+// writeErr maps a typed server error onto HTTP status + JSON body. The
+// mapping is the degradation contract clients program against: 503 is
+// retryable elsewhere/later, 504 means the request's own deadline, 422
+// means the query is too expensive under the server's budgets, 400 is
+// the client's fault, 500 is ours.
+func writeErr(w http.ResponseWriter, err error) {
+	var busy *BusyError
+	var badReq *badRequestError
+	var interr *lincount.InternalError
+	switch {
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "busy", err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "canceled", err.Error())
+	case errors.Is(err, lincount.ErrResourceLimit):
+		writeError(w, http.StatusUnprocessableEntity, "limit", err.Error())
+	case errors.As(err, &badReq):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.As(err, &interr):
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "other", err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		obsv.MServerErrors.Add("bad_request", 1)
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		obsv.MServerErrors.Add("bad_request", 1)
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`)
+		return
+	}
+	res, err := s.Query(r.Context(), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	var req WriteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Assert == "" && req.Retract == "" {
+		obsv.MServerErrors.Add("bad_request", 1)
+		writeError(w, http.StatusBadRequest, "bad_request", `need "assert" and/or "retract"`)
+		return
+	}
+	res, err := s.Write(r.Context(), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, StatsResponse{
+		State:    s.State(),
+		Epoch:    snap.Epoch,
+		InFlight: len(s.sem),
+		Queued:   int(s.queued.Load()),
+	})
+}

@@ -1,0 +1,133 @@
+package server
+
+// The HTTP surface: JSON round trips, the error-status contract, the
+// health probes' drain transition, and the embedded obsv handler.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	rec := postJSON(t, h, "/v1/write", `{"assert":"f(a,b). f(b,c)."}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("write: %d %s", rec.Code, rec.Body)
+	}
+	var wres WriteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &wres); err != nil {
+		t.Fatal(err)
+	}
+	if wres.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", wres.Epoch)
+	}
+
+	rec = postJSON(t, h, "/v1/query", `{"query":"?- p(X,Y)."}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body)
+	}
+	var qres QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qres); err != nil {
+		t.Fatal(err)
+	}
+	if len(qres.Answers) != 2 || qres.Epoch != 1 {
+		t.Fatalf("query response = %+v, want 2 answers at epoch 1", qres)
+	}
+
+	rec = get(t, h, "/v1/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.State != "serving" || stats.Epoch != 1 {
+		t.Fatalf("stats = %+v, want serving at epoch 1", stats)
+	}
+}
+
+func TestHTTPErrorContract(t *testing.T) {
+	s := newTestServer(t, Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantClass        string
+	}{
+		{"malformed json", "/v1/query", `{"query"`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", "/v1/query", `{"qeury":"?- p(X,Y)."}`, http.StatusBadRequest, "bad_request"},
+		{"missing query", "/v1/query", `{}`, http.StatusBadRequest, "bad_request"},
+		{"bad strategy", "/v1/query", `{"query":"?- p(X,Y).","strategy":"nope"}`, http.StatusBadRequest, "bad_request"},
+		{"unparsable query", "/v1/query", `{"query":"not a goal"}`, http.StatusBadRequest, "bad_request"},
+		{"empty write", "/v1/write", `{}`, http.StatusBadRequest, "bad_request"},
+		{"unparsable facts", "/v1/write", `{"assert":"f(("}`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		rec := postJSON(t, h, tc.path, tc.body)
+		if rec.Code != tc.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, rec.Code, tc.wantStatus, rec.Body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Errorf("%s: non-JSON error body %q", tc.name, rec.Body)
+			continue
+		}
+		if er.Error != tc.wantClass {
+			t.Errorf("%s: class = %q, want %q", tc.name, er.Error, tc.wantClass)
+		}
+	}
+}
+
+func TestHTTPHealthAndDrain(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz = %d before drain", rec.Code)
+	}
+	// The obsv surface rides on the same mux.
+	if rec := get(t, h, "/metrics"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "lincount_server_requests_total") {
+		t.Fatalf("metrics = %d; body misses server metrics", rec.Code)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d after drain, want 503", rec.Code)
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d after drain, want 200 while process lives", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/query", `{"query":"?- p(X,Y)."}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query after drain = %d, want 503", rec.Code)
+	}
+}

@@ -1,0 +1,804 @@
+// Package server implements lincountd's resident query server: a
+// long-lived process that holds one loaded Program plus a Database and
+// serves many concurrent prepared-query evaluations over HTTP/JSON.
+//
+// The design is MVCC with a single writer. Reads never lock anything:
+// every request loads the current Snapshot (an epoch number plus an
+// immutable Database) from an atomic pointer and evaluates against it.
+// Writes funnel through one batching writer goroutine that forks the
+// current snapshot copy-on-write (Database.Fork), applies a coalesced
+// batch of asserts/retracts to the fork, and publishes the fork
+// atomically as the next epoch — so a reader observes either all of a
+// batch or none of it, never a half-applied state.
+//
+// Robustness is the point, not throughput:
+//
+//   - Admission control: a concurrency semaphore with a bounded wait
+//     queue. When both are full the request is shed immediately with a
+//     typed BusyError (HTTP 503) instead of queueing unboundedly.
+//   - Per-request deadlines and fact budgets, inherited from the
+//     context/ResourceLimitError machinery the evaluators already honor.
+//   - Panic containment per request: the Eval boundary already recovers
+//     evaluator panics into InternalError; the HTTP layer adds a second
+//     recover so even a handler bug cannot take the process down.
+//   - Retry with backoff on retryable write failures (injected faults,
+//     per the degradation taxonomy), re-applying the batch to a fresh
+//     fork each attempt — a failed attempt leaves no trace.
+//   - Graceful drain: stop admitting, finish in-flight requests within a
+//     deadline, cancel cooperatively past it, then stop the writer; zero
+//     goroutines outlive Drain.
+//
+// Fault injection reaches the write path through two dedicated sites
+// (faultinject.SiteServerApply, faultinject.SiteServerPublish) so the
+// chaos suite can hammer a live server and assert snapshot isolation.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lincount"
+	"lincount/internal/faultinject"
+	"lincount/internal/obsv"
+)
+
+// Config parameterizes a Server. The zero value of every limit field
+// selects a sane default; Program and DB are required.
+type Config struct {
+	// Program is the loaded program all queries evaluate against.
+	Program *lincount.Program
+	// DB is the initial database. Ownership passes to the server: the
+	// caller must not write to it after New (reads would race the write
+	// path's forks).
+	DB *lincount.Database
+
+	// MaxConcurrent bounds simultaneously evaluating read requests
+	// (default 16).
+	MaxConcurrent int
+	// MaxQueue bounds read requests waiting for a concurrency slot;
+	// beyond it requests are shed with BusyError (default 64).
+	MaxQueue int
+	// WriteQueue bounds write requests waiting for the writer goroutine;
+	// beyond it writes are shed with BusyError (default 256).
+	WriteQueue int
+	// MaxBatch bounds write requests coalesced into one epoch (default 64).
+	MaxBatch int
+	// WriteRetries is how many times a retryably failing batch apply is
+	// retried before the batch's requests fail (default 3).
+	WriteRetries int
+	// RetryBackoff is the first retry's backoff, doubling per attempt
+	// (default 1ms).
+	RetryBackoff time.Duration
+
+	// DefaultTimeout is applied to requests that carry no deadline of
+	// their own (default 10s). MaxTimeout clamps requested deadlines
+	// (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxDerivedFacts is the per-request derived-fact budget when the
+	// request does not set a smaller one (default 10,000,000; 0 keeps
+	// the default, use -1 for unlimited).
+	MaxDerivedFacts int
+
+	// Inject, when non-nil, arms the server-side fault sites
+	// (server.write, server.publish) — the chaos harness's hook.
+	// Production servers leave it nil and pay one pointer comparison.
+	Inject *faultinject.Injector
+	// EvalOptions are appended to every evaluation (chaos tests pass
+	// WithFaultInjection here to perturb the read path).
+	EvalOptions []lincount.Option
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = 16
+	}
+	if out.MaxQueue < 0 {
+		out.MaxQueue = 0
+	} else if out.MaxQueue == 0 {
+		out.MaxQueue = 64
+	}
+	if out.WriteQueue <= 0 {
+		out.WriteQueue = 256
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 64
+	}
+	if out.WriteRetries < 0 {
+		out.WriteRetries = 0
+	} else if out.WriteRetries == 0 {
+		out.WriteRetries = 3
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = time.Millisecond
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 10 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 60 * time.Second
+	}
+	if out.MaxDerivedFacts == 0 {
+		out.MaxDerivedFacts = 10_000_000
+	}
+	return out
+}
+
+// Snapshot is one published epoch: an immutable database plus its
+// sequence number. Readers evaluate against the snapshot they loaded at
+// admission; the epoch is echoed in responses so clients can reason
+// about read-your-writes.
+type Snapshot struct {
+	Epoch uint64
+	DB    *lincount.Database
+}
+
+// ErrBusy is the sentinel every admission-control rejection matches:
+// errors.Is(err, ErrBusy) reports the server shed the request because
+// the concurrency semaphore and its wait queue (or the write queue)
+// were full. Busy errors are retryable by the client after backoff.
+var ErrBusy = errors.New("server: too busy")
+
+// BusyError is the structured load-shedding error: the admission state
+// at the moment the request was shed. It matches errors.Is(err, ErrBusy).
+type BusyError struct {
+	// InFlight and Queued are the admission gauges at shed time.
+	InFlight, Queued int
+	// Write reports whether the write queue (rather than the read
+	// semaphore) was the full resource.
+	Write bool
+}
+
+func (e *BusyError) Error() string {
+	if e.Write {
+		return fmt.Sprintf("server: too busy (write queue full, %d in flight)", e.InFlight)
+	}
+	return fmt.Sprintf("server: too busy (%d in flight, %d queued)", e.InFlight, e.Queued)
+}
+
+// Is makes errors.Is(err, ErrBusy) report true.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// ErrDraining is returned to requests that arrive after a drain began
+// (or after Close). Clients should fail over to another replica.
+var ErrDraining = errors.New("server: draining")
+
+// server lifecycle states, guarded by stateMu.
+const (
+	stateServing = iota
+	stateDraining
+	stateClosed
+)
+
+// Server is a running query server. Create with New, serve its Handler,
+// stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+
+	// Admission control: sem holds one token per evaluating request;
+	// queued counts requests waiting for a token, bounded by MaxQueue.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// Lifecycle: state transitions serving → draining → closed under
+	// stateMu; requests take the read lock to check the state and join
+	// the in-flight WaitGroup atomically with respect to Drain.
+	stateMu  sync.RWMutex
+	state    int
+	inflight sync.WaitGroup
+
+	// baseCtx is canceled (with cause) to force-cancel in-flight
+	// requests when the drain deadline expires.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	// The single-writer path: Write requests enqueue on writes; the
+	// writer goroutine coalesces, applies, publishes, and answers.
+	writes     chan writeReq
+	writerDone chan struct{}
+
+	// prepared caches PreparedQuery by (query, strategy). Prepared
+	// queries are immutable and DB-independent (plans are pure functions
+	// of program x query x strategy), so one entry serves every epoch.
+	prepMu   sync.Mutex
+	prepared map[prepKey]*lincount.PreparedQuery
+}
+
+// badRequestError wraps validation failures (unparsable query or fact
+// text, unknown strategy) — the client's fault, mapped to HTTP 400.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// classOf maps a request error to its metrics label (the "class" label
+// of lincount_server_errors_total) — the server-side degradation
+// taxonomy: shed, refused, canceled, over budget, bug, bad input, other.
+func classOf(err error) string {
+	var interr *lincount.InternalError
+	var badReq *badRequestError
+	switch {
+	case errors.As(err, &badReq):
+		return "bad_request"
+	case errors.Is(err, ErrBusy):
+		return "busy"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(err, lincount.ErrResourceLimit):
+		return "limit"
+	case errors.As(err, &interr):
+		return "internal"
+	default:
+		return "other"
+	}
+}
+
+// fail counts err into the error metrics and returns it — every public
+// entry point's single exit for failures.
+func fail(err error) error {
+	obsv.MServerErrors.Add(classOf(err), 1)
+	return err
+}
+
+type prepKey struct {
+	query    string
+	strategy lincount.Strategy
+}
+
+// preparedCacheCap bounds the server's prepared-query map; past it the
+// map is dropped wholesale (entries are cheap to rebuild — the plans
+// behind them stay in the program's LRU plan cache).
+const preparedCacheCap = 4096
+
+// New starts a server over cfg: the initial snapshot is published at
+// epoch 0 and the writer goroutine is running. The server is serving
+// immediately; attach Handler to an http.Server to expose it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Program == nil || cfg.DB == nil {
+		return nil, errors.New("server: Config.Program and Config.DB are required")
+	}
+	c := cfg.withDefaults()
+	baseCtx, baseCancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:        c,
+		sem:        make(chan struct{}, c.MaxConcurrent),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		writes:     make(chan writeReq, c.WriteQueue),
+		writerDone: make(chan struct{}),
+		prepared:   make(map[prepKey]*lincount.PreparedQuery),
+	}
+	s.snap.Store(&Snapshot{Epoch: 0, DB: c.DB})
+	obsv.MServerEpoch.Set(0)
+	go s.writer()
+	return s, nil
+}
+
+// Snapshot returns the currently published epoch. The database inside is
+// immutable; it is safe to evaluate against it indefinitely (later
+// epochs share its storage copy-on-write).
+func (s *Server) Snapshot() Snapshot { return *s.snap.Load() }
+
+// State returns the lifecycle state as a readiness string: "serving",
+// "draining" or "closed".
+func (s *Server) State() string {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	switch s.state {
+	case stateServing:
+		return "serving"
+	case stateDraining:
+		return "draining"
+	default:
+		return "closed"
+	}
+}
+
+// begin registers a request as in-flight, failing with ErrDraining once
+// a drain has begun. The read lock orders the WaitGroup Add against
+// Drain's state flip, so Drain's Wait always covers every admitted
+// request and never races an Add.
+func (s *Server) begin() error {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.state != stateServing {
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// acquire takes a concurrency slot, waiting in the bounded queue when
+// the semaphore is full and shedding with BusyError when the queue is
+// full too. The wait respects ctx, so a queued request's deadline keeps
+// counting while it waits.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	for {
+		q := s.queued.Load()
+		if q >= int64(s.cfg.MaxQueue) {
+			obsv.MServerShed.Add(1)
+			return &BusyError{InFlight: len(s.sem), Queued: int(q)}
+		}
+		if s.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	obsv.MServerQueued.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		obsv.MServerQueued.Add(-1)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return &lincount.CanceledError{Component: "server", Cause: context.Cause(ctx)}
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// requestCtx derives the evaluation context for one request: the
+// caller's context, the request deadline (clamped to MaxTimeout,
+// defaulted to DefaultTimeout), and the server's base context so a
+// drain-deadline force-cancel reaches every in-flight evaluation. The
+// returned stop func must be deferred.
+func (s *Server) requestCtx(ctx context.Context, timeout time.Duration) (context.Context, func()) {
+	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = s.cfg.DefaultTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() {
+		stopAfter()
+		cancel()
+	}
+}
+
+// QueryRequest is one read: a query evaluated against the snapshot
+// current at admission time.
+type QueryRequest struct {
+	// Query is the goal text, e.g. "?- sg(a,X).".
+	Query string `json:"query"`
+	// Strategy names the evaluation strategy ("" = auto).
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS bounds the request (0 = server default; clamped to the
+	// server max).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxFacts bounds derived facts for this request (0 = server
+	// default; requests can lower the budget, never raise it past the
+	// server's).
+	MaxFacts int `json:"max_facts,omitempty"`
+	// Trace records a structured trace of this evaluation and publishes
+	// it at /trace.json.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// QueryStats is the response's work summary (a subset of lincount.Stats).
+type QueryStats struct {
+	Inferences   int64 `json:"inferences"`
+	DerivedFacts int64 `json:"derived_facts"`
+	Probes       int64 `json:"probes"`
+	Iterations   int   `json:"iterations"`
+	DurationUS   int64 `json:"duration_us"`
+}
+
+// QueryResponse is one read's answer set plus provenance: the epoch it
+// was served from and the concrete strategy that produced it.
+type QueryResponse struct {
+	Answers      [][]string `json:"answers"`
+	Epoch        uint64     `json:"epoch"`
+	Strategy     string     `json:"strategy"`
+	PlanCacheHit bool       `json:"plan_cache_hit"`
+	Degraded     int        `json:"degraded,omitempty"`
+	Stats        QueryStats `json:"stats"`
+}
+
+// Query evaluates one read request against the current snapshot. It
+// applies admission control, the request deadline and fact budget, and
+// returns typed errors: BusyError (shed), ErrDraining, CanceledError,
+// ResourceLimitError, or the evaluation's own error.
+func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if err := s.begin(); err != nil {
+		return nil, fail(err)
+	}
+	defer s.inflight.Done()
+
+	start := time.Now()
+	obsv.MServerInFlight.Add(1)
+	defer obsv.MServerInFlight.Add(-1)
+	defer func() { obsv.MServerLatency.Observe(time.Since(start).Seconds()) }()
+
+	ctx, stop := s.requestCtx(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	defer stop()
+	if err := s.acquire(ctx); err != nil {
+		return nil, fail(err)
+	}
+	defer s.release()
+
+	strategy := lincount.Auto
+	if req.Strategy != "" && req.Strategy != "auto" {
+		var err error
+		if strategy, err = lincount.ParseStrategy(req.Strategy); err != nil {
+			return nil, fail(&badRequestError{err})
+		}
+	}
+	pq, err := s.preparedFor(req.Query, strategy)
+	if err != nil {
+		return nil, fail(&badRequestError{err})
+	}
+
+	maxFacts := s.cfg.MaxDerivedFacts
+	if req.MaxFacts > 0 && (maxFacts < 0 || req.MaxFacts < maxFacts) {
+		maxFacts = req.MaxFacts
+	}
+	opts := append([]lincount.Option{}, s.cfg.EvalOptions...)
+	if maxFacts > 0 {
+		opts = append(opts, lincount.WithMaxDerivedFacts(maxFacts))
+	}
+	var tracer *lincount.Tracer
+	if req.Trace {
+		tracer = lincount.NewTracer()
+		opts = append(opts, lincount.WithTracer(tracer))
+	}
+
+	snap := s.snap.Load()
+	obsv.MServerRequests.Add("query", 1)
+	res, err := pq.EvalContext(ctx, snap.DB, opts...)
+	if err != nil {
+		return nil, fail(err)
+	}
+	if tracer != nil {
+		obsv.SetLastTrace(tracer)
+	}
+	return &QueryResponse{
+		Answers:      res.Answers,
+		Epoch:        snap.Epoch,
+		Strategy:     res.Strategy.String(),
+		PlanCacheHit: res.PlanCacheHit,
+		Degraded:     len(res.Degraded),
+		Stats: QueryStats{
+			Inferences:   res.Stats.Inferences,
+			DerivedFacts: res.Stats.DerivedFacts,
+			Probes:       res.Stats.Probes,
+			Iterations:   res.Stats.Iterations,
+			DurationUS:   res.Stats.Duration.Microseconds(),
+		},
+	}, nil
+}
+
+// preparedFor returns the cached PreparedQuery for (query, strategy),
+// preparing it on first use. Prepared queries are immutable and safe to
+// share; the underlying compiled plans live in the program's LRU plan
+// cache, so this map only amortizes parsing and the facade plumbing.
+func (s *Server) preparedFor(query string, strategy lincount.Strategy) (*lincount.PreparedQuery, error) {
+	key := prepKey{query: query, strategy: strategy}
+	s.prepMu.Lock()
+	pq := s.prepared[key]
+	s.prepMu.Unlock()
+	if pq != nil {
+		return pq, nil
+	}
+	pq, err := lincount.Prepare(s.cfg.Program, query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	s.prepMu.Lock()
+	if cached, ok := s.prepared[key]; ok {
+		pq = cached // a concurrent Prepare won; keep one canonical entry
+	} else {
+		if len(s.prepared) >= preparedCacheCap {
+			s.prepared = make(map[prepKey]*lincount.PreparedQuery)
+		}
+		s.prepared[key] = pq
+	}
+	s.prepMu.Unlock()
+	return pq, nil
+}
+
+// WriteRequest is one write: fact text to assert and/or retract. The
+// request is applied atomically — a snapshot either contains all of its
+// effects or none.
+type WriteRequest struct {
+	// Assert is fact text to add, e.g. "up(a,b). flat(b,c).".
+	Assert string `json:"assert,omitempty"`
+	// Retract is fact text to remove; absent facts are no-ops.
+	Retract string `json:"retract,omitempty"`
+	// TimeoutMS bounds how long the request waits for its batch to
+	// publish (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// WriteResponse reports the epoch that first contains the write.
+type WriteResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	Retracted int    `json:"retracted"`
+}
+
+type writeResult struct {
+	epoch     uint64
+	retracted int
+	err       error
+}
+
+type writeReq struct {
+	req  WriteRequest
+	done chan writeResult
+}
+
+// Write submits one write request to the single-writer path and waits
+// for its batch to publish (or fail). Shed with BusyError when the write
+// queue is full. If ctx expires while the batch is in flight, Write
+// returns a CanceledError but the batch may still publish — the write is
+// at-most-once from the caller's perspective, exactly-once from the
+// server's.
+func (s *Server) Write(ctx context.Context, req WriteRequest) (*WriteResponse, error) {
+	if err := s.begin(); err != nil {
+		return nil, fail(err)
+	}
+	defer s.inflight.Done()
+
+	start := time.Now()
+	obsv.MServerInFlight.Add(1)
+	defer obsv.MServerInFlight.Add(-1)
+	defer func() { obsv.MServerLatency.Observe(time.Since(start).Seconds()) }()
+
+	ctx, stop := s.requestCtx(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	defer stop()
+
+	wr := writeReq{req: req, done: make(chan writeResult, 1)}
+	select {
+	case s.writes <- wr:
+	default:
+		obsv.MServerShed.Add(1)
+		return nil, fail(&BusyError{InFlight: len(s.writes), Write: true})
+	}
+	obsv.MServerRequests.Add("write", 1)
+	select {
+	case res := <-wr.done:
+		if res.err != nil {
+			return nil, fail(res.err)
+		}
+		return &WriteResponse{Epoch: res.epoch, Retracted: res.retracted}, nil
+	case <-ctx.Done():
+		return nil, fail(&lincount.CanceledError{Component: "server", Cause: context.Cause(ctx)})
+	}
+}
+
+// writer is the single-writer goroutine: it owns the fork-apply-publish
+// cycle, so snapshot publication is trivially serialized. It exits when
+// the writes channel is closed (Drain), after draining queued requests.
+func (s *Server) writer() {
+	defer close(s.writerDone)
+	for wr := range s.writes {
+		batch := []writeReq{wr}
+		// Coalesce whatever is already queued, up to the batch cap: one
+		// fork + one publish amortized over every waiting request.
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case more, ok := <-s.writes:
+				if !ok {
+					s.applyBatch(batch)
+					return
+				}
+				batch = append(batch, more)
+			default:
+				goto apply
+			}
+		}
+	apply:
+		s.applyBatch(batch)
+	}
+}
+
+// retryableWrite reports whether a batch-apply failure is worth
+// retrying: injected faults (the degradation taxonomy's retryable class)
+// and resource-limit trips. Parse and arity errors are permanent.
+func retryableWrite(err error) bool {
+	return errors.Is(err, faultinject.ErrInjected) || errors.Is(err, lincount.ErrResourceLimit)
+}
+
+// applyBatch forks the current snapshot, applies every request in the
+// batch, and publishes the fork as the next epoch. A retryable failure
+// (injected fault) discards the fork and retries the whole batch with
+// exponential backoff; a permanent failure (parse error, arity clash)
+// fails only the offending request and re-applies the rest from a fresh
+// fork. Each surviving request is answered with the published epoch.
+// Panics are contained per batch: every request gets an InternalError
+// and the snapshot stays at the previous epoch.
+func (s *Server) applyBatch(batch []writeReq) {
+	failed := make([]error, len(batch))
+	retracted := make([]int, len(batch))
+	answered := make([]bool, len(batch))
+	defer func() {
+		r := recover()
+		for i, wr := range batch {
+			if answered[i] {
+				continue
+			}
+			err := failed[i]
+			if err == nil {
+				// Only reachable when the apply loop panicked before
+				// this request got a verdict.
+				err = &lincount.InternalError{Value: r, Stack: string(debug.Stack())}
+			}
+			wr.done <- writeResult{err: err}
+		}
+	}()
+
+	cur := s.snap.Load()
+	attempt := 0
+	for {
+		fork := cur.DB.Fork()
+		var retryErr error
+		restarted := false
+		for i, wr := range batch {
+			if failed[i] != nil {
+				continue
+			}
+			retracted[i] = 0
+			n, err := s.applyOne(fork, wr.req)
+			retracted[i] = n
+			if err == nil {
+				continue
+			}
+			if retryableWrite(err) {
+				retryErr = err
+			} else {
+				// Permanent: fail this request and rebuild the batch
+				// without it (the fork may hold its partial effects).
+				failed[i] = &badRequestError{err}
+				restarted = true
+			}
+			break
+		}
+		if retryErr == nil && !restarted {
+			// The batch applied cleanly; the publish site is the last
+			// chance for the chaos harness to object before readers can
+			// observe the new epoch.
+			if err := s.cfg.Inject.Hit(faultinject.SiteServerPublish); err != nil {
+				retryErr = err
+			}
+		}
+		if retryErr != nil {
+			attempt++
+			if attempt > s.cfg.WriteRetries {
+				for i := range batch {
+					if failed[i] == nil {
+						failed[i] = retryErr
+					}
+				}
+				return
+			}
+			obsv.MServerWriteRetries.Add(1)
+			time.Sleep(s.cfg.RetryBackoff << (attempt - 1))
+			continue
+		}
+		if restarted {
+			continue // no backoff: the deterministic failure was excised
+		}
+		live := 0
+		for i := range batch {
+			if failed[i] == nil {
+				live++
+			}
+		}
+		if live == 0 {
+			return // nothing survived; do not publish an empty epoch
+		}
+
+		next := &Snapshot{Epoch: cur.Epoch + 1, DB: fork}
+		s.snap.Store(next)
+		obsv.MServerEpoch.Set(int64(next.Epoch))
+		obsv.MServerWriteBatches.Add(1)
+		obsv.MServerWriteBatchOps.Observe(float64(len(batch)))
+		for i, wr := range batch {
+			if failed[i] == nil {
+				answered[i] = true
+				wr.done <- writeResult{epoch: next.Epoch, retracted: retracted[i]}
+			}
+		}
+		return
+	}
+}
+
+// applyOne applies a single request's asserts and retracts to the fork.
+func (s *Server) applyOne(fork *lincount.Database, req WriteRequest) (retractedN int, err error) {
+	if err := s.cfg.Inject.Hit(faultinject.SiteServerApply); err != nil {
+		return 0, err
+	}
+	if req.Assert != "" {
+		if err := fork.LoadFacts(req.Assert); err != nil {
+			return 0, err
+		}
+	}
+	if req.Retract != "" {
+		n, err := fork.RetractFacts(req.Retract)
+		if err != nil {
+			return n, err
+		}
+		retractedN = n
+	}
+	return retractedN, nil
+}
+
+// Drain gracefully stops the server: flip to draining (new requests get
+// ErrDraining, /readyz goes unready), wait for in-flight requests to
+// finish, and past ctx's deadline cancel them cooperatively and wait for
+// the (prompt) unwind. The writer goroutine drains its queue and exits.
+// Drain is idempotent; concurrent calls all block until the first
+// completes. It returns an error only when the deadline forced
+// cancellation — the server is fully stopped either way, with no
+// goroutines left behind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stateMu.Lock()
+	if s.state != stateServing {
+		s.stateMu.Unlock()
+		<-s.writerDone // wait for the first drainer to finish the job
+		return nil
+	}
+	s.state = stateDraining
+	s.stateMu.Unlock()
+	obsv.MServerDrains.Add(1)
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	forced := false
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel every in-flight evaluation through the base
+		// context. Cooperative cancellation is threaded through every
+		// strategy, so the unwind is prompt.
+		forced = true
+		s.baseCancel(ErrDraining)
+		<-done
+	}
+
+	// No producers remain (begin() rejects new requests, and every
+	// admitted one has returned), so closing the write queue is safe;
+	// the writer finishes whatever is still queued and exits.
+	close(s.writes)
+	<-s.writerDone
+
+	s.stateMu.Lock()
+	s.state = stateClosed
+	s.stateMu.Unlock()
+	s.baseCancel(nil) // release the context subtree either way
+	if forced {
+		obsv.MServerDrainCanceled.Add(1)
+		return errors.New("server: drain deadline expired; in-flight requests were canceled")
+	}
+	return nil
+}
+
+// Close stops the server immediately: in-flight requests are canceled
+// right away and the writer exits after its queue drains. Equivalent to
+// Drain with an already-expired deadline.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx) // forced cancellation is the expected path for Close
+	return nil
+}

@@ -182,6 +182,45 @@ func NewDatabase(p *Program) *Database {
 // LoadFacts parses fact text ("up(a,b). flat(b,c).") into the database.
 func (d *Database) LoadFacts(src string) error { return d.db.LoadText(src) }
 
+// Fork returns a copy-on-write fork of the database: the fork shares
+// every relation with d until a write first touches it, so d is never
+// mutated through the fork and may keep serving concurrent readers.
+// This is the MVCC primitive behind the query server's epoch snapshots:
+// a single writer forks the current snapshot, applies a batch of
+// asserts/retracts to the fork, and publishes the fork atomically as the
+// next epoch. Forks are meant for a linear single-writer chain — fork
+// the tip, write, publish, repeat; writing to two forks of the same
+// database concurrently is not supported.
+func (d *Database) Fork() *Database {
+	return &Database{owner: d.owner, db: d.db.Fork()}
+}
+
+// Retract removes one fact (same argument conventions as Assert),
+// reporting whether it was present. Retraction rebuilds the predicate's
+// relation without the tuple — O(relation size) — so batch retractions
+// where possible.
+func (d *Database) Retract(pred string, args ...any) (bool, error) {
+	t := make(database.Tuple, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case string:
+			t[i] = term.Symbol(d.owner.bank.Symbols().Intern(v))
+		case int:
+			t[i] = term.Int(int64(v))
+		case int64:
+			t[i] = term.Int(v)
+		default:
+			return false, fmt.Errorf("lincount: unsupported argument type %T", a)
+		}
+	}
+	return d.db.Retract(d.owner.bank.Symbols().Intern(pred), t)
+}
+
+// RetractFacts parses fact text (same format as LoadFacts) and retracts
+// each fact, returning how many were present and removed. Facts absent
+// from the database are no-ops, not errors.
+func (d *Database) RetractFacts(src string) (int, error) { return d.db.RetractText(src) }
+
 // Assert adds one fact. Arguments may be string (symbol constants), int,
 // int64, or pre-rendered Datalog terms via Raw.
 func (d *Database) Assert(pred string, args ...any) error {

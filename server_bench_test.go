@@ -1,0 +1,114 @@
+package lincount_test
+
+// BenchmarkP15_ServerQPS: the query server's throughput and degradation
+// profile under concurrent load. For each offered concurrency level, N
+// client goroutines issue queries (with a 5% write mix) directly against
+// server.Query/server.Write — no HTTP, so the numbers isolate the
+// admission path, the snapshot load, and the prepared evaluation. The
+// reported metrics are the robustness story, not just ns/op: shed rate
+// (the fraction of requests refused by admission control) and p99
+// latency of the admitted ones. See EXPERIMENTS.md § P15.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lincount"
+	"lincount/internal/server"
+	"lincount/internal/workload"
+)
+
+func BenchmarkP15_ServerQPS(b *testing.B) {
+	p, err := lincount.ParseProgram(workload.SGProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			db := lincount.NewDatabase(p)
+			if err := db.LoadFacts(workload.Cylinder(3, 2, 2)); err != nil {
+				b.Fatal(err)
+			}
+			s, err := server.New(server.Config{
+				Program:       p,
+				DB:            db,
+				MaxConcurrent: 8,
+				MaxQueue:      8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			query := fmt.Sprintf("?- sg(%s,Y).", workload.CylinderQuery)
+
+			// Warm the prepared-query and plan caches outside the timer.
+			if _, err := s.Query(ctx, server.QueryRequest{Query: query}); err != nil {
+				b.Fatal(err)
+			}
+
+			var (
+				shed      atomic.Int64
+				writeSeq  atomic.Int64
+				latMu     sync.Mutex
+				latencies []time.Duration
+			)
+			work := make(chan int, b.N)
+			for i := 0; i < b.N; i++ {
+				work <- i
+			}
+			close(work)
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range work {
+						start := time.Now()
+						var err error
+						if i%20 == 19 { // 5% write mix
+							n := writeSeq.Add(1)
+							_, err = s.Write(ctx, server.WriteRequest{
+								Assert: fmt.Sprintf("flat(bx%d,by%d).", n, n),
+							})
+						} else {
+							_, err = s.Query(ctx, server.QueryRequest{Query: query})
+						}
+						if err != nil {
+							if errors.Is(err, server.ErrBusy) {
+								shed.Add(1)
+								continue
+							}
+							b.Error(err)
+							return
+						}
+						d := time.Since(start)
+						latMu.Lock()
+						latencies = append(latencies, d)
+						latMu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+
+			b.ReportMetric(float64(shed.Load())/float64(b.N), "shed-rate")
+			if len(latencies) > 0 {
+				sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+				p99 := latencies[len(latencies)*99/100]
+				if len(latencies)*99/100 >= len(latencies) {
+					p99 = latencies[len(latencies)-1]
+				}
+				b.ReportMetric(float64(p99.Microseconds()), "p99-us")
+			}
+		})
+	}
+}
