@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos obs-smoke server-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos obs-smoke server-smoke crash-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
 
 all: build vet test
 
@@ -17,6 +17,7 @@ check:
 	$(MAKE) chaos
 	$(MAKE) obs-smoke
 	$(MAKE) server-smoke
+	$(MAKE) crash-smoke
 	$(MAKE) planner-smoke
 	$(MAKE) golden-explain
 
@@ -43,6 +44,14 @@ obs-smoke:
 server-smoke:
 	$(GO) build -o /dev/null ./cmd/lincountd
 	$(GO) test -run TestServerSmoke -count=1 ./cmd/lincountd
+
+# End-to-end durability check: build lincountd with a data directory,
+# load it with concurrent writers, checkpoint under live traffic,
+# SIGKILL it mid-load, restart over the same directory, and assert
+# every acknowledged write survived recovery. See docs/INTERNALS.md
+# § Durability and recovery.
+crash-smoke:
+	$(GO) test -run TestCrashSmoke -count=1 ./cmd/lincountd
 
 # The planner smoke quartet: acyclic/cyclic same-generation plus
 # left-/right-linear closure, each asserting the cost-informed planner
@@ -95,10 +104,12 @@ benchcheck:
 experiments:
 	$(GO) run ./cmd/lincount-bench | tee bench_tables.txt
 
-# Short fuzzing passes over the parser and the snapshot reader.
+# Short fuzzing passes over the parser, the snapshot reader, and the
+# WAL replayer.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/parser
 	$(GO) test -fuzz=FuzzLoadSnapshot -fuzztime=30s ./internal/database
+	$(GO) test -fuzz=FuzzReplayWAL -fuzztime=30s ./internal/wal
 
 examples:
 	@for d in examples/*/; do \

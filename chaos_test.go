@@ -24,6 +24,7 @@ import (
 	"lincount/internal/faultinject"
 	"lincount/internal/oracle"
 	"lincount/internal/server"
+	"lincount/internal/wal"
 )
 
 type chaosCase struct {
@@ -545,4 +546,292 @@ func TestChaosServerMVCC(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestChaosCrashRecovery is the durability chaos scenario: a durable
+// server under concurrent writers while seeded faults hit the WAL
+// append/fsync and publish sites, then a simulated SIGKILL — the data
+// directory is copied byte-for-byte while the server is still running —
+// and a fresh server recovers from the copy. Because the copy is taken
+// with no write in flight, the recovered state must equal the
+// acknowledged operations exactly (the differential oracle), not merely
+// contain them. Two damage variants run on further copies: garbage
+// appended to the live segment (a torn tail, silently truncated) and a
+// mid-file bit flip (hard WALCorruptError — recovery must refuse).
+func TestChaosCrashRecovery(t *testing.T) {
+	const (
+		K          = 4
+		numWriters = 3
+		numWrites  = 12 // per writer per phase; a checkpoint separates the phases
+	)
+	schedules := []struct {
+		name string
+		seed int64
+		spec string
+	}{
+		{"clean", 21, ""},
+		{"append-err", 22, "wal.append=err~0.15"},
+		{"fsync-err", 23, "wal.fsync=err~0.10"},
+		{"durability-storm", 24, "server.publish=err~0.05,wal.append=err~0.08,wal.fsync=err~0.05"},
+	}
+	for _, sched := range schedules {
+		sched := sched
+		t.Run(sched.name, func(t *testing.T) {
+			t.Parallel()
+			p := lincount.MustParseProgram("p(X,Y) :- f(X,Y).")
+			dataDir := filepath.Join(t.TempDir(), "data")
+			cfg := server.Config{
+				Program:           p,
+				DB:                lincount.NewDatabase(p),
+				DataDir:           dataDir,
+				CheckpointBytes:   -1, // explicit checkpoints only: keeps the
+				CheckpointRecords: -1, // damage variants' segment layout stable
+				WriteRetries:      2,
+				RetryBackoff:      100 * time.Microsecond,
+			}
+			if sched.spec != "" {
+				inj, err := faultinject.ParseSpec(sched.seed, sched.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Inject = inj
+			}
+			s, err := server.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+
+			var mu sync.Mutex
+			var applied []struct {
+				assert, retract string
+			}
+
+			// phase runs every writer over [lo, hi): the same K-facts-per-op
+			// shape as TestChaosServerMVCC, every third op retracting the
+			// writer's previous acknowledged group. Only acknowledged ops
+			// enter the oracle log.
+			phase := func(lo, hi int) {
+				var writers sync.WaitGroup
+				for w := 0; w < numWriters; w++ {
+					writers.Add(1)
+					go func(w int) {
+						defer writers.Done()
+						lastOK := -1
+						for j := lo; j < hi; j++ {
+							req := server.WriteRequest{}
+							factsOf := func(j int) string {
+								var sb strings.Builder
+								for k := 0; k < K; k++ {
+									fmt.Fprintf(&sb, "f(w%d_%d,k%d). ", w, j, k)
+								}
+								return sb.String()
+							}
+							if j%3 == 2 && lastOK >= 0 {
+								req.Retract = factsOf(lastOK)
+								lastOK = -1
+							} else {
+								req.Assert = factsOf(j)
+							}
+							res, err := s.Write(ctx, req)
+							if err != nil {
+								if !errors.Is(err, faultinject.ErrInjected) {
+									t.Errorf("writer %d: unclassified error: %v", w, err)
+								}
+								continue
+							}
+							if res.Epoch == 0 {
+								t.Errorf("writer %d: acknowledged write at epoch 0", w)
+							}
+							if req.Assert != "" {
+								lastOK = j
+							}
+							mu.Lock()
+							applied = append(applied, struct{ assert, retract string }{req.Assert, req.Retract})
+							mu.Unlock()
+						}
+					}(w)
+				}
+				writers.Wait()
+			}
+
+			phase(0, numWrites)
+			// Checkpoint mid-stream: recovery below must stitch the snapshot
+			// together with the post-checkpoint log records.
+			if _, err := s.Checkpoint(ctx); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			phase(numWrites, 2*numWrites)
+
+			finalEpoch := s.Snapshot().Epoch
+
+			// The SIGKILL image: copy the directory while the server still
+			// holds the log open. No write is in flight, so the image holds
+			// exactly the acknowledged state.
+			copyData := func() string {
+				t.Helper()
+				dst := filepath.Join(t.TempDir(), "data")
+				if err := os.MkdirAll(dst, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				entries, err := os.ReadDir(dataDir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range entries {
+					if e.IsDir() {
+						continue
+					}
+					data, err := os.ReadFile(filepath.Join(dataDir, e.Name()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return dst
+			}
+			liveSegment := func(dir string) string {
+				t.Helper()
+				segs, err := wal.ListSegments(dir)
+				if err != nil || len(segs) == 0 {
+					t.Fatalf("no WAL segments in %s: %v", dir, err)
+				}
+				return filepath.Join(dir, segs[len(segs)-1].Name)
+			}
+			recoverFrom := func(dir string) (*server.Server, error) {
+				return server.New(server.Config{
+					Program:           p,
+					DB:                lincount.NewDatabase(p),
+					DataDir:           dir,
+					CheckpointBytes:   -1,
+					CheckpointRecords: -1,
+				})
+			}
+			sortRows := func(rows [][]string) string {
+				out := make([]string, len(rows))
+				for i, r := range rows {
+					out[i] = strings.Join(r, ",")
+				}
+				sort.Strings(out)
+				return strings.Join(out, "|")
+			}
+
+			// The differential oracle: a fresh database with exactly the
+			// acknowledged ops replayed.
+			oracleDB := lincount.NewDatabase(p)
+			mu.Lock()
+			for _, op := range applied {
+				if op.assert != "" {
+					if err := oracleDB.LoadFacts(op.assert); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if op.retract != "" {
+					if _, err := oracleDB.RetractFacts(op.retract); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			mu.Unlock()
+			want, err := lincount.Eval(p, oracleDB, "?- p(X,Y).", lincount.SemiNaive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRows := sortRows(want.Answers)
+
+			checkRecovered := func(t *testing.T, dir string) *server.Server {
+				t.Helper()
+				s2, err := recoverFrom(dir)
+				if err != nil {
+					t.Fatalf("recovery: %v", err)
+				}
+				if got := s2.Snapshot().Epoch; got != finalEpoch {
+					t.Errorf("recovered epoch %d, want %d", got, finalEpoch)
+				}
+				res, err := lincount.Eval(p, s2.Snapshot().DB, "?- p(X,Y).", lincount.SemiNaive)
+				if err != nil {
+					t.Fatalf("query after recovery: %v", err)
+				}
+				if len(res.Answers)%K != 0 {
+					t.Errorf("torn batch after recovery: %d facts (not a multiple of %d)", len(res.Answers), K)
+				}
+				if got := sortRows(res.Answers); got != wantRows {
+					t.Errorf("recovered state diverged from oracle:\nrecovered: %d answers\noracle:    %d answers",
+						len(res.Answers), len(want.Answers))
+				}
+				return s2
+			}
+
+			// 1. Clean SIGKILL image: exact oracle equality.
+			s2 := checkRecovered(t, copyData())
+			if err := s2.Drain(ctx); err != nil {
+				t.Fatalf("Drain recovered: %v", err)
+			}
+
+			// 2. Torn tail: garbage after the last complete record is an
+			// interrupted append — truncated, everything acknowledged kept.
+			tornDir := copyData()
+			torn := []byte{0x20, 0, 0, 0, 0xde, 0xad, 0xbe} // partial frame: length 32, 3 payload bytes
+			f, err := os.OpenFile(liveSegment(tornDir), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(torn); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			s3 := checkRecovered(t, tornDir)
+			if got := s3.Recovery().TruncatedBytes; got != int64(len(torn)) {
+				t.Errorf("TruncatedBytes = %d, want %d", got, len(torn))
+			}
+			if err := s3.Drain(ctx); err != nil {
+				t.Fatalf("Drain torn-tail recovered: %v", err)
+			}
+
+			// 3. Mid-file bit flip: damage before the last record cannot be
+			// a torn append — recovery must refuse with WALCorruptError
+			// rather than serve a state missing acknowledged writes. Needs
+			// at least two records in the segment so the flip is mid-file.
+			corruptDir := copyData()
+			seg := liveSegment(corruptDir)
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if records := countFrames(data); records >= 2 {
+				data[len(wal.Magic)+8] ^= 0x01 // first payload byte of the first record
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				_, err := recoverFrom(corruptDir)
+				var corrupt *wal.WALCorruptError
+				if !errors.As(err, &corrupt) {
+					t.Errorf("recovery over mid-file corruption: err = %v, want WALCorruptError", err)
+				}
+			}
+
+			if err := s.Drain(ctx); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		})
+	}
+}
+
+// countFrames walks a segment's frame chain (4-byte little-endian
+// length + 4-byte CRC + payload) and returns how many complete records
+// it holds.
+func countFrames(data []byte) int {
+	off := len(wal.Magic)
+	n := 0
+	for off+8 <= len(data) {
+		ln := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		if off+8+ln > len(data) {
+			break
+		}
+		off += 8 + ln
+		n++
+	}
+	return n
 }

@@ -19,6 +19,14 @@
 // observes a half-applied write. SIGTERM/SIGINT triggers a graceful
 // drain: readiness flips, in-flight requests finish (or are canceled at
 // -drain-timeout), and the process exits 0 on a clean drain.
+//
+// With -data-dir the server is durable: every write batch is appended
+// to a write-ahead log (fsynced per -fsync) before it becomes visible,
+// checkpoints (POST /v1/checkpoint, SIGUSR1, or the -checkpoint-*
+// thresholds) bound replay time, and a restart over the same directory
+// recovers every acknowledged write — including after SIGKILL. When a
+// checkpoint exists, -facts is skipped (the checkpoint already contains
+// that data; reloading it would resurrect retracted facts).
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"lincount"
 	"lincount/internal/faultinject"
 	"lincount/internal/server"
+	"lincount/internal/wal"
 )
 
 func main() {
@@ -64,6 +73,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		faultSpec    = fs.String("faults", "", "fault-injection schedule for the write path, e.g. 'server.publish=err@3' (chaos testing)")
 		faultSeed    = fs.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules")
 		evalFaults   = fs.String("eval-faults", "", "fault-injection schedule applied to every evaluation (chaos testing)")
+		dataDir      = fs.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = in-memory only)")
+		fsyncPolicy  = fs.String("fsync", "always", "WAL fsync policy: always, interval, never")
+		fsyncEvery   = fs.Duration("fsync-interval", 50*time.Millisecond, "max fsync lag under -fsync=interval")
+		ckptBytes    = fs.Int64("checkpoint-bytes", 8<<20, "checkpoint when the live WAL segment exceeds this size (-1 disables)")
+		ckptRecords  = fs.Int("checkpoint-records", 4096, "checkpoint when the live WAL segment exceeds this many records (-1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,6 +101,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("parsing %s: %w", *programPath, err))
 	}
 	db := lincount.NewDatabase(p)
+	if *factsPath != "" && *dataDir != "" {
+		// A checkpointed data directory already contains the fact state
+		// (including the effects of later retractions); loading -facts on
+		// top would resurrect retracted facts.
+		if m, err := wal.ReadManifest(*dataDir); err != nil {
+			return fail(err)
+		} else if m != nil {
+			fmt.Fprintf(stderr, "lincountd: warning: ignoring -facts %s: %s has a checkpoint (epoch %d) that supersedes it\n",
+				*factsPath, *dataDir, m.Seq)
+			*factsPath = ""
+		}
+	}
 	if *factsPath != "" {
 		for _, path := range strings.Split(*factsPath, ",") {
 			if strings.HasSuffix(path, ".lcdb") {
@@ -125,6 +151,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return *maxFacts
 		}(),
 	}
+	if *dataDir != "" {
+		sync, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return fail(fmt.Errorf("-fsync: %w", err))
+		}
+		cfg.DataDir = *dataDir
+		cfg.WALSync = sync
+		cfg.WALSyncInterval = *fsyncEvery
+		cfg.CheckpointBytes = *ckptBytes
+		cfg.CheckpointRecords = *ckptRecords
+	}
 	if *faultSpec != "" {
 		inj, err := faultinject.ParseSpec(*faultSeed, *faultSpec)
 		if err != nil {
@@ -140,6 +177,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	s, err := server.New(cfg)
 	if err != nil {
 		return fail(err)
+	}
+	if s.Durable() {
+		info := s.Recovery()
+		if info.Records > 0 || info.CheckpointSeq > 0 {
+			fmt.Fprintf(stderr, "lincountd: recovered %s: checkpoint epoch %d + %d replayed records -> epoch %d\n",
+				*dataDir, info.CheckpointSeq, info.Records, info.Epoch)
+		}
+		if info.TruncatedBytes > 0 {
+			fmt.Fprintf(stderr, "lincountd: dropped a %d-byte torn tail (unacknowledged crash residue)\n",
+				info.TruncatedBytes)
+		}
+		// SIGUSR1 triggers a checkpoint, the classic operational lever for
+		// "compact now, before I snapshot the disk".
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		defer signal.Stop(usr1)
+		go func() {
+			for {
+				select {
+				case <-usr1:
+					if res, err := s.Checkpoint(context.Background()); err != nil {
+						fmt.Fprintln(stderr, "lincountd: checkpoint:", err)
+					} else if res.Skipped {
+						fmt.Fprintf(stderr, "lincountd: checkpoint skipped (epoch %d already checkpointed)\n", res.Epoch)
+					} else {
+						fmt.Fprintf(stderr, "lincountd: checkpointed epoch %d -> %s\n", res.Epoch, res.Snapshot)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)

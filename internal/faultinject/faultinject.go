@@ -55,6 +55,24 @@ const (
 	// fork is complete and before readers can see it, so an injected
 	// error proves readers never observe a half-applied batch.
 	SiteServerPublish = "server.publish"
+	// SiteWALAppend: the write-ahead log is about to append one batch
+	// record. Fires before any byte is written, so an injected error
+	// proves a failed append leaves the log intact and the batch
+	// retryable.
+	SiteWALAppend = "wal.append"
+	// SiteWALFsync: the write-ahead log is about to fsync the segment.
+	// Fires after the record's bytes are written, so an injected error
+	// proves the writer rolls the un-synced frame back before retrying.
+	SiteWALFsync = "wal.fsync"
+	// SiteWALCheckpoint: a checkpoint is about to write its snapshot
+	// (after the segment rotation, before the manifest swap). An
+	// injected error proves an aborted checkpoint leaves a recoverable
+	// manifest/segment pair behind.
+	SiteWALCheckpoint = "wal.checkpoint"
+	// SiteWALReplay: boot-time recovery is about to apply one replayed
+	// WAL record. An injected error proves recovery fails closed rather
+	// than serving from a half-replayed database.
+	SiteWALReplay = "wal.replay"
 )
 
 // Sites lists every known hook site, sorted, for validation and help
@@ -65,6 +83,7 @@ func Sites() []string {
 		SiteCountingNode, SiteCountingStep,
 		SiteTopdownProbe, SiteTopdownPass,
 		SiteServerApply, SiteServerPublish,
+		SiteWALAppend, SiteWALFsync, SiteWALCheckpoint, SiteWALReplay,
 	}
 	sort.Strings(s)
 	return s

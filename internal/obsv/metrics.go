@@ -318,6 +318,32 @@ var (
 		"In-flight requests force-canceled because the drain deadline expired.")
 )
 
+// The durability metrics, recorded by internal/wal and the server's
+// checkpoint/recovery paths: append volume, fsync latency (the floor
+// under write-acknowledgment latency when the policy is "always"),
+// checkpoint cadence, and what boot-time recovery had to replay or
+// discard.
+var (
+	MWALRecords = Default.NewCounter("lincount_wal_records_total",
+		"Batch records appended to the write-ahead log.")
+	MWALBytes = Default.NewCounter("lincount_wal_bytes_total",
+		"Bytes appended to the write-ahead log (framing included).")
+	MWALFsyncSeconds = Default.NewHistogram("lincount_wal_fsync_seconds",
+		"Write-ahead-log fsync latency.",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+	MWALCheckpoints = Default.NewCounter("lincount_wal_checkpoints_total",
+		"Checkpoints completed (snapshot written, manifest swapped, log truncated).")
+	MWALCheckpointErrors = Default.NewCounter("lincount_wal_checkpoint_errors_total",
+		"Checkpoints aborted by an error; the previous manifest/segment pair stays live.")
+	MWALCheckpointSeconds = Default.NewHistogram("lincount_wal_checkpoint_seconds",
+		"Wall-clock checkpoint duration (rotation through manifest swap).",
+		[]float64{1e-3, 1e-2, 0.1, 1, 10, 60})
+	MWALRecoveryRecords = Default.NewCounter("lincount_wal_recovery_records_total",
+		"WAL records replayed during boot-time recovery.")
+	MWALRecoveryTruncated = Default.NewCounter("lincount_wal_recovery_truncated_bytes_total",
+		"Torn-tail bytes truncated from the live segment during recovery.")
+)
+
 // EvalSample is the once-per-evaluation metrics record. Fields mirror
 // the public Stats plus the outcome.
 type EvalSample struct {

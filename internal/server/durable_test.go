@@ -1,0 +1,346 @@
+package server
+
+// The durability contract, tested white-box: recovery rebuilds exactly
+// the acknowledged writes and resumes the epoch sequence, checkpoints
+// truncate the log behind a manifest swap, injected WAL faults are
+// retried without double-applying, and the checkpointer participates in
+// graceful drain without leaking goroutines.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lincount"
+	"lincount/internal/faultinject"
+	"lincount/internal/wal"
+)
+
+// newDurableServer builds a server over dir with small checkpoint
+// thresholds disabled (explicit checkpoints only) unless cfg overrides.
+func newDurableServer(t *testing.T, dir string, cfg Config) *Server {
+	t.Helper()
+	cfg.DataDir = dir
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = -1
+	}
+	if cfg.CheckpointRecords == 0 {
+		cfg.CheckpointRecords = -1
+	}
+	return newTestServer(t, cfg)
+}
+
+func mustWrite(t *testing.T, s *Server, req WriteRequest) *WriteResponse {
+	t.Helper()
+	res, err := s.Write(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func answerCount(t *testing.T, s *Server) int {
+	t.Helper()
+	res, err := s.Query(context.Background(), QueryRequest{Query: "?- p(X,Y)."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(res.Answers)
+}
+
+func drain(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableServer(t, dir, Config{})
+	if !s.Durable() {
+		t.Fatal("server with DataDir is not durable")
+	}
+	mustWrite(t, s, WriteRequest{Assert: "f(a,b). f(b,c)."})
+	mustWrite(t, s, WriteRequest{Assert: "f(c,d)."})
+	mustWrite(t, s, WriteRequest{Retract: "f(a,b)."})
+	epoch := s.Snapshot().Epoch
+	if epoch != 3 {
+		t.Fatalf("epoch = %d after 3 writes, want 3", epoch)
+	}
+	if n := answerCount(t, s); n != 2 {
+		t.Fatalf("answers = %d, want 2", n)
+	}
+	drain(t, s)
+
+	// A new server over the same directory rebuilds the exact state and
+	// resumes the epoch sequence — epochs never restart from zero, so
+	// clients' read-your-writes reasoning survives the restart.
+	s2 := newDurableServer(t, dir, Config{})
+	if got := s2.Snapshot().Epoch; got != epoch {
+		t.Fatalf("recovered epoch = %d, want %d", got, epoch)
+	}
+	if info := s2.Recovery(); info.Records != 3 || info.Epoch != epoch {
+		t.Fatalf("recovery info = %+v, want 3 records at epoch %d", info, epoch)
+	}
+	if n := answerCount(t, s2); n != 2 {
+		t.Fatalf("recovered answers = %d, want 2", n)
+	}
+	// Retracted facts stay retracted; new writes continue the chain.
+	mustWrite(t, s2, WriteRequest{Assert: "f(x,y)."})
+	if got := s2.Snapshot().Epoch; got != epoch+1 {
+		t.Fatalf("epoch after post-recovery write = %d, want %d", got, epoch+1)
+	}
+	drain(t, s2)
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableServer(t, dir, Config{})
+	mustWrite(t, s, WriteRequest{Assert: "f(a,b)."})
+	mustWrite(t, s, WriteRequest{Assert: "f(b,c)."})
+
+	res, err := s.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.Epoch != 2 {
+		t.Fatalf("checkpoint = %+v, want epoch 2, not skipped", res)
+	}
+	m, err := wal.ReadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest = %+v, err %v", m, err)
+	}
+	if m.Seq != 2 || m.Snapshot != res.Snapshot {
+		t.Fatalf("manifest = %+v, want seq 2 snapshot %s", m, res.Snapshot)
+	}
+	// The live segment is fresh: zero records.
+	if wl := s.walW.Load(); wl.Records() != 0 {
+		t.Fatalf("live segment has %d records after checkpoint, want 0", wl.Records())
+	}
+	// A second checkpoint with nothing new is a no-op.
+	res2, err := s.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Skipped {
+		t.Fatalf("checkpoint with no new epochs = %+v, want skipped", res2)
+	}
+
+	// Post-checkpoint writes land in the new segment; recovery composes
+	// snapshot + replay.
+	mustWrite(t, s, WriteRequest{Assert: "f(c,d)."})
+	drain(t, s)
+	s2 := newDurableServer(t, dir, Config{})
+	if got := s2.Snapshot().Epoch; got != 3 {
+		t.Fatalf("recovered epoch = %d, want 3", got)
+	}
+	if info := s2.Recovery(); info.CheckpointSeq != 2 || info.Records != 1 {
+		t.Fatalf("recovery info = %+v, want checkpoint 2 + 1 replayed record", info)
+	}
+	if n := answerCount(t, s2); n != 3 {
+		t.Fatalf("recovered answers = %d, want 3", n)
+	}
+	drain(t, s2)
+	// Superseded segments were deleted: only the manifest's chain remains.
+	segs, err := wal.ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments after checkpoint = %v, want just the live one", segs)
+	}
+}
+
+func TestAutoCheckpointByRecordThreshold(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableServer(t, dir, Config{CheckpointRecords: 3, CheckpointBytes: -1})
+	for i := 0; i < 8; i++ {
+		mustWrite(t, s, WriteRequest{Assert: "f(a" + strings.Repeat("x", i) + ",b)."})
+	}
+	// The threshold kick is asynchronous; wait for a manifest to appear.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := wal.ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic checkpoint after exceeding the record threshold")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	drain(t, s)
+	s2 := newDurableServer(t, dir, Config{})
+	if n := answerCount(t, s2); n != 8 {
+		t.Fatalf("recovered answers = %d, want 8", n)
+	}
+	drain(t, s2)
+}
+
+func TestWALAppendFaultRetriedOnce(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(7)
+	inj.FailAt(faultinject.SiteWALAppend, 2)
+	s := newDurableServer(t, dir, Config{Inject: inj})
+	mustWrite(t, s, WriteRequest{Assert: "f(a,b)."})
+	// The second write's first append attempt fails injected; the batch
+	// retries and must publish exactly once with no duplicate record.
+	mustWrite(t, s, WriteRequest{Assert: "f(b,c)."})
+	if got := s.Snapshot().Epoch; got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+	drain(t, s)
+
+	s2 := newDurableServer(t, dir, Config{})
+	if got := s2.Snapshot().Epoch; got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+	if n := answerCount(t, s2); n != 2 {
+		t.Fatalf("recovered answers = %d, want 2", n)
+	}
+	drain(t, s2)
+}
+
+func TestRecoveryFailsClosedOnReplayFault(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableServer(t, dir, Config{})
+	mustWrite(t, s, WriteRequest{Assert: "f(a,b)."})
+	drain(t, s)
+
+	inj := faultinject.New(1)
+	inj.FailAt(faultinject.SiteWALReplay, 1)
+	cfg := Config{
+		Program: lincount.MustParseProgram("p(X,Y) :- f(X,Y)."),
+		DataDir: dir,
+		Inject:  inj,
+	}
+	cfg.DB = lincount.NewDatabase(cfg.Program)
+	if _, err := New(cfg); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("New with replay fault = %v, want injected error", err)
+	}
+
+	// Without the fault the directory is still recoverable — the failed
+	// boot mutated nothing on disk.
+	s2 := newDurableServer(t, dir, Config{})
+	if n := answerCount(t, s2); n != 1 {
+		t.Fatalf("answers = %d, want 1", n)
+	}
+	drain(t, s2)
+}
+
+func TestRecoveryRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableServer(t, dir, Config{})
+	mustWrite(t, s, WriteRequest{Assert: "f(a,b)."})
+	mustWrite(t, s, WriteRequest{Assert: "f(b,c)."})
+	drain(t, s)
+
+	segs, err := wal.ListSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, err %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0].Name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(wal.Magic)+10] ^= 0xff // first record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Program: lincount.MustParseProgram("p(X,Y) :- f(X,Y)."), DataDir: dir}
+	cfg.DB = lincount.NewDatabase(cfg.Program)
+	_, err = New(cfg)
+	var corrupt *wal.WALCorruptError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("New over bit-rotted log = %v, want WALCorruptError", err)
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableServer(t, dir, Config{})
+	mustWrite(t, s, WriteRequest{Assert: "f(a,b)."})
+	drain(t, s)
+
+	segs, _ := wal.ListSegments(dir)
+	path := filepath.Join(dir, segs[0].Name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{42, 0, 0, 0, 9}); err != nil { // torn frame
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := newDurableServer(t, dir, Config{})
+	if info := s2.Recovery(); info.TruncatedBytes != 5 || info.Records != 1 {
+		t.Fatalf("recovery info = %+v, want 1 record + 5 truncated bytes", info)
+	}
+	if n := answerCount(t, s2); n != 1 {
+		t.Fatalf("answers = %d, want 1", n)
+	}
+	// The torn bytes are gone from disk and appends resume cleanly.
+	mustWrite(t, s2, WriteRequest{Assert: "f(b,c)."})
+	drain(t, s2)
+	s3 := newDurableServer(t, dir, Config{})
+	if n := answerCount(t, s3); n != 2 {
+		t.Fatalf("answers after resume = %d, want 2", n)
+	}
+	drain(t, s3)
+}
+
+func TestCheckpointNotDurable(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, err := s.Checkpoint(context.Background()); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Checkpoint on in-memory server = %v, want ErrNotDurable", err)
+	}
+	drain(t, s)
+}
+
+// TestDrainRacesCheckpoint exercises the shutdown ordering: drains
+// racing in-progress checkpoints (including ones blocked on the writer
+// rendezvous) must neither deadlock nor leak the checkpointer or writer
+// goroutines.
+func TestDrainRacesCheckpoint(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		dir := t.TempDir()
+		s := newDurableServer(t, dir, Config{})
+		mustWrite(t, s, WriteRequest{Assert: "f(a,b)."})
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// Errors are expected when the drain wins the race.
+			_, _ = s.Checkpoint(context.Background())
+		}()
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Drain(ctx)
+		}()
+		wg.Wait()
+		// After both settle the server must be fully closed.
+		if st := s.State(); st != "closed" {
+			t.Fatalf("iteration %d: state = %s, want closed", i, st)
+		}
+	}
+	checkGoroutines(t, before)
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 
 	"lincount"
 	"lincount/internal/obsv"
@@ -33,20 +34,29 @@ type StatsResponse struct {
 	Epoch    uint64 `json:"epoch"`
 	InFlight int    `json:"in_flight"`
 	Queued   int    `json:"queued"`
+
+	// Durability gauges, present only when the server runs with a data
+	// directory.
+	Durable       bool   `json:"durable,omitempty"`
+	WALBytes      int64  `json:"wal_bytes,omitempty"`
+	WALRecords    int    `json:"wal_records,omitempty"`
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
 }
 
 // Handler returns the server's HTTP mux:
 //
-//	POST /v1/query   evaluate a query against the current snapshot
-//	POST /v1/write   assert/retract facts (one atomic batch entry)
-//	GET  /v1/stats   lifecycle state, epoch, admission gauges
-//	GET  /healthz    200 while the process serves HTTP at all
-//	GET  /readyz     200 while serving, 503 once draining
-//	/...             the obsv handler (/metrics, /trace.json, /debug/pprof/)
+//	POST /v1/query       evaluate a query against the current snapshot
+//	POST /v1/write       assert/retract facts (one atomic batch entry)
+//	POST /v1/checkpoint  snapshot + truncate the WAL (durable servers only)
+//	GET  /v1/stats       lifecycle state, epoch, admission + durability gauges
+//	GET  /healthz        200 while the process serves HTTP at all
+//	GET  /readyz         200 while serving, 503 once draining
+//	/...                 the obsv handler (/metrics, /trace.json, /debug/pprof/)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/write", s.handleWrite)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -88,21 +98,45 @@ func writeError(w http.ResponseWriter, status int, class, detail string) {
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: class, Detail: detail})
 }
 
+// retryAfterSeconds estimates when a shed client should try again: one
+// second when the server is merely at its concurrency limit, growing
+// with the backlog (each MaxConcurrent's worth of waiting work is
+// roughly one more "turn" of the semaphore), clamped so a pathological
+// queue never tells clients to go away for minutes.
+func (s *Server) retryAfterSeconds() int {
+	backlog := len(s.sem) + int(s.queued.Load()) + len(s.writes)
+	secs := 1 + backlog/s.cfg.MaxConcurrent
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// drainRetryAfterSeconds is the Retry-After sent while draining —
+// deliberately distinct from the busy path's load-derived value: the
+// request will never succeed against this instance, so the hint is
+// "give a replacement instance time to come up", not "back off a turn".
+const drainRetryAfterSeconds = 5
+
 // writeErr maps a typed server error onto HTTP status + JSON body. The
 // mapping is the degradation contract clients program against: 503 is
 // retryable elsewhere/later, 504 means the request's own deadline, 422
 // means the query is too expensive under the server's budgets, 400 is
-// the client's fault, 500 is ours.
-func writeErr(w http.ResponseWriter, err error) {
+// the client's fault, 500 is ours. 503s carry a Retry-After derived
+// from the actual backlog (busy) or the drain constant.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	var busy *BusyError
 	var badReq *badRequestError
 	var interr *lincount.InternalError
 	switch {
 	case errors.As(err, &busy):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, "busy", err.Error())
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSeconds))
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, ErrNotDurable):
+		writeError(w, http.StatusConflict, "not_durable", err.Error())
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeError(w, http.StatusGatewayTimeout, "canceled", err.Error())
 	case errors.Is(err, lincount.ErrResourceLimit):
@@ -145,7 +179,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Query(r.Context(), req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, res)
@@ -163,7 +197,16 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Write(r.Context(), req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Checkpoint(r.Context())
+	if err != nil {
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, res)
@@ -171,10 +214,17 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, StatsResponse{
+	resp := StatsResponse{
 		State:    s.State(),
 		Epoch:    snap.Epoch,
 		InFlight: len(s.sem),
 		Queued:   int(s.queued.Load()),
-	})
+	}
+	if wl := s.walW.Load(); wl != nil {
+		resp.Durable = true
+		resp.WALBytes = wl.Size()
+		resp.WALRecords = wl.Records()
+		resp.CheckpointSeq = s.lastCkptSeq.Load()
+	}
+	writeJSON(w, resp)
 }

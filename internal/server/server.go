@@ -45,6 +45,7 @@ import (
 	"lincount"
 	"lincount/internal/faultinject"
 	"lincount/internal/obsv"
+	"lincount/internal/wal"
 )
 
 // Config parameterizes a Server. The zero value of every limit field
@@ -85,9 +86,29 @@ type Config struct {
 	// the default, use -1 for unlimited).
 	MaxDerivedFacts int
 
+	// DataDir, when set, makes the server durable: writes are logged to
+	// a WAL under this directory before they become visible, and New
+	// recovers the directory's checkpoint+log state before serving. The
+	// recovered state is applied ON TOP of DB, so when a manifest exists
+	// the caller should pass a database without preloaded facts (loading
+	// them again would resurrect ones later retracted). Empty means
+	// in-memory only — the pre-durability behavior.
+	DataDir string
+	// WALSync is the WAL fsync policy (default wal.SyncAlways);
+	// WALSyncInterval is the flush lag under wal.SyncInterval.
+	WALSync         wal.SyncPolicy
+	WALSyncInterval time.Duration
+	// CheckpointBytes and CheckpointRecords are the live-segment size and
+	// record-count thresholds past which a checkpoint is triggered
+	// automatically (defaults 8MiB and 4096; negative disables the
+	// threshold).
+	CheckpointBytes   int64
+	CheckpointRecords int
+
 	// Inject, when non-nil, arms the server-side fault sites
-	// (server.write, server.publish) — the chaos harness's hook.
-	// Production servers leave it nil and pay one pointer comparison.
+	// (server.write, server.publish, and the wal.* sites when durable) —
+	// the chaos harness's hook. Production servers leave it nil and pay
+	// one pointer comparison.
 	Inject *faultinject.Injector
 	// EvalOptions are appended to every evaluation (chaos tests pass
 	// WithFaultInjection here to perturb the read path).
@@ -126,6 +147,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxDerivedFacts == 0 {
 		out.MaxDerivedFacts = 10_000_000
+	}
+	if out.CheckpointBytes == 0 {
+		out.CheckpointBytes = 8 << 20
+	}
+	if out.CheckpointRecords == 0 {
+		out.CheckpointRecords = 4096
 	}
 	return out
 }
@@ -204,6 +231,20 @@ type Server struct {
 	writes     chan writeReq
 	writerDone chan struct{}
 
+	// Durability (nil/zero when Config.DataDir is empty). walW is the
+	// live WAL segment writer, swapped by rotation; rotateC carries the
+	// checkpointer's rotation rendezvous to the writer goroutine; ckptC
+	// and ckptKick feed the checkpointer goroutine (admin calls and
+	// threshold nudges); ckptStop/ckptDone bound its lifetime.
+	walW        atomic.Pointer[wal.Writer]
+	rotateC     chan rotateReq
+	ckptC       chan ckptCall
+	ckptKick    chan struct{}
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
+	lastCkptSeq atomic.Uint64
+	recovered   RecoveryInfo
+
 	// prepared caches PreparedQuery by (query, strategy). Prepared
 	// queries are immutable and DB-independent (plans are pure functions
 	// of program x query x strategy), so one entry serves every epoch.
@@ -259,9 +300,13 @@ type prepKey struct {
 // behind them stay in the program's LRU plan cache).
 const preparedCacheCap = 4096
 
-// New starts a server over cfg: the initial snapshot is published at
-// epoch 0 and the writer goroutine is running. The server is serving
-// immediately; attach Handler to an http.Server to expose it.
+// New starts a server over cfg: the initial snapshot is published and
+// the writer goroutine is running. With Config.DataDir set, the data
+// directory's checkpoint and WAL are recovered first — the published
+// snapshot already contains every replayed write, and its epoch resumes
+// where the log left off — so by the time New returns no client can
+// observe a pre-recovery state. The server is serving immediately;
+// attach Handler to an http.Server to expose it.
 func New(cfg Config) (*Server, error) {
 	if cfg.Program == nil || cfg.DB == nil {
 		return nil, errors.New("server: Config.Program and Config.DB are required")
@@ -277,9 +322,28 @@ func New(cfg Config) (*Server, error) {
 		writerDone: make(chan struct{}),
 		prepared:   make(map[prepKey]*lincount.PreparedQuery),
 	}
-	s.snap.Store(&Snapshot{Epoch: 0, DB: c.DB})
-	obsv.MServerEpoch.Set(0)
+	epoch := uint64(0)
+	if c.DataDir != "" {
+		w, info, err := recoverData(&c, c.DB)
+		if err != nil {
+			return nil, err
+		}
+		s.walW.Store(w)
+		s.recovered = info
+		s.lastCkptSeq.Store(info.CheckpointSeq)
+		epoch = info.Epoch
+		s.rotateC = make(chan rotateReq)
+		s.ckptC = make(chan ckptCall)
+		s.ckptKick = make(chan struct{}, 1)
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+	}
+	s.snap.Store(&Snapshot{Epoch: epoch, DB: c.DB})
+	obsv.MServerEpoch.Set(int64(epoch))
 	go s.writer()
+	if c.DataDir != "" {
+		go s.checkpointer()
+	}
 	return s, nil
 }
 
@@ -584,11 +648,26 @@ func (s *Server) Write(ctx context.Context, req WriteRequest) (*WriteResponse, e
 }
 
 // writer is the single-writer goroutine: it owns the fork-apply-publish
-// cycle, so snapshot publication is trivially serialized. It exits when
-// the writes channel is closed (Drain), after draining queued requests.
+// cycle, so snapshot publication is trivially serialized — and, when
+// durable, it owns the WAL appends and segment swaps for the same
+// reason. It exits when the writes channel is closed (Drain), after
+// draining queued requests. Rotation requests are only serviced between
+// batches, so a swap can never race an append (rotateC is nil, hence
+// never ready, on non-durable servers).
 func (s *Server) writer() {
 	defer close(s.writerDone)
-	for wr := range s.writes {
+	for {
+		var wr writeReq
+		var ok bool
+		select {
+		case rr := <-s.rotateC:
+			s.rotate(rr)
+			continue
+		case wr, ok = <-s.writes:
+			if !ok {
+				return
+			}
+		}
 		batch := []writeReq{wr}
 		// Coalesce whatever is already queued, up to the batch cap: one
 		// fork + one publish amortized over every waiting request.
@@ -606,6 +685,7 @@ func (s *Server) writer() {
 		}
 	apply:
 		s.applyBatch(batch)
+		s.maybeKickCheckpoint()
 	}
 }
 
@@ -705,6 +785,34 @@ func (s *Server) applyBatch(batch []writeReq) {
 			return // nothing survived; do not publish an empty epoch
 		}
 
+		// Durable before visible before acked: the batch's WAL record
+		// must be on the log before the snapshot is stored. A failed
+		// append rolls its partial frame back, so injected faults retry
+		// the whole cycle cleanly; a real I/O failure fails the batch —
+		// the epoch is never published without its durability.
+		if err := s.walAppend(cur.Epoch+1, batch, failed); err != nil {
+			if errors.Is(err, faultinject.ErrInjected) {
+				attempt++
+				if attempt > s.cfg.WriteRetries {
+					for i := range batch {
+						if failed[i] == nil {
+							failed[i] = err
+						}
+					}
+					return
+				}
+				obsv.MServerWriteRetries.Add(1)
+				time.Sleep(s.cfg.RetryBackoff << (attempt - 1))
+				continue
+			}
+			for i := range batch {
+				if failed[i] == nil {
+					failed[i] = fmt.Errorf("server: write not durable: %w", err)
+				}
+			}
+			return
+		}
+
 		next := &Snapshot{Epoch: cur.Epoch + 1, DB: fork}
 		s.snap.Store(next)
 		obsv.MServerEpoch.Set(int64(next.Epoch))
@@ -778,9 +886,23 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	// No producers remain (begin() rejects new requests, and every
 	// admitted one has returned), so closing the write queue is safe;
-	// the writer finishes whatever is still queued and exits.
+	// the writer finishes whatever is still queued and exits. An admin
+	// checkpoint registers as in-flight, so by this point the
+	// checkpointer is idle or mid-auto-checkpoint; stopping it after the
+	// writer means a rotation it is still waiting on aborts via
+	// writerDone instead of deadlocking, and a snapshot save it is mid-
+	// way through finishes against an immutable database. The WAL is
+	// sealed last, once nothing can append.
 	close(s.writes)
 	<-s.writerDone
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
+	if w := s.walW.Load(); w != nil {
+		_ = w.Sync() // best effort: every acked record is already synced per policy
+		w.Close()
+	}
 
 	s.stateMu.Lock()
 	s.state = stateClosed

@@ -1,0 +1,148 @@
+package wal
+
+// The manifest ties a checkpoint to the log: a single JSON file naming
+// the snapshot that captures every epoch up to Seq and the segment that
+// holds every record after it. It is replaced atomically (temp file,
+// fsync, rename, directory fsync), so a crash at any byte leaves either
+// the old pair or the new pair — both loadable.
+//
+// Recovery does not trust the manifest alone for segment discovery: a
+// crash between segment rotation and the manifest write leaves a live
+// segment the manifest has never heard of, so recovery replays the
+// manifest's segment and then every higher-numbered segment in the
+// directory, in order. Segment numbers are the epoch current at their
+// creation, zero-padded so lexicographic order is numeric order.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ManifestName is the manifest's file name inside a data directory.
+const ManifestName = "MANIFEST"
+
+// Manifest points at the durable pair: the checkpoint snapshot covering
+// epochs ≤ Seq and the segment recording epochs > Seq.
+type Manifest struct {
+	// Seq is the epoch captured by Snapshot.
+	Seq uint64 `json:"seq"`
+	// Snapshot is the LCDB2 snapshot's file name (relative to the data
+	// directory).
+	Snapshot string `json:"snapshot"`
+	// Segment is the live segment's file name at manifest-write time.
+	Segment string `json:"segment"`
+}
+
+// SegmentName returns the canonical segment file name for a rotation at
+// epoch seq.
+func SegmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// SnapshotFileName returns the canonical checkpoint snapshot name for
+// epoch seq.
+func SnapshotFileName(seq uint64) string { return fmt.Sprintf("snap-%016d.lcdb", seq) }
+
+// SegmentSeq extracts the creation epoch from a segment file name.
+func SegmentSeq(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".log")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// SegmentInfo is one discovered segment file.
+type SegmentInfo struct {
+	Name string
+	Seq  uint64
+}
+
+// ListSegments returns the data directory's segment files in ascending
+// creation-epoch order.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := SegmentSeq(e.Name()); ok {
+			segs = append(segs, SegmentInfo{Name: e.Name(), Seq: seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// WriteManifest atomically replaces dir's manifest: temp file, fsync,
+// rename, directory fsync.
+func WriteManifest(dir string, m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wal: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: writing manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publishing manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadManifest loads dir's manifest, returning (nil, nil) when none
+// exists (a fresh data directory, or one that has never checkpointed).
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest (the write path replaces it atomically; this is tampering or filesystem damage): %w", err)
+	}
+	if m.Snapshot == "" || m.Segment == "" {
+		return nil, errors.New("wal: corrupt manifest: missing snapshot or segment name")
+	}
+	if _, ok := SegmentSeq(m.Segment); !ok {
+		return nil, fmt.Errorf("wal: corrupt manifest: unparsable segment name %q", m.Segment)
+	}
+	return &m, nil
+}

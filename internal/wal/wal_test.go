@@ -1,0 +1,432 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lincount/internal/faultinject"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Seq: 1, Ops: []Op{{Text: "f(a,b). f(b,c). "}}},
+		{Seq: 2, Ops: []Op{{Text: "f(c,d). "}, {Retract: true, Text: "f(a,b). "}}},
+		{Seq: 3, Ops: []Op{{Retract: true, Text: "f(b,c). "}}},
+	}
+}
+
+func writeSegment(t *testing.T, path string, recs []Record, opts Options) {
+	t.Helper()
+	w, err := Create(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayAll(t *testing.T, path string, startSeq uint64, strict bool) ([]Record, *ReplayResult, error) {
+	t.Helper()
+	var got []Record
+	res, err := ReplayFile(path, startSeq, strict, func(rec Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	return got, res, err
+}
+
+// frameStarts walks an intact segment image and returns each record
+// frame's byte offset, plus the end-of-file offset as a final element.
+func frameStarts(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	offsets := []int64{int64(len(Magic))}
+	off := int64(len(Magic))
+	for off < int64(len(data)) {
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		off += frameHeaderLen + plen
+		offsets = append(offsets, off)
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("segment does not end on a frame boundary (off %d, len %d)", off, len(data))
+	}
+	return offsets
+}
+
+func isCorrupt(err error) bool {
+	var c *WALCorruptError
+	return errors.As(err, &c)
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(0))
+	recs := testRecords()
+	writeSegment(t, path, recs, Options{Sync: SyncAlways})
+
+	got, res, err := replayAll(t, path, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed %+v, want %+v", got, recs)
+	}
+	if res.Records != len(recs) || res.LastSeq != 3 || res.TornBytes != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodSize != st.Size() {
+		t.Fatalf("GoodSize = %d, file size = %d", res.GoodSize, st.Size())
+	}
+}
+
+func TestReplayTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	writeSegment(t, path, testRecords(), Options{})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := frameStarts(t, whole)
+	lastStart := int(starts[len(starts)-2]) // third record's frame offset
+
+	// Cut inside the final record's frame header and inside its payload:
+	// both are the residue of a crash mid-append, so the lenient (live
+	// tail) scan replays the first two records and reports the tear.
+	for _, cut := range []int{lastStart + 1, lastStart + frameHeaderLen - 1, lastStart + frameHeaderLen + 2, len(whole) - 1} {
+		tpath := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(tpath, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res, err := replayAll(t, tpath, 0, false)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 2 || res.Records != 2 || res.LastSeq != 2 {
+			t.Fatalf("cut %d: replayed %d records (res %+v), want 2", cut, len(got), res)
+		}
+		if res.GoodSize != int64(lastStart) || res.TornBytes != int64(cut-lastStart) {
+			t.Fatalf("cut %d: GoodSize=%d TornBytes=%d, want %d and %d",
+				cut, res.GoodSize, res.TornBytes, lastStart, cut-lastStart)
+		}
+		// The same tear in a rotated (non-live) segment is corruption:
+		// rotation syncs and closes segments, so they cannot legally tear.
+		if _, _, err := replayAll(t, tpath, 0, true); !isCorrupt(err) {
+			t.Fatalf("cut %d strict: err = %v, want WALCorruptError", cut, err)
+		}
+	}
+}
+
+func TestReplayMidFileCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	writeSegment(t, path, testRecords(), Options{})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the first record's payload: the CRC fails and
+	// there is more data after it — bit rot, not a torn tail, even in
+	// lenient (live tail) mode.
+	for _, off := range []int{len(Magic) + frameHeaderLen, len(Magic) + frameHeaderLen + 3} {
+		bad := append([]byte(nil), whole...)
+		bad[off] ^= 0xff
+		bpath := filepath.Join(dir, "bad.log")
+		if err := os.WriteFile(bpath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := replayAll(t, bpath, 0, false)
+		if !isCorrupt(err) {
+			t.Fatalf("offset %d: err = %v, want WALCorruptError", off, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("offset %d: %d records applied before corruption was detected", off, len(got))
+		}
+	}
+}
+
+func TestReplayBadCRCAtTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	writeSegment(t, path, testRecords(), Options{})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), whole...)
+	bad[len(bad)-1] ^= 0xff // inside the final record's payload
+	bpath := filepath.Join(dir, "tail.log")
+	if err := os.WriteFile(bpath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := replayAll(t, bpath, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || res.TornBytes == 0 {
+		t.Fatalf("replayed %d records, TornBytes=%d; want 2 records and a nonzero tear", len(got), res.TornBytes)
+	}
+	if _, _, err := replayAll(t, bpath, 0, true); !isCorrupt(err) {
+		t.Fatalf("strict: err = %v, want WALCorruptError", err)
+	}
+}
+
+func TestReplaySequenceMustAdvance(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Seq: 5, Ops: []Op{{Text: "f(a,b). "}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Seq: 5, Ops: []Op{{Text: "f(b,c). "}}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, _, err := replayAll(t, path, 0, false); !isCorrupt(err) {
+		t.Fatalf("repeated seq: err = %v, want WALCorruptError", err)
+	}
+
+	// A first record at or below the checkpoint seq is equally bad.
+	path2 := filepath.Join(dir, SegmentName(1))
+	writeSegment(t, path2, []Record{{Seq: 3, Ops: []Op{{Text: "f(a,b). "}}}}, Options{})
+	if _, _, err := replayAll(t, path2, 3, false); !isCorrupt(err) {
+		t.Fatalf("seq <= startSeq: err = %v, want WALCorruptError", err)
+	}
+}
+
+func TestOpenAtResumesAppending(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	writeSegment(t, path, testRecords()[:2], Options{})
+	// Simulate a torn tail behind the intact prefix.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, res, err := replayAll(t, path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || res.TornBytes != 6 {
+		t.Fatalf("res = %+v, want 2 records and 6 torn bytes", res)
+	}
+	w, err := OpenAt(path, res.GoodSize, res.Records, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Seq: 3, Ops: []Op{{Text: "f(x,y). "}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 3 {
+		t.Fatalf("Records() = %d, want 3", w.Records())
+	}
+	w.Close()
+
+	got, res, err := replayAll(t, path, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || res.LastSeq != 3 {
+		t.Fatalf("after resume: %d records, last seq %d; want 3 and 3", len(got), res.LastSeq)
+	}
+}
+
+func TestAppendInjectedFaultLeavesLogIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(0))
+	inj := faultinject.New(1)
+	inj.FailAt(faultinject.SiteWALAppend, 1)
+	inj.FailAt(faultinject.SiteWALFsync, 2)
+	w, err := Create(path, Options{Sync: SyncAlways, Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Seq: 1, Ops: []Op{{Text: "f(a,b). "}}}
+
+	// First append: the append site fires before any byte is written.
+	if err := w.Append(rec); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if w.Size() != int64(len(Magic)) {
+		t.Fatalf("size = %d after failed append, want header only", w.Size())
+	}
+	// Second append succeeds: its fsync is hit 1, and the fsync rule is
+	// armed at hit 2.
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Third append: the frame's bytes land, then the fsync site fires —
+	// the frame must be rolled back so the segment stays intact.
+	rec2 := Record{Seq: 2, Ops: []Op{{Text: "f(b,c). "}}}
+	sizeBefore := w.Size()
+	if err := w.Append(rec2); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fsync fault", err)
+	}
+	if w.Size() != sizeBefore {
+		t.Fatalf("size = %d after rolled-back append, want %d", w.Size(), sizeBefore)
+	}
+	// Retry lands cleanly.
+	if err := w.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	got, _, err := replayAll(t, path, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("replayed %+v, want exactly seq 1 and 2", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := ReadManifest(dir)
+	if err != nil || m != nil {
+		t.Fatalf("fresh dir: manifest = %+v, err = %v; want nil, nil", m, err)
+	}
+	want := Manifest{Seq: 7, Snapshot: SnapshotFileName(7), Segment: SegmentName(7)}
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m != want {
+		t.Fatalf("manifest = %+v, want %+v", *m, want)
+	}
+	// Replacement is total: the second write fully supersedes the first.
+	want2 := Manifest{Seq: 12, Snapshot: SnapshotFileName(12), Segment: SegmentName(12)}
+	if err := WriteManifest(dir, want2); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := ReadManifest(dir); *m != want2 {
+		t.Fatalf("manifest = %+v, want %+v", *m, want2)
+	}
+	// Garbage is rejected, not half-parsed.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestListSegmentsOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{12, 0, 7} {
+		if err := os.WriteFile(filepath.Join(dir, SegmentName(seq)), []byte(Magic), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Distractors that must not be listed.
+	for _, name := range []string{ManifestName, SnapshotFileName(7), "wal-x.log", "wal-1.log.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for _, s := range segs {
+		seqs = append(seqs, s.Seq)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{0, 7, 12}) {
+		t.Fatalf("segments = %v, want [0 7 12]", seqs)
+	}
+}
+
+func TestReplayRejectsBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	for _, content := range [][]byte{nil, []byte("LC"), []byte("LCDB2"), []byte("garbage here")} {
+		path := filepath.Join(dir, "seg.log")
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := replayAll(t, path, 0, false); !isCorrupt(err) {
+			t.Fatalf("content %q: err = %v, want WALCorruptError", content, err)
+		}
+	}
+}
+
+func TestReplayEmptySegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(0))
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, res, err := replayAll(t, path, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || res.LastSeq != 9 || res.GoodSize != int64(len(Magic)) {
+		t.Fatalf("empty segment: got %v, res %+v", got, res)
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 999, 1 << 40} {
+		name := SegmentName(seq)
+		got, ok := SegmentSeq(name)
+		if !ok || got != seq {
+			t.Fatalf("SegmentSeq(%q) = %d, %v", name, got, ok)
+		}
+	}
+	for _, bad := range []string{"wal-.log", "wal-1x.log", "snap-1.lcdb", "wal-1.log.tmp"} {
+		if _, ok := SegmentSeq(bad); ok {
+			t.Fatalf("SegmentSeq(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRecordEncodeDecode(t *testing.T) {
+	for _, rec := range append(testRecords(),
+		Record{Seq: 1 << 60, Ops: nil},
+		Record{Seq: 42, Ops: []Op{{Text: ""}, {Retract: true, Text: "x(y). "}}},
+	) {
+		buf, err := encodeRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodePayload(buf[frameHeaderLen:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", rec, err)
+		}
+		if got.Seq != rec.Seq || len(got.Ops) != len(rec.Ops) {
+			t.Fatalf("roundtrip %+v -> %+v", rec, got)
+		}
+		for i := range rec.Ops {
+			if got.Ops[i] != rec.Ops[i] {
+				t.Fatalf("op %d: %+v != %+v", i, got.Ops[i], rec.Ops[i])
+			}
+		}
+	}
+}
