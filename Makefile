@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos obs-smoke server-smoke crash-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
+.PHONY: all build test race vet fmt check chaos obs-smoke server-smoke crash-smoke inc-smoke planner-smoke golden-explain bench benchcheck experiments fuzz examples clean
 
 all: build vet test
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) server-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) inc-smoke
 	$(MAKE) planner-smoke
 	$(MAKE) golden-explain
 
@@ -52,6 +53,15 @@ server-smoke:
 # § Durability and recovery.
 crash-smoke:
 	$(GO) test -run TestCrashSmoke -count=1 ./cmd/lincountd
+
+# End-to-end incremental-maintenance check: start lincountd on a
+# recursive program, drive it with concurrent writers issuing mixed
+# assert/retract batches, then verify the maintained materialisation
+# against both a from-scratch evaluation and a library-side oracle, and
+# assert /v1/stats shows the batches went through the delta engine. See
+# docs/INTERNALS.md § Incremental maintenance.
+inc-smoke:
+	$(GO) test -run TestIncSmoke -count=1 ./cmd/lincountd
 
 # The planner smoke quartet: acyclic/cyclic same-generation plus
 # left-/right-linear closure, each asserting the cost-informed planner

@@ -455,6 +455,16 @@ func TestChaosServerMVCC(t *testing.T) {
 						mu.Lock()
 						applied = append(applied, struct{ assert, retract string }{req.Assert, req.Retract})
 						mu.Unlock()
+						// Maintenance differential oracle: after every
+						// acknowledged write batch, the incrementally
+						// maintained materialisation must equal a
+						// from-scratch re-evaluation of its snapshot.
+						if snap := s.Snapshot(); snap.Mat != nil {
+							if err := snap.Mat.Verify(ctx); err != nil {
+								t.Errorf("writer %d: maintenance diverged at epoch %d: %v", w, snap.Epoch, err)
+								return
+							}
+						}
 					}
 				}(w)
 			}
@@ -539,6 +549,23 @@ func TestChaosServerMVCC(t *testing.T) {
 			if strings.Join(g, "|") != strings.Join(o, "|") {
 				t.Fatalf("final state diverged from oracle:\nserver: %d answers\noracle: %d answers",
 					len(g), len(o))
+			}
+			// The maintained materialisation must agree with the same
+			// oracle: its answers are what auto reads were served from.
+			if snap := s.Snapshot(); snap.Mat != nil {
+				mrows, err := snap.Mat.Answers("?- p(X,Y).")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m := sortRows(mrows); strings.Join(m, "|") != strings.Join(o, "|") {
+					t.Fatalf("materialisation diverged from oracle:\nmaterialized: %d answers\noracle: %d answers",
+						len(m), len(o))
+				}
+				if err := snap.Mat.Verify(ctx); err != nil {
+					t.Fatalf("final maintenance verify: %v", err)
+				}
+			} else {
+				t.Error("server lost its materialisation during the chaos run")
 			}
 
 			if err := s.Drain(ctx); err != nil {

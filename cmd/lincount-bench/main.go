@@ -90,6 +90,9 @@ func suite() []experiment {
 		{"P14",
 			func() bench.Table { return bench.P14PreparedVsCold(200) },
 			func() bench.Table { return bench.P14PreparedVsCold(50) }},
+		{"P16",
+			func() bench.Table { return bench.P16UpdateLatency([]int{20, 28}, 9) },
+			func() bench.Table { return bench.P16UpdateLatency([]int{10}, 2) }},
 	}
 }
 

@@ -1,0 +1,259 @@
+package main
+
+// TestIncSmoke is the end-to-end incremental-maintenance check behind
+// `make inc-smoke`: start lincountd in-process on a recursive program,
+// drive it with concurrent writers issuing mixed assert/retract batches,
+// then verify the maintained materialisation three ways — the server's
+// materialized answers against its own from-scratch evaluation, against
+// a library-side oracle over the known final fact set, and the
+// maintenance gauges in /v1/stats.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lincount"
+)
+
+const tcText = `tc(X,Y) :- e(X,Y).
+tc(X,Y) :- e(X,Z), tc(Z,Y).
+`
+
+func TestIncSmoke(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcText)
+	facts := writeFile(t, dir, "facts.dl", "e(n0,n1). e(n1,n2). e(n2,n3).")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out, errOut := &syncBuffer{}, &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-program", prog, "-facts", facts,
+			"-addr", "127.0.0.1:0",
+		}, out, errOut)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for base == "" {
+		if m := bannerRE.FindStringSubmatch(errOut.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving banner; stderr:\n%s", errOut.String())
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("run exited early with %d; stderr:\n%s", code, errOut.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("POST %s: %v", path, err)
+			return 0, ""
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("POST %s: %v", path, err)
+			return 0, ""
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Mixed assert/retract load from concurrent writers. Writer w owns
+	// the edges whose source index is ≡ w (mod writers), so ops from
+	// different writers commute and the final fact set is the seed plus
+	// each writer's last op per edge — deterministic under concurrency.
+	const (
+		writers = 4
+		nodes   = 8
+		steps   = 24
+	)
+	type edge struct{ a, b int }
+	finalOp := make([]map[edge]bool, writers) // edge → present after last op
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		finalOp[w] = make(map[edge]bool)
+		// Precompute writer w's deterministic op sequence (splitmix-style
+		// PRNG; no shared state with the other writers).
+		seq := make([]struct {
+			e      edge
+			assert bool
+		}, steps)
+		state := uint64(w)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+		next := func(n int) int {
+			state += 0x9E3779B97F4A7C15
+			z := state
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			z ^= z >> 31
+			return int(z % uint64(n))
+		}
+		for i := range seq {
+			a := w + writers*next(nodes/writers+1)
+			if a >= nodes {
+				a = w
+			}
+			seq[i].e = edge{a, next(nodes)}
+			seq[i].assert = next(3) != 0 // 2:1 asserts over retracts
+			finalOp[w][seq[i].e] = seq[i].assert
+		}
+		wg.Add(1)
+		go func(w int, seq []struct {
+			e      edge
+			assert bool
+		}) {
+			defer wg.Done()
+			for _, op := range seq {
+				field := "assert"
+				if !op.assert {
+					field = "retract"
+				}
+				body := fmt.Sprintf(`{"%s":"e(n%d,n%d)."}`, field, op.e.a, op.e.b)
+				if code, resp := post("/v1/write", body); code != http.StatusOK {
+					t.Errorf("write %s: %d %s", body, code, resp)
+					return
+				}
+			}
+		}(w, seq)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("write load failed; stderr:\n%s", errOut.String())
+	}
+
+	// The oracle fact set: seed edges overlaid with each writer's final
+	// op per edge (seed edges have source indexes 0..2, so writers may
+	// have retracted or re-asserted them).
+	present := map[edge]bool{{0, 1}: true, {1, 2}: true, {2, 3}: true}
+	for w := range finalOp {
+		for e, on := range finalOp[w] {
+			present[e] = on
+		}
+	}
+	var factSrc string
+	for e, on := range present {
+		if on {
+			factSrc += fmt.Sprintf("e(n%d,n%d).\n", e.a, e.b)
+		}
+	}
+	p, err := lincount.ParseProgram(tcText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(factSrc); err != nil {
+		t.Fatal(err)
+	}
+	oracleMat, err := p.Materialize(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := func(q, strategy string) [][]string {
+		body := fmt.Sprintf(`{"query":"%s"}`, q)
+		if strategy != "" {
+			body = fmt.Sprintf(`{"query":"%s","strategy":"%s"}`, q, strategy)
+		}
+		code, resp := post("/v1/query", body)
+		if code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", q, code, resp)
+		}
+		var qres struct {
+			Answers  [][]string `json:"answers"`
+			Strategy string     `json:"strategy"`
+		}
+		if err := json.Unmarshal([]byte(resp), &qres); err != nil {
+			t.Fatal(err)
+		}
+		if strategy == "" && qres.Strategy != "materialized" {
+			t.Fatalf("auto query served by %q, want materialized", qres.Strategy)
+		}
+		sort.Slice(qres.Answers, func(i, j int) bool {
+			for k := range qres.Answers[i] {
+				if qres.Answers[i][k] != qres.Answers[j][k] {
+					return qres.Answers[i][k] < qres.Answers[j][k]
+				}
+			}
+			return false
+		})
+		return qres.Answers
+	}
+
+	for src := 0; src < nodes; src++ {
+		q := fmt.Sprintf("?- tc(n%d,Y).", src)
+		mat := query(q, "")
+		evaled := query(q, "semi-naive")
+		if !reflect.DeepEqual(mat, evaled) {
+			t.Fatalf("%s: materialized %v != evaluated %v", q, mat, evaled)
+		}
+		ans, err := oracleMat.Answers(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := append([][]string(nil), ans...)
+		sort.Slice(oracle, func(i, j int) bool {
+			for k := range oracle[i] {
+				if oracle[i][k] != oracle[j][k] {
+					return oracle[i][k] < oracle[j][k]
+				}
+			}
+			return false
+		})
+		if !reflect.DeepEqual(mat, oracle) {
+			t.Fatalf("%s: materialized %v != oracle %v", q, mat, oracle)
+		}
+	}
+
+	// The maintenance gauges: the snapshot must still carry a maintained
+	// materialisation, and at least one batch must have gone through the
+	// delta engine rather than the fallback.
+	r, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %s", r.StatusCode, sb)
+	}
+	var stats struct {
+		Materialized bool  `json:"materialized"`
+		MaintBatches int64 `json:"maint_batches"`
+	}
+	if err := json.Unmarshal(sb, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Materialized {
+		t.Error("stats: materialized = false after write load")
+	}
+	if stats.MaintBatches == 0 {
+		t.Error("stats: no write batch went through incremental maintenance")
+	}
+
+	cancel()
+	select {
+	case codeDone := <-done:
+		if codeDone != 0 {
+			t.Fatalf("exit %d; stderr:\n%s", codeDone, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not exit; stderr:\n%s", errOut.String())
+	}
+}

@@ -141,14 +141,17 @@ func TestServerSmoke(t *testing.T) {
 
 	// Shed probe: every evaluation sleeps ≥50ms per fixpoint round, one
 	// slot, one queue seat — four concurrent queries must shed at least
-	// one with a 503/busy and eventually answer the admitted ones.
+	// one with a 503/busy and eventually answer the admitted ones. The
+	// probe pins an explicit strategy: auto reads are served from the
+	// maintained materialisation without evaluating (no injected delay),
+	// and the admission pressure this probe needs comes from evaluation.
 	var wg sync.WaitGroup
 	codes := make([]int, 4)
 	for i := range codes {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			codes[i], _ = post("/v1/query", `{"query":"?- sg(a,Y)."}`)
+			codes[i], _ = post("/v1/query", `{"query":"?- sg(a,Y).","strategy":"semi-naive"}`)
 		}(i)
 	}
 	wg.Wait()
@@ -187,7 +190,7 @@ func TestServerSmoke(t *testing.T) {
 	// finished rather than dropped.
 	slow := make(chan int, 1)
 	go func() {
-		c, _ := post("/v1/query", `{"query":"?- sg(a,Y)."}`)
+		c, _ := post("/v1/query", `{"query":"?- sg(a,Y).","strategy":"semi-naive"}`)
 		slow <- c
 	}()
 	time.Sleep(20 * time.Millisecond) // let it reach the server

@@ -21,6 +21,12 @@ type RowID = int32
 // noRow is the empty-slot / end-of-chain sentinel (valid row ids are >= 0).
 const noRow RowID = -1
 
+// tombRow marks a dedup slot whose row was dropped by RebuildWithout:
+// the slot stays occupied so colliding keys' probe chains remain intact,
+// lookups skip it, and InsertRow may reuse it. dedupGrow rehashes live
+// rows only, so tombstones are collected on the next growth.
+const tombRow RowID = -2
+
 // FNV-1a over the 64-bit term.Value handles. Values are hash-consed (term
 // equality is handle equality), so hashing the handles is exact.
 const (
@@ -166,6 +172,9 @@ func (r *Relation) indexGrow(ix *rowIndex) {
 	}
 	m := uint64(n - 1)
 	for k := range ix.keys {
+		if ix.keys[k].head == noRow {
+			continue // dead key (see RebuildWithout); drop its slot
+		}
 		i := r.hashRow(ix.keys[k].head, ix.mask) & m
 		for slots[i] >= 0 {
 			i = (i + 1) & m
@@ -193,7 +202,7 @@ func (r *Relation) indexAdd(ix *rowIndex, id RowID) {
 			ix.keys = append(ix.keys, chainKey{head: id, tail: id})
 			return
 		}
-		if r.rowsEqualMasked(ix.keys[k].head, id, ix.mask) {
+		if ix.keys[k].head != noRow && r.rowsEqualMasked(ix.keys[k].head, id, ix.mask) {
 			ix.next[ix.keys[k].tail] = id
 			ix.keys[k].tail = id
 			return
@@ -215,7 +224,7 @@ func (r *Relation) findKey(ix *rowIndex, vals []term.Value) int32 {
 		if k < 0 {
 			return -1
 		}
-		if r.rowEqualMasked(ix.keys[k].head, ix.mask, vals) {
+		if ix.keys[k].head != noRow && r.rowEqualMasked(ix.keys[k].head, ix.mask, vals) {
 			return k
 		}
 		i = (i + 1) & m
@@ -225,20 +234,34 @@ func (r *Relation) findKey(ix *rowIndex, vals []term.Value) int32 {
 // CloneForAppend returns a writable clone of r holding the same rows.
 // The clone shares r's arena backing array with its capacity clamped, so
 // the clone's first insert reallocates and copies — copy-on-write at
-// relation granularity. The dedup table is copied (a memcpy of row ids);
-// indexes are not carried over and rebuild lazily on the clone's first
-// probe. r itself is never read again through the clone after this
-// returns and is never mutated by it, so a published relation keeps
-// serving concurrent readers while its clone takes writes.
+// relation granularity. The dedup table and the column indexes are
+// copied (memcpys of row ids — row ids are identical in the clone, so
+// the chains stay valid, and appends only extend them); copying beats
+// the lazy per-row rehash a dropped index would pay on the clone's
+// first probe, which matters to maintenance workloads that clone a
+// large relation per epoch to apply a small delta. r itself is never
+// read again through the clone after this returns and is never mutated
+// by it, so a published relation keeps serving concurrent readers while
+// its clone takes writes.
 func (r *Relation) CloneForAppend() *Relation {
 	c := &Relation{
 		arity:   r.arity,
 		rows:    r.rows,
 		arena:   r.arena[:len(r.arena):len(r.arena)],
-		indexes: make(map[uint64]*rowIndex),
+		indexes: make(map[uint64]*rowIndex, len(r.indexes)),
 	}
 	c.dedup.slots = append([]RowID(nil), r.dedup.slots...)
 	c.dedup.used = r.dedup.used
+	r.indexMu.Lock()
+	for mask, ix := range r.indexes {
+		c.indexes[mask] = &rowIndex{
+			mask:  ix.mask,
+			slots: append([]int32(nil), ix.slots...),
+			keys:  append([]chainKey(nil), ix.keys...),
+			next:  append([]RowID(nil), ix.next...),
+		}
+	}
+	r.indexMu.Unlock()
 	return c
 }
 

@@ -108,6 +108,15 @@ func (r *Relation) fullMask() uint64 { return (1 << uint(r.arity)) - 1 }
 // Insert adds a tuple and reports whether it was new. The values are
 // copied into the arena; the caller keeps ownership of t.
 func (r *Relation) Insert(t Tuple) bool {
+	_, added := r.InsertRow(t)
+	return added
+}
+
+// InsertRow is Insert returning the tuple's RowID: the fresh id when the
+// tuple is new, the existing row's id otherwise. The id is what lets
+// callers keep per-row side tables (the incremental maintenance engine's
+// derivation counts) parallel to the relation.
+func (r *Relation) InsertRow(t Tuple) (RowID, bool) {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("database: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
@@ -116,25 +125,52 @@ func (r *Relation) Insert(t Tuple) bool {
 	}
 	m := uint64(len(r.dedup.slots) - 1)
 	i := HashValues(t) & m
+	free := -1 // first tombstone on the probe path, reusable for a new row
 	for {
 		row := r.dedup.slots[i]
 		if row == noRow {
 			break
 		}
-		if r.rowEqualFull(row, t) {
-			return false
+		if row == tombRow {
+			if free < 0 {
+				free = int(i)
+			}
+		} else if r.rowEqualFull(row, t) {
+			return row, false
 		}
 		i = (i + 1) & m
 	}
 	id := RowID(r.rows)
 	r.arena = append(r.arena, t...)
 	r.rows++
-	r.dedup.slots[i] = id
-	r.dedup.used++
+	if free >= 0 {
+		r.dedup.slots[free] = id // tombstone already counted in used
+	} else {
+		r.dedup.slots[i] = id
+		r.dedup.used++
+	}
 	for _, ix := range r.indexes {
 		r.indexAdd(ix, id)
 	}
-	return true
+	return id, true
+}
+
+// Find returns the RowID of the row equal to t, if present.
+// Allocation-free, like Contains.
+func (r *Relation) Find(t Tuple) (RowID, bool) {
+	if len(t) != r.arity || r.rows == 0 {
+		return 0, false
+	}
+	m := uint64(len(r.dedup.slots) - 1)
+	for i := HashValues(t) & m; ; i = (i + 1) & m {
+		row := r.dedup.slots[i]
+		if row == noRow {
+			return 0, false
+		}
+		if row != tombRow && r.rowEqualFull(row, t) {
+			return row, true
+		}
+	}
 }
 
 // Contains reports whether the relation holds the tuple. Allocation-free.
@@ -148,7 +184,7 @@ func (r *Relation) Contains(t Tuple) bool {
 		if row == noRow {
 			return false
 		}
-		if r.rowEqualFull(row, t) {
+		if row != tombRow && r.rowEqualFull(row, t) {
 			return true
 		}
 	}
@@ -339,38 +375,175 @@ func (db *Database) Ensure(pred symtab.Sym, arity int) (*Relation, error) {
 	return r, nil
 }
 
-// Retract removes one fact, reporting whether it was present. The arena
-// is append-only, so retraction rebuilds the predicate's relation
-// without the tuple — O(relation size); batch retractions so the rebuild
-// is paid per batch, not per fact. On a forked database the rebuild is
-// itself the copy-on-write step: the parent's relation is never touched.
-func (db *Database) Retract(pred symtab.Sym, t Tuple) (bool, error) {
-	r, ok := db.rels[pred]
-	if !ok {
-		return false, nil
+// RebuildWithout returns a new relation holding every row of r for which
+// drop returns false, preserving insertion order. This is the O(n)
+// retraction primitive, and every O(n) pass is sequential — no per-row
+// hashing:
+//
+//   - the arena is copied in contiguous runs between dropped rows;
+//   - dedup slot positions depend only on row values, which don't change,
+//     so the table is remapped slot-by-slot: surviving ids shift down,
+//     dropped ids become tombstones (keeping colliding probe chains
+//     intact; see tombRow);
+//   - column indexes are remapped the same way: chains keep their
+//     relative order, so next[] is rewritten in one id-order pass, and
+//     only chains whose head or tail died need any walking.
+//
+// The old rebuild refilled the dedup table with a hash probe per
+// surviving row and dropped the indexes (another full rehash on the next
+// probe) — per-epoch costs that dominated incremental maintenance of
+// large materialisations under small deltas.
+func (r *Relation) RebuildWithout(drop func(RowID) bool) *Relation {
+	n := &Relation{
+		arity:   r.arity,
+		arena:   make([]term.Value, 0, len(r.arena)),
+		indexes: make(map[uint64]*rowIndex, len(r.indexes)),
 	}
-	if r.arity != len(t) {
-		return false, fmt.Errorf("database: predicate %s used with arity %d and %d",
-			db.bank.Symbols().String(pred), r.arity, len(t))
-	}
-	if !r.Contains(t) {
-		return false, nil
-	}
-	n := NewRelation(r.arity)
-	for id := RowID(0); int(id) < r.rows; id++ {
-		row := Tuple(r.rowSlice(id))
-		if !row.Equal(t) {
-			n.Insert(row)
+	newID := make([]RowID, r.rows)
+	run := 0 // first row of the current surviving run
+	flush := func(end int) {
+		if run < end {
+			n.arena = append(n.arena, r.arena[run*r.arity:end*r.arity]...)
 		}
 	}
-	db.rels[pred] = n
+	for id := 0; id < r.rows; id++ {
+		if drop != nil && drop(RowID(id)) {
+			flush(id)
+			run = id + 1
+			newID[id] = noRow
+			continue
+		}
+		newID[id] = RowID(n.rows)
+		n.rows++
+	}
+	flush(r.rows)
+
+	if len(r.dedup.slots) == 0 {
+		n.dedup.slots = make([]RowID, 16)
+		for i := range n.dedup.slots {
+			n.dedup.slots[i] = noRow
+		}
+	} else {
+		n.dedup.slots = make([]RowID, len(r.dedup.slots))
+		used := 0
+		for i, s := range r.dedup.slots {
+			switch {
+			case s == noRow:
+				n.dedup.slots[i] = noRow
+			case s == tombRow || newID[s] == noRow:
+				n.dedup.slots[i] = tombRow
+				used++
+			default:
+				n.dedup.slots[i] = newID[s]
+				used++
+			}
+		}
+		n.dedup.used = used
+	}
+
+	r.indexMu.Lock()
+	for mask, ix := range r.indexes {
+		n.indexes[mask] = remapIndex(ix, newID, r.rows, n.rows)
+	}
+	r.indexMu.Unlock()
+	return n
+}
+
+// remapIndex rebuilds a column index against the compacted row ids.
+// Slot positions hash row values, which are unchanged, so the slot table
+// is copied as-is; keys whose whole chain died keep their slot with
+// head == noRow as a tombstone (findKey, indexAdd and indexGrow skip
+// those). next[] is rewritten in a single ascending-id pass; chains stay
+// ascending because the rebuild preserves row order.
+func remapIndex(ix *rowIndex, newID []RowID, oldRows, newRows int) *rowIndex {
+	nix := &rowIndex{
+		mask:  ix.mask,
+		slots: append([]int32(nil), ix.slots...),
+		keys:  make([]chainKey, len(ix.keys)),
+		next:  make([]RowID, newRows),
+	}
+	for id := 0; id < oldRows; id++ {
+		nid := newID[id]
+		if nid == noRow {
+			continue
+		}
+		j := ix.next[id]
+		for j != noRow && newID[j] == noRow {
+			j = ix.next[j]
+		}
+		if j == noRow {
+			nix.next[nid] = noRow
+		} else {
+			nix.next[nid] = newID[j]
+		}
+	}
+	for k, key := range ix.keys {
+		head := key.head
+		for head != noRow && newID[head] == noRow {
+			head = ix.next[head]
+		}
+		if head == noRow {
+			nix.keys[k] = chainKey{head: noRow, tail: noRow}
+			continue
+		}
+		nh := newID[head]
+		nt := nh
+		if key.tail != noRow && newID[key.tail] != noRow {
+			nt = newID[key.tail]
+		} else {
+			for nix.next[nt] != noRow {
+				nt = nix.next[nt]
+			}
+		}
+		nix.keys[k] = chainKey{head: nh, tail: nt}
+	}
+	return nix
+}
+
+// Retract removes one fact, reporting whether it was present. The arena
+// is append-only, so retraction rebuilds the predicate's relation
+// without the tuple — O(relation size); batch retractions (RetractBatch,
+// RetractText) so the rebuild is paid per batch, not per fact. On a
+// forked database the rebuild is itself the copy-on-write step: the
+// parent's relation is never touched.
+func (db *Database) Retract(pred symtab.Sym, t Tuple) (bool, error) {
+	n, err := db.RetractBatch(pred, []Tuple{t})
+	return n > 0, err
+}
+
+// RetractBatch removes every listed tuple from pred's relation with a
+// single capacity-reusing rebuild, returning how many were actually
+// present (duplicates in tuples count once). Absent tuples are no-ops.
+func (db *Database) RetractBatch(pred symtab.Sym, tuples []Tuple) (int, error) {
+	r, ok := db.rels[pred]
+	if !ok {
+		return 0, nil
+	}
+	drop := NewRelation(r.arity)
+	present := 0
+	for _, t := range tuples {
+		if r.arity != len(t) {
+			return present, fmt.Errorf("database: predicate %s used with arity %d and %d",
+				db.bank.Symbols().String(pred), r.arity, len(t))
+		}
+		if r.Contains(t) && drop.Insert(t) {
+			present++
+		}
+	}
+	if present == 0 {
+		return 0, nil
+	}
+	db.rels[pred] = r.RebuildWithout(func(id RowID) bool {
+		return drop.Contains(Tuple(r.rowSlice(id)))
+	})
 	delete(db.shared, pred)
-	return true, nil
+	return present, nil
 }
 
 // RetractText parses src (facts only, same format as LoadText) and
 // retracts each fact, returning how many were actually present and
-// removed. Facts absent from the database are no-ops, not errors.
+// removed. Facts absent from the database are no-ops, not errors. Facts
+// are grouped by predicate so each touched relation is rebuilt once.
 func (db *Database) RetractText(src string) (int, error) {
 	res, err := parser.Parse(db.bank, src)
 	if err != nil {
@@ -379,22 +552,28 @@ func (db *Database) RetractText(src string) (int, error) {
 	if len(res.Queries) != 0 {
 		return 0, fmt.Errorf("database: queries are not allowed in fact files")
 	}
-	removed := 0
+	byPred := make(map[symtab.Sym][]Tuple)
+	var order []symtab.Sym
 	for _, r := range res.Program.Rules {
 		if !r.IsFact() {
-			return removed, fmt.Errorf("database: %s is not a ground fact",
+			return 0, fmt.Errorf("database: %s is not a ground fact",
 				ast.FormatRule(db.bank, r))
 		}
 		t := make(Tuple, len(r.Head.Args))
 		for i, a := range r.Head.Args {
 			t[i] = a.Value
 		}
-		ok, err := db.Retract(r.Head.Pred, t)
+		if _, ok := byPred[r.Head.Pred]; !ok {
+			order = append(order, r.Head.Pred)
+		}
+		byPred[r.Head.Pred] = append(byPred[r.Head.Pred], t)
+	}
+	removed := 0
+	for _, pred := range order {
+		n, err := db.RetractBatch(pred, byPred[pred])
+		removed += n
 		if err != nil {
 			return removed, err
-		}
-		if ok {
-			removed++
 		}
 	}
 	return removed, nil

@@ -184,6 +184,29 @@ type evaluator struct {
 	// strata of a parallel evaluation, so MaxDerivedFacts is a true
 	// global cap there, not a per-component approximation.
 	factTotal *atomic.Int64
+
+	// Incremental-maintenance hooks (see incremental.go). All zero for
+	// ordinary evaluations, costing one branch per occurrence setup.
+	//
+	// windowed switches join variants to the exact-once counting read
+	// discipline: a non-delta occurrence of a pred present in the delta
+	// map reads [0, hi) when it precedes the delta occurrence in the
+	// source body and [0, lo) when it follows it, so each derivation of
+	// the round is enumerated exactly once (at its last newest-atom
+	// position) instead of at least once.
+	windowed bool
+	// rowState, when non-nil, holds per-row lifecycle states for the
+	// deletion phases: -1 = logically deleted, 0 = original row, g ≥ 1 =
+	// rederived in backward-pass round g. Occurrences are filtered to
+	// rows with 0 ≤ state ≤ bound; filterPrefix/filterSuffix arm the
+	// filter per side of the delta occurrence, with missing preds and
+	// rows past the slice (appended after state capture) treated as live
+	// originals.
+	rowState     map[symtab.Sym][]int32
+	filterPrefix bool
+	filterSuffix bool
+	prefixBound  int32
+	suffixBound  int32
 }
 
 // Eval computes the minimal model of p over db. Facts embedded in the
@@ -696,14 +719,47 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]d
 			var rel *database.Relation
 			dv := deltaView{lo: 0, hi: -1}
 			isDelta := deltaBodyIdx >= 0 && cl.bodyIdx == deltaBodyIdx
+			// prefix is the occurrence's side of the delta occurrence in
+			// source-body order — the canonical order of the exact-once
+			// counting discipline. With no delta (deltaBodyIdx -1) every
+			// occurrence counts as suffix.
+			prefix := cl.bodyIdx < deltaBodyIdx
+			ranged := isDelta
 			if isDelta {
 				dv = delta[cl.pred]
 				rel = dv.rel
 			} else {
 				rel = ev.readRel(cl.pred)
+				if ev.windowed {
+					if wv, ok := delta[cl.pred]; ok {
+						// Counting window: the new side [0, hi) before the
+						// delta occurrence, the old side [0, lo) after it.
+						rel = wv.rel
+						ranged = true
+						if prefix {
+							dv = deltaView{rel: rel, lo: 0, hi: wv.hi}
+						} else {
+							dv = deltaView{rel: rel, lo: 0, hi: wv.lo}
+						}
+					}
+				}
 			}
 			if rel == nil || rel.Len() == 0 {
 				return nil
+			}
+			var st []int32
+			var stBound int32
+			if ev.rowState != nil && !isDelta {
+				if (prefix && ev.filterPrefix) || (!prefix && ev.filterSuffix) {
+					if s, ok := ev.rowState[cl.pred]; ok {
+						st = s
+						if prefix {
+							stBound = ev.prefixBound
+						} else {
+							stBound = ev.suffixBound
+						}
+					}
+				}
 			}
 			mark := len(trail)
 			var it database.RowIter
@@ -721,7 +777,7 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]d
 				if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
 					return err
 				}
-				if isDelta {
+				if ranged {
 					it = rel.ProbeRange(cl.probeMask, probe, dv.lo, dv.hi)
 				} else {
 					it = rel.Probe(cl.probeMask, probe)
@@ -734,13 +790,18 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]d
 				if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
 					return err
 				}
-				if isDelta {
+				if ranged {
 					it = rel.ScanRange(dv.lo, dv.hi)
 				} else {
 					it = rel.Scan()
 				}
 			}
 			for id, ok := it.Next(); ok; id, ok = it.Next() {
+				if st != nil && int(id) < len(st) {
+					if s := st[id]; s < 0 || s > stBound {
+						continue
+					}
+				}
 				if ev.matchTuple(cl, database.Tuple(rel.Row(id)), frame, &trail) {
 					if err := step(i + 1); err != nil {
 						return err

@@ -22,6 +22,14 @@ type Matcher struct {
 	// Solves and Probes count work for the benchmark harness.
 	Solves int64
 	Probes int64
+	// RowState, when non-nil, filters every relation occurrence a
+	// subsequently prepared solve reads: rows whose state is negative or
+	// exceeds RowStateBound are skipped (missing preds and rows past a
+	// slice end count as live originals, state 0). The incremental
+	// maintainer's backward rederivation pass uses this to count
+	// derivations over surviving rows only. Set before Prepare.
+	RowState      map[symtab.Sym][]int32
+	RowStateBound int32
 }
 
 // NewMatcher returns a matcher reading from db and derived (either may be
@@ -103,6 +111,16 @@ func (m *Matcher) Prepare(body []ast.Literal, boundVars, want []symtab.Sym) (*Pr
 		derived:   m.derived,
 	}
 	ps.ev = &evaluator{bank: m.bank, db: m.db, derived: ps.derived, check: m.check}
+	if m.RowState != nil {
+		// The $given occurrence is the delta (never filtered); every real
+		// body literal follows it, so the suffix filter covers them all.
+		// Both sides are armed anyway for uniformity.
+		ps.ev.rowState = m.RowState
+		ps.ev.filterPrefix = true
+		ps.ev.filterSuffix = true
+		ps.ev.prefixBound = m.RowStateBound
+		ps.ev.suffixBound = m.RowStateBound
+	}
 	ps.delta = map[symtab.Sym]deltaView{givenPred: {rel: ps.givenRel, lo: 0, hi: 1}}
 	return ps, nil
 }

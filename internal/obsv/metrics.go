@@ -312,6 +312,10 @@ var (
 		"Write-batch apply attempts retried after a retryable failure.")
 	MServerEpoch = Default.NewGauge("lincount_server_epoch",
 		"Current published snapshot epoch (increments once per write batch).")
+	MServerMaintBatches = Default.NewCounter("lincount_server_maint_batches_total",
+		"Write batches applied through incremental materialisation maintenance.")
+	MServerMaintFallbacks = Default.NewCounter("lincount_server_maint_fallbacks_total",
+		"Write batches that fell back from maintenance to base apply plus full re-materialisation.")
 	MServerDrains = Default.NewCounter("lincount_server_drains_total",
 		"Graceful drains initiated (SIGTERM/SIGINT or explicit Drain).")
 	MServerDrainCanceled = Default.NewCounter("lincount_server_drain_canceled_total",

@@ -162,14 +162,15 @@ func recoverData(c *Config, base *lincount.Database) (*wal.Writer, RecoveryInfo,
 		if rec.Seq != chainSeq+1 {
 			return fmt.Errorf("server: recovery found an epoch gap (record %d after %d): acknowledged writes are missing", rec.Seq, chainSeq)
 		}
-		for _, op := range rec.Ops {
-			if op.Retract {
-				if _, err := base.RetractFacts(op.Text); err != nil {
-					return fmt.Errorf("server: replaying retract at epoch %d: %w", rec.Seq, err)
-				}
-			} else if err := base.LoadFacts(op.Text); err != nil {
-				return fmt.Errorf("server: replaying assert at epoch %d: %w", rec.Seq, err)
-			}
+		// Replay the epoch's op frame through the same sequential
+		// application path the live write path uses (and maintenance
+		// mirrors), so recovered and live state cannot drift.
+		ops := make([]lincount.WriteOp, len(rec.Ops))
+		for i, op := range rec.Ops {
+			ops[i] = lincount.WriteOp{Retract: op.Retract, Text: op.Text}
+		}
+		if _, err := applySequential(base, ops); err != nil {
+			return fmt.Errorf("server: replaying epoch %d: %w", rec.Seq, err)
 		}
 		chainSeq = rec.Seq
 		return nil
@@ -227,16 +228,15 @@ func (s *Server) walAppend(seq uint64, batch []writeReq, failed []error) error {
 	if w == nil {
 		return nil
 	}
+	// The record frames exactly the op stream maintenance consumed (see
+	// batchOps): live maintenance and recovery replay share one input.
 	var ops []wal.Op
 	for i, wr := range batch {
 		if failed[i] != nil {
 			continue
 		}
-		if wr.req.Assert != "" {
-			ops = append(ops, wal.Op{Text: wr.req.Assert})
-		}
-		if wr.req.Retract != "" {
-			ops = append(ops, wal.Op{Retract: true, Text: wr.req.Retract})
+		for _, op := range reqWriteOps(wr.req) {
+			ops = append(ops, wal.Op{Retract: op.Retract, Text: op.Text})
 		}
 	}
 	return w.Append(wal.Record{Seq: seq, Ops: ops})

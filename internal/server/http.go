@@ -41,6 +41,16 @@ type StatsResponse struct {
 	WALBytes      int64  `json:"wal_bytes,omitempty"`
 	WALRecords    int    `json:"wal_records,omitempty"`
 	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+
+	// Incremental-maintenance gauges. Materialized reports whether the
+	// current snapshot carries a maintained materialisation (auto reads
+	// are served from it); MaintBatches counts write batches applied
+	// through maintenance, MaintFallbacks those that fell back to base
+	// apply plus full re-materialisation.
+	Materialized   bool  `json:"materialized,omitempty"`
+	DerivedFacts   int64 `json:"derived_facts,omitempty"`
+	MaintBatches   int64 `json:"maint_batches,omitempty"`
+	MaintFallbacks int64 `json:"maint_fallbacks,omitempty"`
 }
 
 // Handler returns the server's HTTP mux:
@@ -226,5 +236,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.WALRecords = wl.Records()
 		resp.CheckpointSeq = s.lastCkptSeq.Load()
 	}
+	if snap.Mat != nil {
+		resp.Materialized = true
+		resp.DerivedFacts = snap.Mat.DerivedFacts()
+	}
+	resp.MaintBatches = s.maintBatches.Load()
+	resp.MaintFallbacks = s.maintFallbacks.Load()
 	writeJSON(w, resp)
 }

@@ -164,6 +164,12 @@ func (c *Config) withDefaults() Config {
 type Snapshot struct {
 	Epoch uint64
 	DB    *lincount.Database
+	// Mat is the epoch's incrementally maintained materialisation, kept
+	// in lockstep with DB by the writer goroutine. Nil when the program
+	// is outside the maintainable fragment (negation) or when the
+	// initial materialisation failed — reads then evaluate per request
+	// as before.
+	Mat *lincount.Materialization
 }
 
 // ErrBusy is the sentinel every admission-control rejection matches:
@@ -244,6 +250,12 @@ type Server struct {
 	ckptDone    chan struct{}
 	lastCkptSeq atomic.Uint64
 	recovered   RecoveryInfo
+
+	// Maintenance gauges for /v1/stats: batches applied through the
+	// incremental engine and batches that fell back to base apply plus
+	// re-materialisation.
+	maintBatches   atomic.Int64
+	maintFallbacks atomic.Int64
 
 	// prepared caches PreparedQuery by (query, strategy). Prepared
 	// queries are immutable and DB-independent (plans are pure functions
@@ -338,7 +350,16 @@ func New(cfg Config) (*Server, error) {
 		s.ckptStop = make(chan struct{})
 		s.ckptDone = make(chan struct{})
 	}
-	s.snap.Store(&Snapshot{Epoch: epoch, DB: c.DB})
+	// Materialise the recovered state once; every subsequent epoch is
+	// maintained incrementally by the writer from the same ordered op
+	// stream the WAL frames. Programs outside the maintainable fragment
+	// (ErrNotIncremental) — or any materialisation failure — downgrade
+	// to per-request evaluation rather than failing startup.
+	var mat *lincount.Materialization
+	if m, err := c.Program.Materialize(baseCtx, c.DB); err == nil {
+		mat = m
+	}
+	s.snap.Store(&Snapshot{Epoch: epoch, DB: c.DB, Mat: mat})
 	obsv.MServerEpoch.Set(int64(epoch))
 	go s.writer()
 	if c.DataDir != "" {
@@ -462,6 +483,7 @@ type QueryStats struct {
 	DerivedFacts int64 `json:"derived_facts"`
 	Probes       int64 `json:"probes"`
 	Iterations   int   `json:"iterations"`
+	AnswerTuples int   `json:"answer_tuples,omitempty"`
 	DurationUS   int64 `json:"duration_us"`
 }
 
@@ -497,6 +519,29 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		return nil, fail(err)
 	}
 	defer s.release()
+
+	// Auto reads on a maintained server are served straight from the
+	// materialisation: a scan or index probe over the already-derived
+	// relations, no fixpoint. Explicit strategies and traced requests
+	// still evaluate — they are asking for a specific computation.
+	if snap := s.snap.Load(); snap.Mat != nil && !req.Trace &&
+		(req.Strategy == "" || req.Strategy == "auto") {
+		rows, err := snap.Mat.Answers(req.Query)
+		if err != nil {
+			return nil, fail(&badRequestError{err})
+		}
+		obsv.MServerRequests.Add("query", 1)
+		return &QueryResponse{
+			Answers:  rows,
+			Epoch:    snap.Epoch,
+			Strategy: "materialized",
+			Stats: QueryStats{
+				DerivedFacts: snap.Mat.DerivedFacts(),
+				AnswerTuples: len(rows),
+				DurationUS:   time.Since(start).Microseconds(),
+			},
+		}, nil
+	}
 
 	strategy := lincount.Auto
 	if req.Strategy != "" && req.Strategy != "auto" {
@@ -727,29 +772,7 @@ func (s *Server) applyBatch(batch []writeReq) {
 	cur := s.snap.Load()
 	attempt := 0
 	for {
-		fork := cur.DB.Fork()
-		var retryErr error
-		restarted := false
-		for i, wr := range batch {
-			if failed[i] != nil {
-				continue
-			}
-			retracted[i] = 0
-			n, err := s.applyOne(fork, wr.req)
-			retracted[i] = n
-			if err == nil {
-				continue
-			}
-			if retryableWrite(err) {
-				retryErr = err
-			} else {
-				// Permanent: fail this request and rebuild the batch
-				// without it (the fork may hold its partial effects).
-				failed[i] = &badRequestError{err}
-				restarted = true
-			}
-			break
-		}
+		fork, nextMat, retryErr, restarted := s.applyAttempt(cur, batch, failed, retracted)
 		if retryErr == nil && !restarted {
 			// The batch applied cleanly; the publish site is the last
 			// chance for the chaos harness to object before readers can
@@ -813,7 +836,7 @@ func (s *Server) applyBatch(batch []writeReq) {
 			return
 		}
 
-		next := &Snapshot{Epoch: cur.Epoch + 1, DB: fork}
+		next := &Snapshot{Epoch: cur.Epoch + 1, DB: fork, Mat: nextMat}
 		s.snap.Store(next)
 		obsv.MServerEpoch.Set(int64(next.Epoch))
 		obsv.MServerWriteBatches.Add(1)
@@ -828,24 +851,139 @@ func (s *Server) applyBatch(batch []writeReq) {
 	}
 }
 
-// applyOne applies a single request's asserts and retracts to the fork.
-func (s *Server) applyOne(fork *lincount.Database, req WriteRequest) (retractedN int, err error) {
-	if err := s.cfg.Inject.Hit(faultinject.SiteServerApply); err != nil {
-		return 0, err
-	}
+// reqWriteOps frames one request as its ordered write ops — assert
+// before retract, the exact op order the WAL logs for the request and
+// the order recovery replays. Maintenance, base apply, and replay all
+// consume this one framing, so the three paths cannot drift.
+func reqWriteOps(req WriteRequest) []lincount.WriteOp {
+	var ops []lincount.WriteOp
 	if req.Assert != "" {
-		if err := fork.LoadFacts(req.Assert); err != nil {
-			return 0, err
-		}
+		ops = append(ops, lincount.WriteOp{Text: req.Assert})
 	}
 	if req.Retract != "" {
-		n, err := fork.RetractFacts(req.Retract)
-		if err != nil {
-			return n, err
-		}
-		retractedN = n
+		ops = append(ops, lincount.WriteOp{Retract: true, Text: req.Retract})
 	}
-	return retractedN, nil
+	return ops
+}
+
+// applySequential applies ordered ops to db without maintenance:
+// asserts via LoadFacts, retracts via RetractFacts, in frame order. It
+// is the shared base-application path of the non-materialized write
+// path, the maintenance fallback, and WAL recovery replay.
+func applySequential(db *lincount.Database, ops []lincount.WriteOp) (retracted int, err error) {
+	for _, op := range ops {
+		if op.Retract {
+			n, err := db.RetractFacts(op.Text)
+			retracted += n
+			if err != nil {
+				return retracted, err
+			}
+		} else if err := db.LoadFacts(op.Text); err != nil {
+			return retracted, err
+		}
+	}
+	return retracted, nil
+}
+
+// batchOps flattens the live requests of a batch into one ordered op
+// stream; opReq maps each op back to its request's batch index.
+func batchOps(batch []writeReq, failed []error) (ops []lincount.WriteOp, opReq []int) {
+	for i, wr := range batch {
+		if failed[i] != nil {
+			continue
+		}
+		for _, op := range reqWriteOps(wr.req) {
+			ops = append(ops, op)
+			opReq = append(opReq, i)
+		}
+	}
+	return ops, opReq
+}
+
+// applyAttempt runs one attempt at applying the batch on top of cur:
+// through incremental maintenance when the snapshot carries a
+// materialisation, through plain base application otherwise. It returns
+// the fork to publish plus the next epoch's materialisation (nil when
+// maintenance is off), or a retryable error, or restarted=true when a
+// permanently failing request was excised and the batch must be rebuilt
+// from a fresh fork.
+func (s *Server) applyAttempt(cur *Snapshot, batch []writeReq, failed []error, retracted []int) (*lincount.Database, *lincount.Materialization, error, bool) {
+	// The write fault site fires once per live request per attempt,
+	// before any application path runs, so the chaos schedules exercise
+	// maintained and unmaintained servers identically.
+	for i := range batch {
+		if failed[i] != nil {
+			continue
+		}
+		if err := s.cfg.Inject.Hit(faultinject.SiteServerApply); err != nil {
+			return nil, nil, err, false
+		}
+	}
+
+	if cur.Mat != nil {
+		ops, opReq := batchOps(batch, failed)
+		m2, info, err := cur.Mat.Apply(s.baseCtx, ops)
+		if err == nil {
+			for i := range batch {
+				if failed[i] == nil {
+					retracted[i] = 0
+				}
+			}
+			for k, op := range ops {
+				if op.Retract {
+					retracted[opReq[k]] += info.RetractedPerOp[k]
+				}
+			}
+			s.maintBatches.Add(1)
+			obsv.MServerMaintBatches.Add(1)
+			return m2.Database(), m2, nil, false
+		}
+		var we *lincount.WriteError
+		if errors.As(err, &we) {
+			// Permanent per-op failure: maintenance rejected the whole
+			// batch atomically, so excise the offending request and
+			// restart with the rest.
+			failed[opReq[we.Index]] = &badRequestError{we.Err}
+			return nil, nil, nil, true
+		}
+		if errors.Is(err, faultinject.ErrInjected) {
+			return nil, nil, err, false
+		}
+		// Typed maintenance failure (internal invariant, resource limit,
+		// cancellation): fall back to base application for this batch and
+		// re-materialise from scratch. If even that fails, maintenance
+		// stays off for subsequent epochs (Mat nil) — reads degrade to
+		// per-request evaluation, writes keep working.
+		s.maintFallbacks.Add(1)
+		obsv.MServerMaintFallbacks.Add(1)
+	}
+
+	fork := cur.DB.Fork()
+	for i, wr := range batch {
+		if failed[i] != nil {
+			continue
+		}
+		retracted[i] = 0
+		n, err := applySequential(fork, reqWriteOps(wr.req))
+		retracted[i] = n
+		if err == nil {
+			continue
+		}
+		if retryableWrite(err) {
+			return nil, nil, err, false
+		}
+		// Permanent: fail this request and rebuild the batch without it
+		// (the fork may hold its partial effects).
+		failed[i] = &badRequestError{err}
+		return nil, nil, nil, true
+	}
+	var nextMat *lincount.Materialization
+	if cur.Mat != nil {
+		if m, err := s.cfg.Program.Materialize(s.baseCtx, fork); err == nil {
+			nextMat = m
+		}
+	}
+	return fork, nextMat, nil, false
 }
 
 // Drain gracefully stops the server: flip to draining (new requests get

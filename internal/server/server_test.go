@@ -449,11 +449,14 @@ func TestServerPreparedCacheSurvivesEpochs(t *testing.T) {
 	defer s.Close()
 	ctx := context.Background()
 
+	// An explicit strategy keeps the request on the prepared-evaluation
+	// path (auto reads on a maintained server are answered from the
+	// materialisation without touching the cache).
 	for i := 0; i < 10; i++ {
 		if _, err := s.Write(ctx, WriteRequest{Assert: fmt.Sprintf("f(a%d,b%d).", i, i)}); err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Query(ctx, QueryRequest{Query: "?- p(X,Y)."})
+		res, err := s.Query(ctx, QueryRequest{Query: "?- p(X,Y).", Strategy: "semi-naive"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -466,5 +469,83 @@ func TestServerPreparedCacheSurvivesEpochs(t *testing.T) {
 	s.prepMu.Unlock()
 	if n != 1 {
 		t.Fatalf("prepared cache has %d entries after 10 epochs of one query, want 1", n)
+	}
+}
+
+// TestServerMaintainedWrites: a recursive program served from the
+// maintained materialisation — writes ride the incremental engine,
+// auto reads are answered without evaluation, and every epoch matches
+// an explicit from-scratch evaluation of the same snapshot.
+func TestServerMaintainedWrites(t *testing.T) {
+	p := lincount.MustParseProgram("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).")
+	s := newTestServer(t, Config{Program: p})
+	defer s.Close()
+	ctx := context.Background()
+
+	if s.Snapshot().Mat == nil {
+		t.Fatal("server did not materialise an incrementalisable program")
+	}
+	steps := []WriteRequest{
+		{Assert: "e(a,b). e(b,c)."},
+		{Assert: "e(c,d)."},
+		{Retract: "e(b,c)."},
+		{Assert: "e(b,c). e(d,a)."},
+		{Retract: "e(a,b). e(c,d)."},
+	}
+	for i, req := range steps {
+		if _, err := s.Write(ctx, req); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		res, err := s.Query(ctx, QueryRequest{Query: "?- tc(X,Y)."})
+		if err != nil {
+			t.Fatalf("step %d query: %v", i, err)
+		}
+		if res.Strategy != "materialized" {
+			t.Fatalf("step %d: strategy = %q, want materialized", i, res.Strategy)
+		}
+		want, err := s.Query(ctx, QueryRequest{Query: "?- tc(X,Y).", Strategy: "semi-naive"})
+		if err != nil {
+			t.Fatalf("step %d eval: %v", i, err)
+		}
+		if fmt.Sprint(res.Answers) != fmt.Sprint(want.Answers) {
+			t.Fatalf("step %d: materialized answers diverge:\n got %v\nwant %v", i, res.Answers, want.Answers)
+		}
+		snap := s.Snapshot()
+		if snap.Mat == nil {
+			t.Fatalf("step %d: materialisation lost", i)
+		}
+		if err := snap.Mat.Verify(ctx); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if n := s.maintBatches.Load(); n == 0 {
+		t.Error("no write batch went through maintenance")
+	}
+	if n := s.maintFallbacks.Load(); n != 0 {
+		t.Errorf("maintFallbacks = %d, want 0", n)
+	}
+}
+
+// TestServerMaintenanceUnavailable: a program with negation is outside
+// the maintainable fragment — the server must come up with Mat nil and
+// serve reads through per-request evaluation as before.
+func TestServerMaintenanceUnavailable(t *testing.T) {
+	p := lincount.MustParseProgram("p(X) :- f(X), not g(X).")
+	s := newTestServer(t, Config{Program: p})
+	defer s.Close()
+	ctx := context.Background()
+
+	if s.Snapshot().Mat != nil {
+		t.Fatal("negation program unexpectedly materialised")
+	}
+	if _, err := s.Write(ctx, WriteRequest{Assert: "f(a). f(b). g(b)."}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(ctx, QueryRequest{Query: "?- p(X)."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Strategy == "materialized" {
+		t.Fatalf("answers = %v via %q, want 1 row via evaluation", res.Answers, res.Strategy)
 	}
 }

@@ -1,0 +1,150 @@
+package lincount
+
+import (
+	"context"
+	"errors"
+
+	"lincount/internal/incremental"
+	"lincount/internal/parser"
+)
+
+// ErrNotIncremental reports that a program is outside the incrementally
+// maintainable fragment (currently: any rule using negation). Callers
+// should fall back to full re-evaluation (Eval) on updates.
+var ErrNotIncremental = incremental.ErrNotIncremental
+
+// WriteOp is one ordered write of an update batch: a set of facts to
+// assert (Retract false) or retract (Retract true), as fact text in the
+// LoadFacts format. The ordering within a batch is significant — a
+// retract followed by a re-assert of the same fact in one batch leaves
+// the fact present, exactly as if the ops were applied sequentially.
+type WriteOp struct {
+	Retract bool
+	Text    string
+}
+
+// WriteError reports that an op of an Apply batch was rejected (syntax
+// error, non-fact clause, or arity mismatch with an existing relation).
+// The whole batch is rejected; nothing was applied.
+type WriteError struct {
+	// Index is the position of the offending op in the batch.
+	Index int
+	// Err is the underlying parse or validation error.
+	Err error
+}
+
+func (e *WriteError) Error() string { return e.Err.Error() }
+func (e *WriteError) Unwrap() error { return e.Err }
+
+// ApplyInfo reports the work one Apply performed.
+type ApplyInfo struct {
+	// RetractedPerOp holds, for each retract op, how many of its facts
+	// were present (under sequential semantics) when it executed; assert
+	// ops report 0.
+	RetractedPerOp []int
+	// NetInserted and NetDeleted count the base facts that changed after
+	// cancelling retract/re-assert pairs within the batch.
+	NetInserted int
+	NetDeleted  int
+	// DerivedAdded and DerivedRemoved count derived tuples that appeared
+	// and disappeared.
+	DerivedAdded   int
+	DerivedRemoved int
+	// Overdeleted and Rederived count the deletion pass's traffic in
+	// recursive components: tuples provisionally deleted by the
+	// overcounting sweep, and those rederived because alternative
+	// derivations survive.
+	Overdeleted int
+	Rederived   int
+}
+
+// Materialization is a fully materialised evaluation of a Program over
+// one Database epoch, maintained incrementally: Apply produces the next
+// epoch's Materialization from a batch of assert/retract ops without
+// re-running the fixpoint, using derivation counting (exact decrements
+// for non-recursive predicates, overdelete/rederive for recursive ones)
+// for deletions and watermark-resumed semi-naive rounds for insertions.
+//
+// Like Database forks, materialisations form a linear single-writer
+// chain: Apply never mutates its receiver, so superseded epochs keep
+// serving concurrent readers until released.
+type Materialization struct {
+	owner *Program
+	base  *Database
+	mat   *incremental.Materialization
+}
+
+// Materialize evaluates p's rules over db to a fixpoint and returns the
+// maintained materialisation. Returns ErrNotIncremental (wrapped) when
+// the program uses features outside the maintainable fragment.
+func (p *Program) Materialize(ctx context.Context, db *Database) (*Materialization, error) {
+	if db.owner != p {
+		return nil, ErrWrongDatabase
+	}
+	m, err := incremental.New(ctx, p.program, db.db, incremental.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Materialization{owner: p, base: db, mat: m}, nil
+}
+
+// Apply runs one ordered batch of write ops through incremental
+// maintenance and returns the next epoch's Materialization, whose
+// Database is a fork of this epoch's with the batch applied. The
+// receiver is not modified. A rejected op fails the whole batch with a
+// *WriteError and applies nothing.
+func (m *Materialization) Apply(ctx context.Context, ops []WriteOp) (*Materialization, *ApplyInfo, error) {
+	fork := m.base.Fork()
+	iops := make([]incremental.Op, len(ops))
+	for i, op := range ops {
+		iops[i] = incremental.Op{Retract: op.Retract, Text: op.Text}
+	}
+	m2, ar, err := m.mat.Apply(ctx, fork.db, iops)
+	if err != nil {
+		var oe *incremental.OpError
+		if errors.As(err, &oe) {
+			return nil, nil, &WriteError{Index: oe.Index, Err: oe.Err}
+		}
+		return nil, nil, err
+	}
+	return &Materialization{owner: m.owner, base: fork, mat: m2}, &ApplyInfo{
+		RetractedPerOp: ar.RetractedPerOp,
+		NetInserted:    ar.NetInserted,
+		NetDeleted:     ar.NetDeleted,
+		DerivedAdded:   ar.DerivedAdded,
+		DerivedRemoved: ar.DerivedRemoved,
+		Overdeleted:    ar.Overdeleted,
+		Rederived:      ar.Rederived,
+	}, nil
+}
+
+// Database returns the base-fact epoch this materialisation covers.
+func (m *Materialization) Database() *Database { return m.base }
+
+// DerivedFacts reports the number of derived tuples materialised.
+func (m *Materialization) DerivedFacts() int64 { return m.mat.DerivedFacts() }
+
+// Answers evaluates a query goal ("?- tc(a, X).") directly against the
+// materialised relations — no fixpoint, no rewriting; cost is one scan
+// or index probe of the goal's predicate. Rows are rendered exactly as
+// Eval renders them, in the same canonical order.
+func (m *Materialization) Answers(goal string) ([][]string, error) {
+	q, err := parser.ParseQuery(m.owner.bank, goal)
+	if err != nil {
+		return nil, err
+	}
+	tuples := m.mat.Answers(q)
+	rows := make([][]string, len(tuples))
+	for i, t := range tuples {
+		rows[i] = m.owner.formatTuple(t)
+	}
+	return rows, nil
+}
+
+// Verify rebuilds the materialisation from scratch and diffs every
+// derived tuple and derivation count against the maintained state. It
+// is the maintenance oracle used by the chaos suites; cost is a full
+// re-evaluation.
+func (m *Materialization) Verify(ctx context.Context) error {
+	return m.mat.Verify(ctx)
+}
