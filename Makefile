@@ -36,6 +36,7 @@ chaos:
 # expected span names. See docs/INTERNALS.md § Observability.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./cmd/lincount
+	$(GO) test -run TestObsServerSmoke -count=1 ./cmd/lincountd
 
 # End-to-end daemon check: build lincountd, start it in-process on an
 # ephemeral port, query it, write a fact (read-your-writes across

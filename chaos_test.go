@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -383,195 +384,233 @@ func TestChaosServerMVCC(t *testing.T) {
 		{"write-latency", 13, "server.write=delay~0.5:200us,server.publish=delay~0.3:100us", ""},
 		{"mixed-storm", 14, "server.write=err~0.08,server.publish=err~0.05", "engine.iter=delay~0.2:100us,counting.step=delay~0.1:50us"},
 	}
-	for _, sched := range schedules {
-		sched := sched
-		t.Run(sched.name, func(t *testing.T) {
-			t.Parallel()
-			p := lincount.MustParseProgram("p(X,Y) :- f(X,Y).")
-			inj, err := faultinject.ParseSpec(sched.seed, sched.spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			cfg := server.Config{
-				Program:      p,
-				DB:           lincount.NewDatabase(p),
-				Inject:       inj,
-				WriteRetries: 2,
-				RetryBackoff: 100 * time.Microsecond,
-			}
-			if sched.evals != "" {
-				cfg.EvalOptions = []lincount.Option{
-					lincount.WithFaultInjection(sched.seed, sched.evals),
-				}
-			}
-			s, err := server.New(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ctx := context.Background()
-
-			var mu sync.Mutex
-			var applied []struct {
-				assert, retract string
-			}
-
-			var writers sync.WaitGroup
-			for w := 0; w < numWriters; w++ {
-				writers.Add(1)
-				go func(w int) {
-					defer writers.Done()
-					lastOK := -1 // index of this writer's last acknowledged assert
-					for j := 0; j < numWrites; j++ {
-						req := server.WriteRequest{}
-						factsOf := func(j int) string {
-							var sb strings.Builder
-							for k := 0; k < K; k++ {
-								fmt.Fprintf(&sb, "f(w%d_%d,k%d). ", w, j, k)
-							}
-							return sb.String()
-						}
-						// Every third op retracts the writer's previous
-						// acknowledged group — still exactly K facts, so
-						// the multiple-of-K invariant holds throughout.
-						if j%3 == 2 && lastOK >= 0 {
-							req.Retract = factsOf(lastOK)
-							lastOK = -1
-						} else {
-							req.Assert = factsOf(j)
-						}
-						res, err := s.Write(ctx, req)
-						if err != nil {
-							if !errors.Is(err, faultinject.ErrInjected) {
-								t.Errorf("writer %d: unclassified error: %v", w, err)
-							}
-							continue
-						}
-						if res.Epoch == 0 {
-							t.Errorf("writer %d: acknowledged write at epoch 0", w)
-						}
-						if req.Assert != "" {
-							lastOK = j
-						}
-						mu.Lock()
-						applied = append(applied, struct{ assert, retract string }{req.Assert, req.Retract})
-						mu.Unlock()
-						// Maintenance differential oracle: after every
-						// acknowledged write batch, the incrementally
-						// maintained materialisation must equal a
-						// from-scratch re-evaluation of its snapshot.
-						if snap := s.Snapshot(); snap.Mat != nil {
-							if err := snap.Mat.Verify(ctx); err != nil {
-								t.Errorf("writer %d: maintenance diverged at epoch %d: %v", w, snap.Epoch, err)
-								return
-							}
-						}
-					}
-				}(w)
-			}
-
-			stop := make(chan struct{})
-			var readers sync.WaitGroup
-			for r := 0; r < numReaders; r++ {
-				readers.Add(1)
-				go func() {
-					defer readers.Done()
-					var lastEpoch uint64
-					for {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						res, err := s.Query(ctx, server.QueryRequest{Query: "?- p(X,Y)."})
-						if err != nil {
-							// Read-path faults must surface classified.
-							if !errors.Is(err, faultinject.ErrInjected) &&
-								!errors.Is(err, lincount.ErrResourceLimit) &&
-								!errors.Is(err, context.Canceled) {
-								t.Errorf("reader: unclassified error: %v", err)
-								return
-							}
-							continue
-						}
-						if len(res.Answers)%K != 0 {
-							t.Errorf("torn batch: %d facts at epoch %d (not a multiple of %d)",
-								len(res.Answers), res.Epoch, K)
-							return
-						}
-						if res.Epoch < lastEpoch {
-							t.Errorf("epoch regressed: %d after %d", res.Epoch, lastEpoch)
-							return
-						}
-						lastEpoch = res.Epoch
-					}
-				}()
-			}
-
-			writers.Wait()
-			close(stop)
-			readers.Wait()
-
-			// Differential oracle on the final state: replay exactly the
-			// acknowledged operations, in acknowledgment order, on a
-			// fresh database. Writers use disjoint fact namespaces and
-			// each writer's ops are sequential, so replay order across
-			// writers commutes.
-			oracleDB := lincount.NewDatabase(p)
-			for _, op := range applied {
-				if op.assert != "" {
-					if err := oracleDB.LoadFacts(op.assert); err != nil {
-						t.Fatal(err)
-					}
-				}
-				if op.retract != "" {
-					if _, err := oracleDB.RetractFacts(op.retract); err != nil {
-						t.Fatal(err)
-					}
-				}
-			}
-			want, err := lincount.Eval(p, oracleDB, "?- p(X,Y).", lincount.SemiNaive)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := lincount.Eval(p, s.Snapshot().DB, "?- p(X,Y).", lincount.SemiNaive)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sortRows := func(rows [][]string) []string {
-				out := make([]string, len(rows))
-				for i, r := range rows {
-					out[i] = strings.Join(r, ",")
-				}
-				sort.Strings(out)
-				return out
-			}
-			g, o := sortRows(got.Answers), sortRows(want.Answers)
-			if strings.Join(g, "|") != strings.Join(o, "|") {
-				t.Fatalf("final state diverged from oracle:\nserver: %d answers\noracle: %d answers",
-					len(g), len(o))
-			}
-			// The maintained materialisation must agree with the same
-			// oracle: its answers are what auto reads were served from.
-			if snap := s.Snapshot(); snap.Mat != nil {
-				mrows, err := snap.Mat.Answers("?- p(X,Y).")
+	// Goroutine hygiene: everything the schedules spawn — writers,
+	// readers, the servers' own workers — must be gone once the group
+	// finishes. The group wrapper forces every parallel subtest to
+	// complete before the leak check below runs.
+	goroutinesBefore := runtime.NumGoroutine()
+	t.Run("schedules", func(t *testing.T) {
+		for _, sched := range schedules {
+			sched := sched
+			t.Run(sched.name, func(t *testing.T) {
+				t.Parallel()
+				p := lincount.MustParseProgram("p(X,Y) :- f(X,Y).")
+				inj, err := faultinject.ParseSpec(sched.seed, sched.spec)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if m := sortRows(mrows); strings.Join(m, "|") != strings.Join(o, "|") {
-					t.Fatalf("materialisation diverged from oracle:\nmaterialized: %d answers\noracle: %d answers",
-						len(m), len(o))
+				cfg := server.Config{
+					Program:      p,
+					DB:           lincount.NewDatabase(p),
+					Inject:       inj,
+					WriteRetries: 2,
+					RetryBackoff: 100 * time.Microsecond,
 				}
-				if err := snap.Mat.Verify(ctx); err != nil {
-					t.Fatalf("final maintenance verify: %v", err)
+				if sched.evals != "" {
+					cfg.EvalOptions = []lincount.Option{
+						lincount.WithFaultInjection(sched.seed, sched.evals),
+					}
 				}
-			} else {
-				t.Error("server lost its materialisation during the chaos run")
-			}
+				s, err := server.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := context.Background()
 
-			if err := s.Drain(ctx); err != nil {
-				t.Fatalf("Drain: %v", err)
-			}
-		})
+				var mu sync.Mutex
+				var applied []struct {
+					assert, retract string
+				}
+
+				var writers sync.WaitGroup
+				for w := 0; w < numWriters; w++ {
+					writers.Add(1)
+					go func(w int) {
+						defer writers.Done()
+						lastOK := -1 // index of this writer's last acknowledged assert
+						for j := 0; j < numWrites; j++ {
+							req := server.WriteRequest{}
+							factsOf := func(j int) string {
+								var sb strings.Builder
+								for k := 0; k < K; k++ {
+									fmt.Fprintf(&sb, "f(w%d_%d,k%d). ", w, j, k)
+								}
+								return sb.String()
+							}
+							// Every third op retracts the writer's previous
+							// acknowledged group — still exactly K facts, so
+							// the multiple-of-K invariant holds throughout.
+							if j%3 == 2 && lastOK >= 0 {
+								req.Retract = factsOf(lastOK)
+								lastOK = -1
+							} else {
+								req.Assert = factsOf(j)
+							}
+							res, err := s.Write(ctx, req)
+							if err != nil {
+								if !errors.Is(err, faultinject.ErrInjected) {
+									t.Errorf("writer %d: unclassified error: %v", w, err)
+								}
+								continue
+							}
+							if res.Epoch == 0 {
+								t.Errorf("writer %d: acknowledged write at epoch 0", w)
+							}
+							if req.Assert != "" {
+								lastOK = j
+							}
+							mu.Lock()
+							applied = append(applied, struct{ assert, retract string }{req.Assert, req.Retract})
+							mu.Unlock()
+							// Maintenance differential oracle: after every
+							// acknowledged write batch, the incrementally
+							// maintained materialisation must equal a
+							// from-scratch re-evaluation of its snapshot.
+							if snap := s.Snapshot(); snap.Mat != nil {
+								if err := snap.Mat.Verify(ctx); err != nil {
+									t.Errorf("writer %d: maintenance diverged at epoch %d: %v", w, snap.Epoch, err)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+
+				stop := make(chan struct{})
+				var readers sync.WaitGroup
+				for r := 0; r < numReaders; r++ {
+					readers.Add(1)
+					go func() {
+						defer readers.Done()
+						var lastEpoch uint64
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							// Live introspection under load: the registry must
+							// expose only well-formed entries — our one query
+							// text, nonzero ids, never more slots than there
+							// are readers to fill them.
+							for _, q := range s.ActiveQueries() {
+								if q.ID == 0 {
+									t.Error("registry entry with zero id")
+									return
+								}
+								if q.Query != "?- p(X,Y)." {
+									t.Errorf("registry leaked a foreign query: %q", q.Query)
+									return
+								}
+							}
+							if n := len(s.ActiveQueries()); n > numReaders {
+								t.Errorf("registry holds %d entries with only %d readers", n, numReaders)
+								return
+							}
+							res, err := s.Query(ctx, server.QueryRequest{Query: "?- p(X,Y)."})
+							if err != nil {
+								// Read-path faults must surface classified.
+								if !errors.Is(err, faultinject.ErrInjected) &&
+									!errors.Is(err, lincount.ErrResourceLimit) &&
+									!errors.Is(err, context.Canceled) {
+									t.Errorf("reader: unclassified error: %v", err)
+									return
+								}
+								continue
+							}
+							if len(res.Answers)%K != 0 {
+								t.Errorf("torn batch: %d facts at epoch %d (not a multiple of %d)",
+									len(res.Answers), res.Epoch, K)
+								return
+							}
+							if res.Epoch < lastEpoch {
+								t.Errorf("epoch regressed: %d after %d", res.Epoch, lastEpoch)
+								return
+							}
+							lastEpoch = res.Epoch
+						}
+					}()
+				}
+
+				writers.Wait()
+				close(stop)
+				readers.Wait()
+
+				// Differential oracle on the final state: replay exactly the
+				// acknowledged operations, in acknowledgment order, on a
+				// fresh database. Writers use disjoint fact namespaces and
+				// each writer's ops are sequential, so replay order across
+				// writers commutes.
+				oracleDB := lincount.NewDatabase(p)
+				for _, op := range applied {
+					if op.assert != "" {
+						if err := oracleDB.LoadFacts(op.assert); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if op.retract != "" {
+						if _, err := oracleDB.RetractFacts(op.retract); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				want, err := lincount.Eval(p, oracleDB, "?- p(X,Y).", lincount.SemiNaive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := lincount.Eval(p, s.Snapshot().DB, "?- p(X,Y).", lincount.SemiNaive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sortRows := func(rows [][]string) []string {
+					out := make([]string, len(rows))
+					for i, r := range rows {
+						out[i] = strings.Join(r, ",")
+					}
+					sort.Strings(out)
+					return out
+				}
+				g, o := sortRows(got.Answers), sortRows(want.Answers)
+				if strings.Join(g, "|") != strings.Join(o, "|") {
+					t.Fatalf("final state diverged from oracle:\nserver: %d answers\noracle: %d answers",
+						len(g), len(o))
+				}
+				// The maintained materialisation must agree with the same
+				// oracle: its answers are what auto reads were served from.
+				if snap := s.Snapshot(); snap.Mat != nil {
+					mrows, err := snap.Mat.Answers("?- p(X,Y).")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if m := sortRows(mrows); strings.Join(m, "|") != strings.Join(o, "|") {
+						t.Fatalf("materialisation diverged from oracle:\nmaterialized: %d answers\noracle: %d answers",
+							len(m), len(o))
+					}
+					if err := snap.Mat.Verify(ctx); err != nil {
+						t.Fatalf("final maintenance verify: %v", err)
+					}
+				} else {
+					t.Error("server lost its materialisation during the chaos run")
+				}
+
+				if err := s.Drain(ctx); err != nil {
+					t.Fatalf("Drain: %v", err)
+				}
+				// The registry drained with the requests: a leaked entry
+				// here is a slot whose end() never ran.
+				if qs := s.ActiveQueries(); len(qs) != 0 {
+					t.Errorf("registry leaked %d entries after drain: %+v", len(qs), qs)
+				}
+			})
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live after the chaos schedules, started with %d",
+				runtime.NumGoroutine(), goroutinesBefore)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

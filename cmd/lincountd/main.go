@@ -8,11 +8,19 @@
 //
 // Endpoints (all on the one listener):
 //
-//	POST /v1/query   {"query":"?- sg(a,Y)."}            evaluate
-//	POST /v1/write   {"assert":"up(a,b).","retract":""}  mutate (atomic)
-//	GET  /v1/stats   lifecycle state, epoch, admission gauges
-//	GET  /healthz    liveness          GET /readyz   readiness
-//	GET  /metrics    Prometheus text   /debug/pprof/ profiler
+//	POST   /v1/query         {"query":"?- sg(a,Y)."}            evaluate
+//	POST   /v1/write         {"assert":"up(a,b).","retract":""}  mutate (atomic)
+//	GET    /v1/stats         lifecycle state, epoch, admission gauges
+//	GET    /v1/queries       in-flight queries  DELETE /v1/queries/{id}  cancel one
+//	GET    /v1/debug/slowlog slow-query log (see -slow-query)
+//	GET    /healthz          liveness          GET /readyz   readiness
+//	GET    /metrics          Prometheus text   /debug/pprof/ profiler
+//
+// Every request gets an X-Request-Id (the inbound one is honoured when
+// sane), echoed on responses and error bodies and stamped on the
+// server's structured log lines (-log-format, -log-level). Requests
+// slower than -slow-query land in the slow-query log with their planner
+// ranking and per-rule profiles.
 //
 // Reads run against immutable snapshots (MVCC); writes batch through a
 // single writer that publishes a new epoch atomically, so a query never
@@ -44,6 +52,7 @@ import (
 
 	"lincount"
 	"lincount/internal/faultinject"
+	"lincount/internal/obsv"
 	"lincount/internal/server"
 	"lincount/internal/wal"
 )
@@ -78,6 +87,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fsyncEvery   = fs.Duration("fsync-interval", 50*time.Millisecond, "max fsync lag under -fsync=interval")
 		ckptBytes    = fs.Int64("checkpoint-bytes", 8<<20, "checkpoint when the live WAL segment exceeds this size (-1 disables)")
 		ckptRecords  = fs.Int("checkpoint-records", 4096, "checkpoint when the live WAL segment exceeds this many records (-1 disables)")
+		logFormat    = fs.String("log-format", "json", "structured-log format: json or text")
+		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowQuery    = fs.Duration("slow-query", 250*time.Millisecond, "capture queries slower than this in the slow-query log (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +103,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lincountd: -program is required")
 		fs.Usage()
 		return 2
+	}
+	if *logFormat != "json" && *logFormat != "text" {
+		return fail(fmt.Errorf("-log-format: unknown format %q (want json or text)", *logFormat))
+	}
+	level, err := obsv.ParseLevel(*logLevel)
+	if err != nil {
+		return fail(fmt.Errorf("-log-level: %w", err))
 	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
@@ -150,6 +169,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 			return *maxFacts
 		}(),
+		SlowQuery: *slowQuery,
+		Log:       obsv.NewLogger(stderr, *logFormat, level),
 	}
 	if *dataDir != "" {
 		sync, err := wal.ParseSyncPolicy(*fsyncPolicy)

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"runtime/debug"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"lincount/internal/ast"
@@ -38,6 +39,8 @@ type evalConfig struct {
 	faultSpec         string
 	inject            *faultinject.Injector
 	tracer            *obsv.Tracer
+	profile           bool
+	progress          *atomic.Int64
 	// statsSink, when non-nil, receives the evaluation's work counters
 	// even when it fails partway — the partial stats of a degraded
 	// attempt. Always non-nil below evalCore (it points at a local
@@ -110,6 +113,27 @@ func NewTracer() *Tracer { return obsv.NewTracer() }
 // evaluation allocates nothing extra.
 func WithTracer(t *Tracer) Option {
 	return func(c *evalConfig) { c.tracer = t }
+}
+
+// WithRuleProfile enables per-rule profiling (Result.RuleProfile) for
+// the engine strategies without recording a trace: runs, inferences,
+// derived tuples and wall-clock time per rule. Cheaper than WithTracer
+// (clock reads per rule run, no event buffer) — the query server's
+// slow-query log uses it to attribute a slow request's time. Like the
+// other observers it does not participate in the plan-cache key.
+func WithRuleProfile() Option {
+	return func(c *evalConfig) { c.profile = true }
+}
+
+// WithFactProgress mirrors the evaluation's derived-fact count into c
+// as it grows (one atomic add per derived tuple) so a concurrent
+// observer — the query server's active-query registry — can report
+// facts-so-far for an in-flight evaluation. Engine strategies only; the
+// counting runtime and QSQ report their work in Stats when done. The
+// counter is not reset: pass a fresh one per evaluation. Excluded from
+// the plan-cache key like every observer.
+func WithFactProgress(c *atomic.Int64) Option {
+	return func(cc *evalConfig) { cc.progress = c }
 }
 
 // WithMaxIterations bounds fixpoint iterations (engine strategies).
@@ -632,6 +656,8 @@ func engineOpts(cfg evalConfig, naive bool) engine.Options {
 		Parallel:        cfg.parallel,
 		Inject:          cfg.inject,
 		Tracer:          cfg.tracer,
+		Profile:         cfg.profile,
+		FactProgress:    cfg.progress,
 	}
 	if cfg.trace != nil {
 		fn := cfg.trace

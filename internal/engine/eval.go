@@ -61,6 +61,17 @@ type Options struct {
 	// per-rule profiling (Result.Rules). Nil costs one pointer comparison
 	// per hook site.
 	Tracer *obsv.Tracer
+	// Profile enables per-rule profiling (Result.Rules) without a
+	// tracer: the query server's slow-query log wants rule attribution
+	// for requests that never asked for a full trace. A non-nil Tracer
+	// implies Profile; with both off the rule loop stays untouched.
+	Profile bool
+	// FactProgress, when non-nil, receives a live mirror of the
+	// evaluation's derived-fact count (one atomic add per derived
+	// tuple) — the query server's active-query registry reads it to
+	// report facts-so-far for in-flight requests. Nil costs one branch
+	// per derived fact.
+	FactProgress *atomic.Int64
 	// StatsOut, when non-nil, receives the evaluator's Stats even when
 	// evaluation fails partway (budget trip, injected fault,
 	// cancellation) — the partial work counters a degraded attempt would
@@ -114,8 +125,8 @@ func (s *Stats) Add(other Stats) {
 }
 
 // RuleStat is one rule's profiling record, collected only when a Tracer
-// is attached (profiling costs clock reads per rule run, so untraced
-// evaluations skip it entirely).
+// is attached or Options.Profile is set (profiling costs clock reads
+// per rule run, so unprofiled evaluations skip it entirely).
 type RuleStat struct {
 	// Rule is the rule's source text.
 	Rule string
@@ -175,10 +186,14 @@ type evaluator struct {
 	// evaluator's track in the trace (parallel strata get their own).
 	tracer *obsv.Tracer
 	tid    int64
-	// prof accumulates per-rule profiles when the tracer is attached;
-	// profOrder preserves first-run order for Result.Rules.
+	// prof accumulates per-rule profiles when profiling is on (a tracer
+	// is attached or Options.Profile is set); profOrder preserves
+	// first-run order for Result.Rules.
 	prof      map[*compiledRule]*RuleStat
 	profOrder []*RuleStat
+	// progress, when non-nil, mirrors the derived-fact count for live
+	// introspection (Options.FactProgress).
+	progress *atomic.Int64
 	// factTotal is the global derived-fact count the budget is enforced
 	// against. It is shared (one atomic counter) across the concurrent
 	// strata of a parallel evaluation, so MaxDerivedFacts is a true
@@ -234,8 +249,9 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 		tracer:    opts.Tracer,
 		tid:       1,
 		factTotal: new(atomic.Int64),
+		progress:  opts.FactProgress,
 	}
-	if ev.tracer != nil {
+	if ev.tracer != nil || opts.Profile {
 		ev.prof = make(map[*compiledRule]*RuleStat)
 	}
 	if opts.StatsOut != nil {
@@ -282,7 +298,7 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 			}
 			if rel.Insert(t) {
 				ev.stats.DerivedFacts++
-				ev.factTotal.Add(1)
+				ev.countFact()
 			}
 		}
 	}
@@ -299,7 +315,7 @@ func EvalContext(ctx context.Context, p *ast.Program, db *database.Database, opt
 				// Insert copies the base row view into the derived arena.
 				if rel.Insert(database.Tuple(base.Row(id))) {
 					ev.stats.DerivedFacts++
-					ev.factTotal.Add(1)
+					ev.countFact()
 				}
 			}
 		}
@@ -617,11 +633,22 @@ func (ev *evaluator) semiNaiveFixpoint(comp Component, rules []*compiledRule) er
 	return nil
 }
 
+// countFact bumps the global fact total the budget is enforced against
+// and, when armed, the live progress mirror. Returns the new total.
+func (ev *evaluator) countFact() int64 {
+	n := ev.factTotal.Add(1)
+	if ev.progress != nil {
+		ev.progress.Add(1)
+	}
+	return n
+}
+
 // runRule evaluates one rule variant into the head relation; grew, if non-
-// nil, is set when a new tuple appeared. With a tracer attached each run
-// is also timed into the rule's profile and recorded as a span.
+// nil, is set when a new tuple appeared. With profiling on (tracer
+// attached or Options.Profile) each run is also timed into the rule's
+// profile and, when a tracer is present, recorded as a span.
 func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, grew *bool) error {
-	if ev.tracer == nil {
+	if ev.prof == nil {
 		return ev.runRuleFast(cr, deltaOcc, delta, grew)
 	}
 	p := ev.profFor(cr)
@@ -650,7 +677,7 @@ func (ev *evaluator) runRuleFast(cr *compiledRule, deltaOcc int, delta map[symta
 			if err := ev.inject.Hit(faultinject.SiteEngineInsert); err != nil {
 				return err
 			}
-			if n := ev.factTotal.Add(1); n > ev.maxFacts {
+			if n := ev.countFact(); n > ev.maxFacts {
 				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
 			}
 			if grew != nil {

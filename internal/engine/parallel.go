@@ -131,12 +131,16 @@ func (ev *evaluator) evalComponentsParallel(comps []Component) error {
 			inject:    ev.inject,
 			tracer:    ev.tracer,
 			factTotal: ev.factTotal,
+			progress:  ev.progress,
 		}
 		if ev.tracer != nil {
-			// Each concurrent stratum gets its own track in the trace and
-			// its own profile map (merged below); the Tracer itself is
-			// safe for concurrent recording.
+			// Each concurrent stratum gets its own track in the trace;
+			// the Tracer itself is safe for concurrent recording.
 			child.tid = ev.tracer.NewTID()
+		}
+		if ev.prof != nil {
+			// Profiling (traced or not): each stratum fills its own
+			// profile map, merged below.
 			child.prof = make(map[*compiledRule]*RuleStat)
 		}
 		// Serialize trace callbacks across goroutines.

@@ -1,0 +1,284 @@
+package obsv
+
+// A structured, leveled logger in the package's zero-overhead-when-off
+// discipline: a nil *Logger is a valid disabled logger whose methods
+// return after one pointer comparison, and a level-suppressed call on a
+// live logger returns after one atomic load — in both cases without
+// reading the clock, formatting anything, or allocating. Fields are
+// plain value structs (no interface boxing), so a call site's ...Field
+// slice stays on the stack when the call is suppressed.
+//
+// One line is emitted per event, in JSON ("json", the default — one
+// object per line, ts/level/msg plus the fields) or logfmt-ish text
+// ("text"). Encoding appends into a buffer reused under the logger's
+// mutex, so steady-state logging allocates nothing either.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. The numeric gaps follow log/slog so custom
+// intermediate levels remain possible.
+type Level int32
+
+const (
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+	LevelError Level = 8
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch {
+	case l < LevelInfo:
+		return "debug"
+	case l < LevelWarn:
+		return "info"
+	case l < LevelError:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel parses a level name (debug, info, warn, error).
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obsv: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// fieldKind discriminates Field's value slot.
+type fieldKind uint8
+
+const (
+	fkString fieldKind = iota
+	fkInt
+	fkUint
+	fkBool
+	fkDuration
+	fkFloat
+)
+
+// Field is one key/value annotation on a log line. Construct with FStr,
+// FInt, FUint, FBool, FDur, FFloat or FErr — plain struct returns, no
+// interface boxing, so building fields for a suppressed call costs
+// nothing on the heap.
+type Field struct {
+	Key  string
+	kind fieldKind
+	str  string
+	num  int64
+	f    float64
+}
+
+// FStr is a string field.
+func FStr(key, val string) Field { return Field{Key: key, kind: fkString, str: val} }
+
+// FInt is an integer field.
+func FInt(key string, val int64) Field { return Field{Key: key, kind: fkInt, num: val} }
+
+// FUint is an unsigned integer field.
+func FUint(key string, val uint64) Field { return Field{Key: key, kind: fkUint, num: int64(val)} }
+
+// FBool is a boolean field.
+func FBool(key string, val bool) Field {
+	n := int64(0)
+	if val {
+		n = 1
+	}
+	return Field{Key: key, kind: fkBool, num: n}
+}
+
+// FDur is a duration field, rendered as fractional seconds.
+func FDur(key string, val time.Duration) Field {
+	return Field{Key: key, kind: fkDuration, num: int64(val)}
+}
+
+// FFloat is a float field.
+func FFloat(key string, val float64) Field { return Field{Key: key, kind: fkFloat, f: val} }
+
+// FErr is a string field holding err's message ("" for nil). Note that
+// Error() may allocate — fine on error paths, which is where FErr lives.
+func FErr(key string, err error) Field {
+	if err == nil {
+		return FStr(key, "")
+	}
+	return FStr(key, err.Error())
+}
+
+// Logger writes structured, leveled log lines. A nil *Logger is a valid
+// disabled logger (every method no-ops after one pointer comparison);
+// construct live ones with NewLogger. Safe for concurrent use.
+type Logger struct {
+	w    io.Writer
+	json bool
+	min  atomic.Int32
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewLogger returns a logger writing to w. format is "json" (default
+// for anything unrecognized) or "text"; events below min are dropped.
+func NewLogger(w io.Writer, format string, min Level) *Logger {
+	l := &Logger{w: w, json: format != "text", buf: make([]byte, 0, 512)}
+	l.min.Store(int32(min))
+	return l
+}
+
+// Enabled reports whether a line at level lv would be emitted — the
+// guard for call sites whose field construction is itself expensive.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.min.Load())
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Debug emits a debug-level line.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info emits an info-level line.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn emits a warn-level line.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error emits an error-level line.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+// logTimeFormat is RFC3339 with millisecond precision, always UTC.
+const logTimeFormat = "2006-01-02T15:04:05.000Z"
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if l == nil || lv < Level(l.min.Load()) {
+		return
+	}
+	now := time.Now().UTC()
+	l.mu.Lock()
+	b := l.buf[:0]
+	if l.json {
+		b = append(b, `{"ts":"`...)
+		b = now.AppendFormat(b, logTimeFormat)
+		b = append(b, `","level":"`...)
+		b = append(b, lv.String()...)
+		b = append(b, `","msg":`...)
+		b = appendJSONString(b, msg)
+		for _, f := range fields {
+			b = append(b, ',')
+			b = appendJSONString(b, f.Key)
+			b = append(b, ':')
+			b = appendJSONValue(b, f)
+		}
+		b = append(b, '}', '\n')
+	} else {
+		b = now.AppendFormat(b, logTimeFormat)
+		b = append(b, ' ')
+		b = append(b, lv.String()...)
+		b = append(b, ' ')
+		b = append(b, msg...)
+		for _, f := range fields {
+			b = append(b, ' ')
+			b = append(b, f.Key...)
+			b = append(b, '=')
+			b = appendTextValue(b, f)
+		}
+		b = append(b, '\n')
+	}
+	_, _ = l.w.Write(b)
+	l.buf = b[:0] // keep any growth for reuse
+	l.mu.Unlock()
+}
+
+func appendJSONValue(b []byte, f Field) []byte {
+	switch f.kind {
+	case fkString:
+		return appendJSONString(b, f.str)
+	case fkInt:
+		return strconv.AppendInt(b, f.num, 10)
+	case fkUint:
+		return strconv.AppendUint(b, uint64(f.num), 10)
+	case fkBool:
+		if f.num != 0 {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	case fkDuration:
+		return strconv.AppendFloat(b, time.Duration(f.num).Seconds(), 'f', 6, 64)
+	default: // fkFloat
+		return strconv.AppendFloat(b, f.f, 'g', -1, 64)
+	}
+}
+
+func appendTextValue(b []byte, f Field) []byte {
+	switch f.kind {
+	case fkString:
+		if needsQuoting(f.str) {
+			return appendJSONString(b, f.str)
+		}
+		return append(b, f.str...)
+	case fkDuration:
+		b = strconv.AppendFloat(b, time.Duration(f.num).Seconds(), 'f', 6, 64)
+		return append(b, 's')
+	default:
+		return appendJSONValue(b, f)
+	}
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal without
+// allocating: the common escapes inline, control characters as \u00XX,
+// everything else (including multi-byte UTF-8) byte-for-byte.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

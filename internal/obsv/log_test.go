@@ -1,0 +1,189 @@
+package obsv
+
+// The structured logger's contract: nil and suppressed loggers cost
+// nothing and emit nothing, JSON output is one parseable object per
+// line, text output is scannable logfmt, and the request-log ring
+// retains newest-first with a monotonic total.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Debug("a")
+	l.Info("b", FStr("k", "v"))
+	l.Warn("c", FInt("n", 1))
+	l.Error("d", FErr("error", errors.New("x")))
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports Enabled")
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "json", LevelInfo)
+	l.Debug("dropped", FStr("k", "v"))
+	if buf.Len() != 0 {
+		t.Fatalf("suppressed level emitted %q", buf.String())
+	}
+	l.Info("query done",
+		FStr("request_id", "abc-1"),
+		FInt("rows", -3),
+		FUint("epoch", 7),
+		FBool("ok", true),
+		FDur("elapsed", 1500*time.Millisecond),
+		FFloat("cost", 2.5),
+		FErr("error", errors.New(`bad "quote"`)),
+	)
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not exactly one line: %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("output is not JSON: %v\n%q", err, line)
+	}
+	if m["level"] != "info" || m["msg"] != "query done" {
+		t.Fatalf("level/msg = %v/%v", m["level"], m["msg"])
+	}
+	if m["request_id"] != "abc-1" || m["rows"] != float64(-3) || m["epoch"] != float64(7) {
+		t.Fatalf("fields = %v", m)
+	}
+	if m["ok"] != true || m["elapsed"] != 1.5 || m["cost"] != 2.5 {
+		t.Fatalf("fields = %v", m)
+	}
+	if m["error"] != `bad "quote"` {
+		t.Fatalf("error field = %v", m["error"])
+	}
+	if _, err := time.Parse("2006-01-02T15:04:05.000Z", m["ts"].(string)); err != nil {
+		t.Fatalf("timestamp %v: %v", m["ts"], err)
+	}
+}
+
+func TestLoggerJSONEscapesControlChars(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "json", LevelInfo)
+	l.Info("weird\tmsg\n", FStr("k", "a\x00b"))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("not JSON: %v\n%q", err, buf.String())
+	}
+	if m["msg"] != "weird\tmsg\n" || m["k"] != "a\x00b" {
+		t.Fatalf("roundtrip lost bytes: %q", m)
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "text", LevelWarn)
+	l.Info("dropped")
+	l.Warn("slow query", FStr("query", "?- sg(a,X)."), FInt("n", 2))
+	line := buf.String()
+	if strings.Contains(line, "dropped") {
+		t.Fatalf("suppressed level leaked: %q", line)
+	}
+	for _, want := range []string{"warn", "slow query", `query="?- sg(a,X)."`, "n=2"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("text line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLoggerSetLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "json", LevelError)
+	if l.Enabled(LevelInfo) {
+		t.Fatal("info enabled at error level")
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("debug not enabled after SetLevel")
+	}
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatalf("debug line missing after SetLevel: %q", buf.String())
+	}
+}
+
+func TestSuppressedLogZeroAlloc(t *testing.T) {
+	l := NewLogger(nopWriter{}, "json", LevelError)
+	var nl *Logger
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Debug("suppressed", FStr("k", "v"), FInt("n", 1))
+		nl.Info("nil", FUint("u", 2))
+	})
+	if allocs != 0 {
+		t.Fatalf("suppressed logging allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestRequestLogRing(t *testing.T) {
+	var nl *RequestLog
+	nl.Add(RequestRecord{}) // nil log is inert
+	if nl.Snapshot() != nil || nl.Total() != 0 {
+		t.Fatal("nil RequestLog not inert")
+	}
+
+	l := NewRequestLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Add(RequestRecord{ID: uint64(i), Query: fmt.Sprintf("q%d", i)})
+	}
+	recs := l.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	// Newest first: 5, 4, 3 (1 and 2 evicted).
+	for i, want := range []uint64{5, 4, 3} {
+		if recs[i].ID != want {
+			t.Fatalf("recs[%d].ID = %d, want %d", i, recs[i].ID, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+
+	// Records survive a JSON round trip with their tags.
+	b, err := json.Marshal(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"query":"q5"`) {
+		t.Fatalf("JSON = %s", b)
+	}
+}
+
+func TestRequestLogMinCapacity(t *testing.T) {
+	l := NewRequestLog(0)
+	l.Add(RequestRecord{ID: 1})
+	l.Add(RequestRecord{ID: 2})
+	recs := l.Snapshot()
+	if len(recs) != 1 || recs[0].ID != 2 {
+		t.Fatalf("capacity-1 ring = %+v", recs)
+	}
+}

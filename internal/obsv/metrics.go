@@ -240,6 +240,104 @@ func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
+// LabeledHistogram is a family of histograms keyed by two labels (e.g.
+// handler × outcome). Series are created on first observation; Observe
+// on an existing series takes the family mutex and allocates nothing
+// (the [2]string map key lives on the stack).
+type LabeledHistogram struct {
+	n, h   string
+	labels [2]string
+	bounds []float64
+	mu     sync.Mutex
+	series map[[2]string]*histSeries
+}
+
+type histSeries struct {
+	counts  []uint64 // len(bounds)+1, last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// NewLabeledHistogram registers a histogram family with two label
+// dimensions and the given ascending bucket upper bounds.
+func (r *Registry) NewLabeledHistogram(name, help string, labels [2]string, bounds []float64) *LabeledHistogram {
+	h := &LabeledHistogram{n: name, h: help, labels: labels, bounds: bounds,
+		series: make(map[[2]string]*histSeries)}
+	r.add(h, expvar.Func(h.snapshot))
+	return h
+}
+
+// Observe records one sample for the (v1, v2) label pair.
+func (h *LabeledHistogram) Observe(v1, v2 string, v float64) {
+	h.mu.Lock()
+	s := h.series[[2]string{v1, v2}]
+	if s == nil {
+		s = &histSeries{counts: make([]uint64, len(h.bounds)+1)}
+		h.series[[2]string{v1, v2}] = s
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.sum += v
+	s.samples++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples for one label pair.
+func (h *LabeledHistogram) Count(v1, v2 string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.series[[2]string{v1, v2}]; s != nil {
+		return s.samples
+	}
+	return 0
+}
+
+// snapshot is the expvar view: per-series count and sum.
+func (h *LabeledHistogram) snapshot() any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := map[string]any{}
+	for k, s := range h.series {
+		out[k[0]+","+k[1]] = map[string]any{"count": s.samples, "sum": s.sum}
+	}
+	return out
+}
+
+func (h *LabeledHistogram) name() string { return h.n }
+func (h *LabeledHistogram) help() string { return h.h }
+func (h *LabeledHistogram) kind() string { return "histogram" }
+func (h *LabeledHistogram) expose(w io.Writer) {
+	h.mu.Lock()
+	keys := make([][2]string, 0, len(h.series))
+	for k := range h.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		s := h.series[k]
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s=%q,%s=%q,le=%q} %d\n",
+				h.n, h.labels[0], k[0], h.labels[1], k[1], formatBound(b), cum)
+		}
+		cum += s.counts[len(h.bounds)]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,%s=%q,le=\"+Inf\"} %d\n",
+			h.n, h.labels[0], k[0], h.labels[1], k[1], cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q,%s=%q} %g\n", h.n, h.labels[0], k[0], h.labels[1], k[1], s.sum)
+		fmt.Fprintf(w, "%s_count{%s=%q,%s=%q} %d\n", h.n, h.labels[0], k[0], h.labels[1], k[1], s.samples)
+	}
+	h.mu.Unlock()
+}
+
 // The canonical evaluation metrics, recorded once per Eval by the public
 // facade — coarse enough that an evaluation's hot loops never touch an
 // atomic, complete enough to keep the paper's comparative quantities
@@ -300,9 +398,17 @@ var (
 		"Requests currently holding an admission slot or waiting on the write path.")
 	MServerQueued = Default.NewGauge("lincount_server_queued",
 		"Requests waiting in the admission queue for a concurrency slot.")
-	MServerLatency = Default.NewHistogram("lincount_server_request_seconds",
-		"End-to-end query-server request latency, admission wait included.",
+	MServerReqDuration = Default.NewLabeledHistogram("lincount_request_duration_seconds",
+		"End-to-end query-server request latency by handler and outcome (ok, shed, timeout, killed, error), admission wait included.",
+		[2]string{"handler", "outcome"},
 		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60})
+	MServerQueueWait = Default.NewHistogram("lincount_server_queue_wait_seconds",
+		"Time read requests spent waiting in the admission queue for a concurrency slot.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10})
+	MServerSlowQueries = Default.NewCounter("lincount_server_slow_queries_total",
+		"Requests recorded in the slow-query log (latency over the configured threshold).")
+	MServerQueriesKilled = Default.NewCounter("lincount_server_queries_killed_total",
+		"In-flight queries canceled through the active-query registry (DELETE /v1/queries/{id}).")
 	MServerWriteBatches = Default.NewCounter("lincount_server_write_batches_total",
 		"Write batches published as new epoch snapshots.")
 	MServerWriteBatchOps = Default.NewHistogram("lincount_server_write_batch_ops",

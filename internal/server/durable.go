@@ -350,6 +350,10 @@ func (s *Server) doCheckpoint() (*CheckpointResult, error) {
 	s.cleanupData(rep.epoch, snapName, rep.segment)
 	obsv.MWALCheckpoints.Add(1)
 	obsv.MWALCheckpointSeconds.Observe(time.Since(start).Seconds())
+	s.cfg.Log.Info("checkpoint",
+		obsv.FUint("epoch", rep.epoch),
+		obsv.FStr("snapshot", snapName),
+		obsv.FDur("duration", time.Since(start)))
 	return &CheckpointResult{Epoch: rep.epoch, Snapshot: snapName}, nil
 }
 
@@ -423,7 +427,7 @@ func (s *Server) Checkpoint(ctx context.Context) (*CheckpointResult, error) {
 		return nil, fail(err)
 	}
 	defer s.inflight.Done()
-	ctx, stop := s.requestCtx(ctx, 0)
+	ctx, _, stop := s.requestCtx(ctx, 0)
 	defer stop()
 
 	call := ckptCall{reply: make(chan ckptReply, 1)}

@@ -3,15 +3,25 @@ package server
 // The HTTP/JSON surface over Server. One mux serves the query API, the
 // health probes, and the whole obsv handler (metrics, traces, pprof) —
 // lincountd binds a single listener for everything.
+//
+// Every request carries a request id: the sanitized inbound
+// X-Request-Id when the client sent one, a generated one otherwise. The
+// id is echoed on the response (success and error alike), stored in the
+// request context for the registry and the slow-query log, and included
+// in every JSON error body — so a 503 shed under load, a slowlog
+// record, and the client's own logs all correlate on one string.
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 
 	"lincount"
 	"lincount/internal/obsv"
@@ -22,10 +32,11 @@ import (
 const maxBodyBytes = 8 << 20
 
 // errorResponse is the JSON error shape: a stable machine-readable
-// class plus the human-readable detail.
+// class, the human-readable detail, and the request id for correlation.
 type errorResponse struct {
-	Error  string `json:"error"`
-	Detail string `json:"detail"`
+	Error     string `json:"error"`
+	Detail    string `json:"detail"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // StatsResponse is /v1/stats: a point-in-time view of the server.
@@ -34,6 +45,12 @@ type StatsResponse struct {
 	Epoch    uint64 `json:"epoch"`
 	InFlight int    `json:"in_flight"`
 	Queued   int    `json:"queued"`
+
+	// ActiveQueries is the registry's in-flight query count (the detail
+	// lives at /v1/queries); SlowQueries counts slowlog records ever
+	// captured.
+	ActiveQueries int    `json:"active_queries"`
+	SlowQueries   uint64 `json:"slow_queries,omitempty"`
 
 	// Durability gauges, present only when the server runs with a data
 	// directory.
@@ -53,21 +70,50 @@ type StatsResponse struct {
 	MaintFallbacks int64 `json:"maint_fallbacks,omitempty"`
 }
 
+// QueriesResponse is GET /v1/queries: the in-flight queries, oldest
+// first.
+type QueriesResponse struct {
+	Queries []QueryInfo `json:"queries"`
+	Count   int         `json:"count"`
+}
+
+// KillResponse is DELETE /v1/queries/{id}: the registry id of the query
+// whose cancellation was requested. The query's own request fails with
+// class "killed"; this response only confirms the request was delivered.
+type KillResponse struct {
+	ID     uint64 `json:"id"`
+	Killed bool   `json:"killed"`
+}
+
+// SlowlogResponse is GET /v1/debug/slowlog: the retained slow-query
+// records, newest first, plus the monotonic count of records ever
+// captured (so a scraper can tell eviction from quiescence).
+type SlowlogResponse struct {
+	Total   uint64               `json:"total"`
+	Records []obsv.RequestRecord `json:"records"`
+}
+
 // Handler returns the server's HTTP mux:
 //
-//	POST /v1/query       evaluate a query against the current snapshot
-//	POST /v1/write       assert/retract facts (one atomic batch entry)
-//	POST /v1/checkpoint  snapshot + truncate the WAL (durable servers only)
-//	GET  /v1/stats       lifecycle state, epoch, admission + durability gauges
-//	GET  /healthz        200 while the process serves HTTP at all
-//	GET  /readyz         200 while serving, 503 once draining
-//	/...                 the obsv handler (/metrics, /trace.json, /debug/pprof/)
+//	POST   /v1/query         evaluate a query against the current snapshot
+//	POST   /v1/write         assert/retract facts (one atomic batch entry)
+//	POST   /v1/checkpoint    snapshot + truncate the WAL (durable servers only)
+//	GET    /v1/stats         lifecycle state, epoch, admission + durability gauges
+//	GET    /v1/queries       in-flight queries (id, query, strategy, facts so far)
+//	DELETE /v1/queries/{id}  cancel an in-flight query by registry or request id
+//	GET    /v1/debug/slowlog the slow-query log (see Config.SlowQuery)
+//	GET    /healthz          200 while the process serves HTTP at all
+//	GET    /readyz           200 while serving, 503 once draining
+//	/...                     the obsv handler (/metrics, /trace.json, /debug/pprof/)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/write", s.handleWrite)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/queries", s.handleQueries)
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleKillQuery)
+	mux.HandleFunc("GET /v1/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -82,30 +128,74 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "serving")
 	})
 	mux.Handle("/", obsv.Handler())
-	return contain(mux)
+	// Request-id assignment wraps panic containment so even a panic
+	// response carries the id.
+	return withRequestID(contain(mux))
 }
 
-// contain is the outermost middleware: a panic anywhere in a handler is
-// converted to a 500 instead of killing the connection (and, with
-// http.Server's default, logging a stack to stderr while other requests
-// proceed — here we keep the process quiet and the client informed).
+// ridPrefix distinguishes this process's generated ids; ridCounter
+// makes them unique within it.
+var (
+	ridPrefix  = func() string { var b [4]byte; _, _ = rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	ridCounter atomic.Uint64
+)
+
+// sanitizeRequestID accepts a client-supplied id only when it is short
+// and printable-token-ish — anything else (header injection, binary
+// junk, essay-length ids) is replaced by a generated one.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// withRequestID assigns every request its id: the sanitized inbound
+// X-Request-Id when usable, a generated one otherwise. The id is echoed
+// on the response and stored in the request context for the handlers,
+// the registry and the slow-query log.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+	})
+}
+
+// contain converts a panic anywhere in a handler to a 500 instead of
+// killing the connection (and, with http.Server's default, logging a
+// stack to stderr while other requests proceed — here we keep the
+// process quiet and the client informed).
 func contain(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				obsv.MServerErrors.Add("internal", 1)
 				writeError(w, http.StatusInternalServerError, "internal",
-					fmt.Sprintf("panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack()))
+					fmt.Sprintf("panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack()),
+					RequestID(r.Context()))
 			}
 		}()
 		next.ServeHTTP(w, r)
 	})
 }
 
-func writeError(w http.ResponseWriter, status int, class, detail string) {
+func writeError(w http.ResponseWriter, status int, class, detail, reqID string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: class, Detail: detail})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: class, Detail: detail, RequestID: reqID})
 }
 
 // retryAfterSeconds estimates when a shed client should try again: one
@@ -130,33 +220,37 @@ const drainRetryAfterSeconds = 5
 
 // writeErr maps a typed server error onto HTTP status + JSON body. The
 // mapping is the degradation contract clients program against: 503 is
-// retryable elsewhere/later, 504 means the request's own deadline, 422
-// means the query is too expensive under the server's budgets, 400 is
-// the client's fault, 500 is ours. 503s carry a Retry-After derived
-// from the actual backlog (busy) or the drain constant.
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
+// retryable elsewhere/later, 504 means the request's own deadline, 409
+// means an operator killed the query, 422 means the query is too
+// expensive under the server's budgets, 400 is the client's fault, 500
+// is ours. 503s carry a Retry-After derived from the actual backlog
+// (busy) or the drain constant. Every body carries the request id.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	reqID := RequestID(r.Context())
 	var busy *BusyError
 	var badReq *badRequestError
 	var interr *lincount.InternalError
 	switch {
 	case errors.As(err, &busy):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusServiceUnavailable, "busy", err.Error())
+		writeError(w, http.StatusServiceUnavailable, "busy", err.Error(), reqID)
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSeconds))
-		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), reqID)
 	case errors.Is(err, ErrNotDurable):
-		writeError(w, http.StatusConflict, "not_durable", err.Error())
+		writeError(w, http.StatusConflict, "not_durable", err.Error(), reqID)
+	case errors.Is(err, ErrKilled):
+		writeError(w, http.StatusConflict, "killed", err.Error(), reqID)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusGatewayTimeout, "canceled", err.Error())
+		writeError(w, http.StatusGatewayTimeout, "canceled", err.Error(), reqID)
 	case errors.Is(err, lincount.ErrResourceLimit):
-		writeError(w, http.StatusUnprocessableEntity, "limit", err.Error())
+		writeError(w, http.StatusUnprocessableEntity, "limit", err.Error(), reqID)
 	case errors.As(err, &badReq):
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), reqID)
 	case errors.As(err, &interr):
-		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), reqID)
 	default:
-		writeError(w, http.StatusInternalServerError, "other", err.Error())
+		writeError(w, http.StatusInternalServerError, "other", err.Error(), reqID)
 	}
 }
 
@@ -171,7 +265,8 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		obsv.MServerErrors.Add("bad_request", 1)
-		writeError(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error(),
+			RequestID(r.Context()))
 		return false
 	}
 	return true
@@ -184,12 +279,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Query == "" {
 		obsv.MServerErrors.Add("bad_request", 1)
-		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`)
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`, RequestID(r.Context()))
 		return
 	}
 	res, err := s.Query(r.Context(), req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, res)
@@ -202,12 +297,12 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Assert == "" && req.Retract == "" {
 		obsv.MServerErrors.Add("bad_request", 1)
-		writeError(w, http.StatusBadRequest, "bad_request", `need "assert" and/or "retract"`)
+		writeError(w, http.StatusBadRequest, "bad_request", `need "assert" and/or "retract"`, RequestID(r.Context()))
 		return
 	}
 	res, err := s.Write(r.Context(), req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, res)
@@ -216,19 +311,48 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Checkpoint(r.Context())
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, res)
 }
 
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	qs := s.ActiveQueries()
+	if qs == nil {
+		qs = []QueryInfo{} // render "queries": [] rather than null
+	}
+	writeJSON(w, QueriesResponse{Queries: qs, Count: len(qs)})
+}
+
+func (s *Server) handleKillQuery(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	id, ok := s.KillQuery(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			"no in-flight query matches "+strconv.Quote(key), RequestID(r.Context()))
+		return
+	}
+	writeJSON(w, KillResponse{ID: id, Killed: true})
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	recs := s.SlowLog()
+	if recs == nil {
+		recs = []obsv.RequestRecord{}
+	}
+	writeJSON(w, SlowlogResponse{Total: s.slow.Total(), Records: recs})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	resp := StatsResponse{
-		State:    s.State(),
-		Epoch:    snap.Epoch,
-		InFlight: len(s.sem),
-		Queued:   int(s.queued.Load()),
+		State:         s.State(),
+		Epoch:         snap.Epoch,
+		InFlight:      len(s.sem),
+		Queued:        int(s.queued.Load()),
+		ActiveQueries: s.reg.active(),
+		SlowQueries:   s.slow.Total(),
 	}
 	if wl := s.walW.Load(); wl != nil {
 		resp.Durable = true

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -129,5 +130,154 @@ func TestHTTPHealthAndDrain(t *testing.T) {
 	}
 	if rec := postJSON(t, h, "/v1/query", `{"query":"?- p(X,Y)."}`); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("query after drain = %d, want 503", rec.Code)
+	}
+}
+
+func TestHTTPRequestIDEcho(t *testing.T) {
+	s := newTestServer(t, Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	// Inbound id is honoured and echoed on success...
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(`{"query":"?- p(X,Y)."}`))
+	req.Header.Set("X-Request-Id", "client-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "client-42" {
+		t.Fatalf("echoed id = %q, want client-42", got)
+	}
+
+	// ...and included in error bodies, here a 400.
+	req = httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(`{}`))
+	req.Header.Set("X-Request-Id", "client-43")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID != "client-43" {
+		t.Fatalf("error body request_id = %q, want client-43", er.RequestID)
+	}
+
+	// Junk inbound ids are replaced by a generated one.
+	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	req.Header.Set("X-Request-Id", "bad id\nwith junk")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	got := rec.Header().Get("X-Request-Id")
+	if got == "" || strings.Contains(got, "junk") {
+		t.Fatalf("junk id not replaced: %q", got)
+	}
+
+	// No inbound id: one is generated, and distinct per request.
+	first := get(t, h, "/healthz").Header().Get("X-Request-Id")
+	second := get(t, h, "/healthz").Header().Get("X-Request-Id")
+	if first == "" || first == second {
+		t.Fatalf("generated ids = %q, %q; want distinct non-empty", first, second)
+	}
+}
+
+// TestHTTPShedCarriesRequestID: the 503 shed path — the error body most
+// likely to be grepped for during an incident — carries the request id.
+func TestHTTPShedCarriesRequestID(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	defer s.Close()
+	h := s.Handler()
+
+	s.sem <- struct{}{} // occupy the only slot
+	go func() { _ = s.acquire(context.Background()) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(`{"query":"?- p(X,Y)."}`))
+	req.Header.Set("X-Request-Id", "shed-me")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error != "busy" || er.RequestID != "shed-me" {
+		t.Fatalf("shed body = %+v, want class busy with request id", er)
+	}
+	<-s.sem // unblock the queued acquire so Close can drain
+	s.release()
+}
+
+func TestHTTPQueriesAndSlowlogEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{SlowQuery: time.Nanosecond})
+	defer s.Close()
+	h := s.Handler()
+
+	if rec := postJSON(t, h, "/v1/write", `{"assert":"f(a,b)."}`); rec.Code != http.StatusOK {
+		t.Fatalf("write: %d %s", rec.Code, rec.Body)
+	}
+
+	// Idle registry renders an empty array, not null.
+	rec := get(t, h, "/v1/queries")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"queries":[]`) {
+		t.Fatalf("queries = %d %s", rec.Code, rec.Body)
+	}
+
+	// Killing a query that is not in flight is a 404 with the request id.
+	req := httptest.NewRequest(http.MethodDelete, "/v1/queries/12345", nil)
+	req.Header.Set("X-Request-Id", "kill-miss")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("kill miss = %d, want 404", rec.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error != "not_found" || er.RequestID != "kill-miss" {
+		t.Fatalf("kill-miss body = %+v", er)
+	}
+
+	// Every request is "slow" at a 1ns threshold; the slowlog endpoint
+	// serves the record and stats counts it.
+	req = httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(`{"query":"?- p(X,Y)."}`))
+	req.Header.Set("X-Request-Id", "slow-http")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body)
+	}
+
+	rec = get(t, h, "/v1/debug/slowlog")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("slowlog = %d", rec.Code)
+	}
+	var slow SlowlogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if slow.Total != 1 || len(slow.Records) != 1 {
+		t.Fatalf("slowlog = %+v, want one record", slow)
+	}
+	if r0 := slow.Records[0]; r0.RequestID != "slow-http" || r0.Query != "?- p(X,Y)." {
+		t.Fatalf("slowlog record = %+v", r0)
+	}
+
+	var stats StatsResponse
+	rec = get(t, h, "/v1/stats")
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SlowQueries != 1 || stats.ActiveQueries != 0 {
+		t.Fatalf("stats = %+v, want slow_queries=1 active_queries=0", stats)
 	}
 }

@@ -1,0 +1,261 @@
+package server
+
+// The active-query registry: a fixed pool of slots, one per in-flight
+// query, sized by the admission semaphore (MaxConcurrent). A query
+// registers after it is admitted and unregisters when it completes, so
+// the pool can never overflow and the steady-state cost of tracking a
+// request is two mutex-guarded slot operations with zero allocations.
+// GET /v1/queries snapshots the pool; DELETE /v1/queries/{id} cancels a
+// slot's request context, which the evaluation observes at its next
+// cooperative check.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrKilled is the sentinel for queries cancelled by an operator via
+// DELETE /v1/queries/{id}. errors.Is(err, ErrKilled) matches the
+// *KilledError the server returns in that case.
+var ErrKilled = errors.New("server: query killed by operator")
+
+// KilledError reports that an in-flight query was cancelled through the
+// registry rather than by its own deadline or client disconnect.
+type KilledError struct {
+	// ID is the registry id of the killed query.
+	ID uint64
+}
+
+func (e *KilledError) Error() string {
+	return fmt.Sprintf("server: query %d killed by operator", e.ID)
+}
+
+// Is makes errors.Is(err, ErrKilled) true for *KilledError.
+func (e *KilledError) Is(target error) bool { return target == ErrKilled }
+
+// QueryInfo is one in-flight query as reported by GET /v1/queries.
+type QueryInfo struct {
+	ID        uint64    `json:"id"`
+	RequestID string    `json:"request_id,omitempty"`
+	Query     string    `json:"query,omitempty"`
+	Strategy  string    `json:"strategy,omitempty"`
+	Epoch     uint64    `json:"epoch,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+	// ElapsedUS is time since admission; DeadlineInUS is time remaining
+	// until the request's deadline (0 when already past).
+	ElapsedUS    int64 `json:"elapsed_us"`
+	DeadlineInUS int64 `json:"deadline_in_us,omitempty"`
+	// Facts is the evaluation's derived-fact count so far (engine
+	// strategies only; 0 for materialized reads, which do not evaluate).
+	Facts  int64 `json:"facts"`
+	Killed bool  `json:"killed,omitempty"`
+}
+
+// qslot is one registry slot. The facts counter is written lock-free by
+// the evaluation (via WithFactProgress) and read by snapshots; every
+// other field is guarded by the registry mutex. Slots are recycled, so
+// a *qslot held by a finished request must not be dereferenced after
+// end() — the Query path only holds it for its own lifetime.
+type qslot struct {
+	idx      int
+	active   bool
+	id       uint64
+	reqID    string
+	query    string
+	strategy string
+	epoch    uint64
+	start    time.Time
+	deadline time.Time
+	cancel   context.CancelFunc
+	killed   bool
+	facts    atomic.Int64
+}
+
+// ID returns the slot's registry id (0 for an untracked request). Safe
+// without the registry lock: only begin, on the owning goroutine, ever
+// writes it while the slot is held.
+func (s *qslot) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Facts returns the slot's live derived-fact counter for wiring into
+// WithFactProgress (nil for an untracked request).
+func (s *qslot) Facts() *atomic.Int64 {
+	if s == nil {
+		return nil
+	}
+	return &s.facts
+}
+
+type registry struct {
+	mu    sync.Mutex
+	slots []qslot
+	free  []int // stack of free slot indices
+	seq   uint64
+}
+
+func newRegistry(capacity int) *registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &registry{
+		slots: make([]qslot, capacity),
+		free:  make([]int, capacity),
+	}
+	for i := range r.slots {
+		r.slots[i].idx = i
+		r.free[i] = capacity - 1 - i // pop order 0,1,2,...
+	}
+	return r
+}
+
+// begin claims a slot for an admitted query. cancel is the request
+// context's own CancelFunc — kill() reuses it rather than wrapping the
+// context. Returns nil when the pool is exhausted (cannot happen while
+// capacity == MaxConcurrent, but callers guard anyway); a nil slot is
+// accepted by every other method as "untracked".
+func (r *registry) begin(reqID, query string, cancel context.CancelFunc, deadline time.Time) *qslot {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.free) == 0 {
+		return nil
+	}
+	idx := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	r.seq++
+	s := &r.slots[idx]
+	s.active = true
+	s.id = r.seq
+	s.reqID = reqID
+	s.query = query
+	s.strategy = ""
+	s.epoch = 0
+	s.start = now
+	s.deadline = deadline
+	s.cancel = cancel
+	s.killed = false
+	s.facts.Store(0)
+	return s
+}
+
+// setRunning records the resolved strategy and snapshot epoch once the
+// query is past planning.
+func (r *registry) setRunning(s *qslot, strategy string, epoch uint64) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	s.strategy = strategy
+	s.epoch = epoch
+	r.mu.Unlock()
+}
+
+// end releases the slot and reports whether the query had been killed.
+func (r *registry) end(s *qslot) bool {
+	if s == nil {
+		return false
+	}
+	r.mu.Lock()
+	killed := s.killed
+	s.active = false
+	s.cancel = nil
+	s.reqID = ""
+	s.query = ""
+	s.strategy = ""
+	r.free = append(r.free, s.idx)
+	r.mu.Unlock()
+	return killed
+}
+
+// killed reports whether the slot was cancelled through the registry.
+func (r *registry) killed(s *qslot) bool {
+	if s == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return s.killed
+}
+
+// kill cancels the in-flight query whose registry id (decimal) or
+// request id equals key. It returns the registry id and whether a match
+// was found. The cancel runs outside the registry lock.
+func (r *registry) kill(key string) (uint64, bool) {
+	var (
+		cancel context.CancelFunc
+		id     uint64
+	)
+	byID, numeric := strconv.ParseUint(key, 10, 64)
+	r.mu.Lock()
+	for i := range r.slots {
+		s := &r.slots[i]
+		if !s.active {
+			continue
+		}
+		if (numeric == nil && s.id == byID) || (s.reqID != "" && s.reqID == key) {
+			s.killed = true
+			cancel = s.cancel
+			id = s.id
+			break
+		}
+	}
+	r.mu.Unlock()
+	if cancel == nil {
+		return 0, false
+	}
+	cancel()
+	return id, true
+}
+
+// snapshot returns the in-flight queries, oldest first.
+func (r *registry) snapshot(now time.Time) []QueryInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []QueryInfo
+	for i := range r.slots {
+		s := &r.slots[i]
+		if !s.active {
+			continue
+		}
+		info := QueryInfo{
+			ID:        s.id,
+			RequestID: s.reqID,
+			Query:     s.query,
+			Strategy:  s.strategy,
+			Epoch:     s.epoch,
+			StartedAt: s.start,
+			ElapsedUS: now.Sub(s.start).Microseconds(),
+			Facts:     s.facts.Load(),
+			Killed:    s.killed,
+		}
+		if !s.deadline.IsZero() {
+			if in := s.deadline.Sub(now).Microseconds(); in > 0 {
+				info.DeadlineInUS = in
+			}
+		}
+		out = append(out, info)
+	}
+	// Oldest first: registry ids are monotonic.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// active returns the number of in-flight queries.
+func (r *registry) active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots) - len(r.free)
+}

@@ -113,6 +113,19 @@ type Config struct {
 	// EvalOptions are appended to every evaluation (chaos tests pass
 	// WithFaultInjection here to perturb the read path).
 	EvalOptions []lincount.Option
+
+	// SlowQuery is the latency threshold past which a completed query is
+	// captured in the slow-query log with its full diagnostic record —
+	// planner ranking, per-rule profiles, degradation chain, queue wait —
+	// and logged at warn level. Zero disables the slow log; requests
+	// under the threshold pay one time comparison.
+	SlowQuery time.Duration
+	// SlowLogSize bounds the slow-query ring (default 256).
+	SlowLogSize int
+	// Log receives the server's structured log lines (request outcomes,
+	// writer-path events, recovery, drain). Nil disables logging — every
+	// method of a nil *obsv.Logger is a no-op.
+	Log *obsv.Logger
 }
 
 func (c *Config) withDefaults() Config {
@@ -153,6 +166,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.CheckpointRecords == 0 {
 		out.CheckpointRecords = 4096
+	}
+	if out.SlowLogSize <= 0 {
+		out.SlowLogSize = 256
 	}
 	return out
 }
@@ -262,6 +278,12 @@ type Server struct {
 	// of program x query x strategy), so one entry serves every epoch.
 	prepMu   sync.Mutex
 	prepared map[prepKey]*lincount.PreparedQuery
+
+	// Per-request observability: reg tracks in-flight queries (GET
+	// /v1/queries, DELETE /v1/queries/{id}); slow is the slow-query ring
+	// behind GET /v1/debug/slowlog.
+	reg  *registry
+	slow *obsv.RequestLog
 }
 
 // badRequestError wraps validation failures (unparsable query or fact
@@ -284,6 +306,8 @@ func classOf(err error) string {
 		return "busy"
 	case errors.Is(err, ErrDraining):
 		return "draining"
+	case errors.Is(err, ErrKilled):
+		return "killed"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
 	case errors.Is(err, lincount.ErrResourceLimit):
@@ -300,6 +324,23 @@ func classOf(err error) string {
 func fail(err error) error {
 	obsv.MServerErrors.Add(classOf(err), 1)
 	return err
+}
+
+// outcomeOf maps a request's final error to the outcome label of
+// lincount_request_duration_seconds.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+		return "shed"
+	case errors.Is(err, ErrKilled):
+		return "killed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "error"
+	}
 }
 
 type prepKey struct {
@@ -333,13 +374,23 @@ func New(cfg Config) (*Server, error) {
 		writes:     make(chan writeReq, c.WriteQueue),
 		writerDone: make(chan struct{}),
 		prepared:   make(map[prepKey]*lincount.PreparedQuery),
+		reg:        newRegistry(c.MaxConcurrent),
+		slow:       obsv.NewRequestLog(c.SlowLogSize),
 	}
 	epoch := uint64(0)
 	if c.DataDir != "" {
 		w, info, err := recoverData(&c, c.DB)
 		if err != nil {
+			c.Log.Error("recovery failed", obsv.FStr("dir", c.DataDir), obsv.FErr("error", err))
 			return nil, err
 		}
+		c.Log.Info("recovered data dir",
+			obsv.FStr("dir", c.DataDir),
+			obsv.FUint("epoch", info.Epoch),
+			obsv.FUint("checkpoint_seq", info.CheckpointSeq),
+			obsv.FInt("segments", int64(info.Segments)),
+			obsv.FInt("records_replayed", int64(info.Records)),
+			obsv.FInt("truncated_bytes", info.TruncatedBytes))
 		s.walW.Store(w)
 		s.recovered = info
 		s.lastCkptSeq.Store(info.CheckpointSeq)
@@ -361,6 +412,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.snap.Store(&Snapshot{Epoch: epoch, DB: c.DB, Mat: mat})
 	obsv.MServerEpoch.Set(int64(epoch))
+	c.Log.Info("server started",
+		obsv.FUint("epoch", epoch),
+		obsv.FBool("materialized", mat != nil),
+		obsv.FBool("durable", c.DataDir != ""),
+		obsv.FInt("max_concurrent", int64(c.MaxConcurrent)),
+		obsv.FDur("slow_query", c.SlowQuery))
 	go s.writer()
 	if c.DataDir != "" {
 		go s.checkpointer()
@@ -441,8 +498,10 @@ func (s *Server) release() { <-s.sem }
 // caller's context, the request deadline (clamped to MaxTimeout,
 // defaulted to DefaultTimeout), and the server's base context so a
 // drain-deadline force-cancel reaches every in-flight evaluation. The
-// returned stop func must be deferred.
-func (s *Server) requestCtx(ctx context.Context, timeout time.Duration) (context.Context, func()) {
+// middle return is the context's own cancel func — the registry stores
+// it as the kill lever for DELETE /v1/queries/{id}, avoiding a wrapper
+// context per request. The last return (stop) must be deferred.
+func (s *Server) requestCtx(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc, func()) {
 	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
 		if timeout > s.cfg.MaxTimeout {
 			timeout = s.cfg.MaxTimeout
@@ -452,7 +511,7 @@ func (s *Server) requestCtx(ctx context.Context, timeout time.Duration) (context
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	stopAfter := context.AfterFunc(s.baseCtx, cancel)
-	return ctx, func() {
+	return ctx, cancel, func() {
 		stopAfter()
 		cancel()
 	}
@@ -502,8 +561,8 @@ type QueryResponse struct {
 // applies admission control, the request deadline and fact budget, and
 // returns typed errors: BusyError (shed), ErrDraining, CanceledError,
 // ResourceLimitError, or the evaluation's own error.
-func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
-	if err := s.begin(); err != nil {
+func (s *Server) Query(ctx context.Context, req QueryRequest) (resp *QueryResponse, err error) {
+	if err = s.begin(); err != nil {
 		return nil, fail(err)
 	}
 	defer s.inflight.Done()
@@ -511,14 +570,28 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	start := time.Now()
 	obsv.MServerInFlight.Add(1)
 	defer obsv.MServerInFlight.Add(-1)
-	defer func() { obsv.MServerLatency.Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		obsv.MServerReqDuration.Observe("query", outcomeOf(err), time.Since(start).Seconds())
+	}()
 
-	ctx, stop := s.requestCtx(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	ctx, cancel, stop := s.requestCtx(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 	defer stop()
-	if err := s.acquire(ctx); err != nil {
+	if err = s.acquire(ctx); err != nil {
 		return nil, fail(err)
 	}
 	defer s.release()
+	queueWait := time.Since(start)
+	obsv.MServerQueueWait.Observe(queueWait.Seconds())
+
+	// Register the admitted query in the active-query registry. The slot
+	// holds the request context's own cancel func, so DELETE
+	// /v1/queries/{id} stops the evaluation without a wrapper context;
+	// registering after admission keeps the fixed slot pool (sized by
+	// MaxConcurrent) from ever running dry.
+	reqID := RequestID(ctx)
+	deadline, _ := ctx.Deadline()
+	slot := s.reg.begin(reqID, req.Query, cancel, deadline)
+	defer s.reg.end(slot)
 
 	// Auto reads on a maintained server are served straight from the
 	// materialisation: a scan or index probe over the already-derived
@@ -526,12 +599,13 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	// still evaluate — they are asking for a specific computation.
 	if snap := s.snap.Load(); snap.Mat != nil && !req.Trace &&
 		(req.Strategy == "" || req.Strategy == "auto") {
-		rows, err := snap.Mat.Answers(req.Query)
-		if err != nil {
-			return nil, fail(&badRequestError{err})
+		s.reg.setRunning(slot, "materialized", snap.Epoch)
+		rows, merr := snap.Mat.Answers(req.Query)
+		if merr != nil {
+			return nil, fail(&badRequestError{merr})
 		}
 		obsv.MServerRequests.Add("query", 1)
-		return &QueryResponse{
+		resp = &QueryResponse{
 			Answers:  rows,
 			Epoch:    snap.Epoch,
 			Strategy: "materialized",
@@ -540,19 +614,24 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 				AnswerTuples: len(rows),
 				DurationUS:   time.Since(start).Microseconds(),
 			},
-		}, nil
+		}
+		if s.cfg.SlowQuery > 0 && time.Since(start) >= s.cfg.SlowQuery {
+			s.recordSlow(slot, reqID, req, snap, "materialized", start, queueWait, nil, nil, len(rows))
+		}
+		return resp, nil
 	}
 
 	strategy := lincount.Auto
 	if req.Strategy != "" && req.Strategy != "auto" {
-		var err error
-		if strategy, err = lincount.ParseStrategy(req.Strategy); err != nil {
-			return nil, fail(&badRequestError{err})
+		st, perr := lincount.ParseStrategy(req.Strategy)
+		if perr != nil {
+			return nil, fail(&badRequestError{perr})
 		}
+		strategy = st
 	}
-	pq, err := s.preparedFor(req.Query, strategy)
-	if err != nil {
-		return nil, fail(&badRequestError{err})
+	pq, perr := s.preparedFor(req.Query, strategy)
+	if perr != nil {
+		return nil, fail(&badRequestError{perr})
 	}
 
 	maxFacts := s.cfg.MaxDerivedFacts
@@ -567,18 +646,35 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	if req.Trace {
 		tracer = lincount.NewTracer()
 		opts = append(opts, lincount.WithTracer(tracer))
+	} else if s.cfg.SlowQuery > 0 {
+		// Profile every untraced evaluation so a slow one can be
+		// attributed rule by rule: per-rule clock reads, no event buffer.
+		opts = append(opts, lincount.WithRuleProfile())
+	}
+	if slot != nil {
+		// Mirror derived-fact progress into the slot for GET /v1/queries.
+		opts = append(opts, lincount.WithFactProgress(slot.Facts()))
 	}
 
 	snap := s.snap.Load()
 	obsv.MServerRequests.Add("query", 1)
-	res, err := pq.EvalContext(ctx, snap.DB, opts...)
-	if err != nil {
-		return nil, fail(err)
+	s.reg.setRunning(slot, strategy.String(), snap.Epoch)
+	res, eerr := pq.EvalContext(ctx, snap.DB, opts...)
+	if eerr != nil {
+		// An operator kill surfaces as a cancellation; convert it to its
+		// typed error so clients can tell it from their own deadline.
+		if s.reg.killed(slot) {
+			eerr = &KilledError{ID: slot.ID()}
+		}
+		if s.cfg.SlowQuery > 0 && time.Since(start) >= s.cfg.SlowQuery {
+			s.recordSlow(slot, reqID, req, snap, strategy.String(), start, queueWait, nil, eerr, 0)
+		}
+		return nil, fail(eerr)
 	}
 	if tracer != nil {
 		obsv.SetLastTrace(tracer)
 	}
-	return &QueryResponse{
+	resp = &QueryResponse{
 		Answers:      res.Answers,
 		Epoch:        snap.Epoch,
 		Strategy:     res.Strategy.String(),
@@ -591,8 +687,101 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 			Iterations:   res.Stats.Iterations,
 			DurationUS:   res.Stats.Duration.Microseconds(),
 		},
-	}, nil
+	}
+	if s.cfg.SlowQuery > 0 && time.Since(start) >= s.cfg.SlowQuery {
+		s.recordSlow(slot, reqID, req, snap, res.Strategy.String(), start, queueWait, res, nil, len(res.Answers))
+	}
+	return resp, nil
 }
+
+// recordSlow captures the full diagnostic record of a request that
+// crossed Config.SlowQuery: identity, timing split, planner ranking,
+// per-rule profiles and the degradation chain. Everything beyond the
+// threshold comparison — including the planner ranking — is computed
+// only here, on the slow path.
+func (s *Server) recordSlow(slot *qslot, reqID string, req QueryRequest, snap *Snapshot,
+	strategy string, start time.Time, queueWait time.Duration, res *lincount.Result, evalErr error, answers int) {
+	dur := time.Since(start)
+	rec := obsv.RequestRecord{
+		ID:          slot.ID(),
+		RequestID:   reqID,
+		Handler:     "query",
+		Query:       req.Query,
+		Strategy:    strategy,
+		Epoch:       snap.Epoch,
+		Start:       start,
+		DurationUS:  dur.Microseconds(),
+		QueueWaitUS: queueWait.Microseconds(),
+		Outcome:     outcomeOf(evalErr),
+	}
+	if evalErr != nil {
+		rec.Err = evalErr.Error()
+	}
+	if res != nil {
+		rec.PlanCacheHit = res.PlanCacheHit
+		rec.DerivedFacts = res.Stats.DerivedFacts
+		rec.AnswerTuples = len(res.Answers)
+		for _, rp := range res.RuleProfile {
+			rec.Rules = append(rec.Rules, obsv.RuleRecord{
+				Rule:         rp.Rule,
+				Runs:         rp.Runs,
+				Inferences:   rp.Inferences,
+				DerivedFacts: rp.DerivedFacts,
+				DurationUS:   rp.Duration.Microseconds(),
+			})
+		}
+		for _, a := range res.Degraded {
+			rec.Degraded = append(rec.Degraded, obsv.AttemptRecord{
+				Strategy:   a.Strategy.String(),
+				Err:        a.Err,
+				DurationUS: a.Duration.Microseconds(),
+			})
+		}
+	} else {
+		rec.AnswerTuples = answers
+	}
+	if choices, cerr := lincount.PlannerChoices(s.cfg.Program, snap.DB, req.Query); cerr == nil {
+		for _, c := range choices {
+			rec.Planner = append(rec.Planner, obsv.PlannerRank{
+				Strategy: c.Strategy.String(),
+				Cost:     c.Cost,
+				Reason:   c.Reason,
+			})
+		}
+	}
+	s.slow.Add(rec)
+	obsv.MServerSlowQueries.Add(1)
+	s.cfg.Log.Warn("slow query",
+		obsv.FUint("id", rec.ID),
+		obsv.FStr("request_id", reqID),
+		obsv.FStr("query", req.Query),
+		obsv.FStr("strategy", strategy),
+		obsv.FStr("outcome", rec.Outcome),
+		obsv.FDur("duration", dur),
+		obsv.FDur("queue_wait", queueWait),
+		obsv.FUint("epoch", snap.Epoch))
+}
+
+// ActiveQueries returns the in-flight queries, oldest first — the data
+// behind GET /v1/queries.
+func (s *Server) ActiveQueries() []QueryInfo { return s.reg.snapshot(time.Now()) }
+
+// KillQuery cancels the in-flight query whose registry id (decimal) or
+// request id equals key, returning the registry id of the query it
+// found. The evaluation observes the cancellation at its next
+// cooperative check and its request fails with a *KilledError.
+func (s *Server) KillQuery(key string) (uint64, bool) {
+	id, ok := s.reg.kill(key)
+	if ok {
+		obsv.MServerQueriesKilled.Add(1)
+		s.cfg.Log.Info("query killed", obsv.FUint("id", id), obsv.FStr("key", key))
+	}
+	return id, ok
+}
+
+// SlowLog returns the retained slow-query records, newest first — the
+// data behind GET /v1/debug/slowlog.
+func (s *Server) SlowLog() []obsv.RequestRecord { return s.slow.Snapshot() }
 
 // preparedFor returns the cached PreparedQuery for (query, strategy),
 // preparing it on first use. Prepared queries are immutable and safe to
@@ -659,8 +848,8 @@ type writeReq struct {
 // returns a CanceledError but the batch may still publish — the write is
 // at-most-once from the caller's perspective, exactly-once from the
 // server's.
-func (s *Server) Write(ctx context.Context, req WriteRequest) (*WriteResponse, error) {
-	if err := s.begin(); err != nil {
+func (s *Server) Write(ctx context.Context, req WriteRequest) (resp *WriteResponse, err error) {
+	if err = s.begin(); err != nil {
 		return nil, fail(err)
 	}
 	defer s.inflight.Done()
@@ -668,9 +857,11 @@ func (s *Server) Write(ctx context.Context, req WriteRequest) (*WriteResponse, e
 	start := time.Now()
 	obsv.MServerInFlight.Add(1)
 	defer obsv.MServerInFlight.Add(-1)
-	defer func() { obsv.MServerLatency.Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		obsv.MServerReqDuration.Observe("write", outcomeOf(err), time.Since(start).Seconds())
+	}()
 
-	ctx, stop := s.requestCtx(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	ctx, _, stop := s.requestCtx(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 	defer stop()
 
 	wr := writeReq{req: req, done: make(chan writeResult, 1)}
@@ -690,6 +881,24 @@ func (s *Server) Write(ctx context.Context, req WriteRequest) (*WriteResponse, e
 	case <-ctx.Done():
 		return nil, fail(&lincount.CanceledError{Component: "server", Cause: context.Cause(ctx)})
 	}
+}
+
+// RequestID request-scoped correlation: the HTTP layer stores each
+// request's id in the context (WithRequestID); the server reads it back
+// for the registry and the slow-query log, so a record found in either
+// can be matched to the access-log line and the client's response
+// header.
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the context's request id, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
 }
 
 // writer is the single-writer goroutine: it owns the fork-apply-publish
@@ -784,6 +993,10 @@ func (s *Server) applyBatch(batch []writeReq) {
 		if retryErr != nil {
 			attempt++
 			if attempt > s.cfg.WriteRetries {
+				s.cfg.Log.Error("write batch failed",
+					obsv.FUint("epoch", cur.Epoch+1),
+					obsv.FInt("attempts", int64(attempt)),
+					obsv.FErr("error", retryErr))
 				for i := range batch {
 					if failed[i] == nil {
 						failed[i] = retryErr
@@ -792,6 +1005,10 @@ func (s *Server) applyBatch(batch []writeReq) {
 				return
 			}
 			obsv.MServerWriteRetries.Add(1)
+			s.cfg.Log.Warn("write batch retry",
+				obsv.FUint("epoch", cur.Epoch+1),
+				obsv.FInt("attempt", int64(attempt)),
+				obsv.FErr("error", retryErr))
 			time.Sleep(s.cfg.RetryBackoff << (attempt - 1))
 			continue
 		}
@@ -828,6 +1045,9 @@ func (s *Server) applyBatch(batch []writeReq) {
 				time.Sleep(s.cfg.RetryBackoff << (attempt - 1))
 				continue
 			}
+			s.cfg.Log.Error("wal append failed",
+				obsv.FUint("epoch", cur.Epoch+1),
+				obsv.FErr("error", err))
 			for i := range batch {
 				if failed[i] == nil {
 					failed[i] = fmt.Errorf("server: write not durable: %w", err)
@@ -841,6 +1061,11 @@ func (s *Server) applyBatch(batch []writeReq) {
 		obsv.MServerEpoch.Set(int64(next.Epoch))
 		obsv.MServerWriteBatches.Add(1)
 		obsv.MServerWriteBatchOps.Observe(float64(len(batch)))
+		s.cfg.Log.Debug("batch applied",
+			obsv.FUint("epoch", next.Epoch),
+			obsv.FInt("requests", int64(len(batch))),
+			obsv.FInt("live", int64(live)),
+			obsv.FBool("maintained", nextMat != nil))
 		for i, wr := range batch {
 			if failed[i] == nil {
 				answered[i] = true
@@ -956,6 +1181,9 @@ func (s *Server) applyAttempt(cur *Snapshot, batch []writeReq, failed []error, r
 		// per-request evaluation, writes keep working.
 		s.maintFallbacks.Add(1)
 		obsv.MServerMaintFallbacks.Add(1)
+		s.cfg.Log.Warn("maintenance fallback",
+			obsv.FUint("epoch", cur.Epoch+1),
+			obsv.FErr("error", err))
 	}
 
 	fork := cur.DB.Fork()
@@ -1004,6 +1232,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.state = stateDraining
 	s.stateMu.Unlock()
 	obsv.MServerDrains.Add(1)
+	s.cfg.Log.Info("drain started", obsv.FInt("active_queries", int64(s.reg.active())))
 
 	done := make(chan struct{})
 	go func() {
@@ -1046,6 +1275,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.state = stateClosed
 	s.stateMu.Unlock()
 	s.baseCancel(nil) // release the context subtree either way
+	s.cfg.Log.Info("drain complete", obsv.FBool("forced", forced))
 	if forced {
 		obsv.MServerDrainCanceled.Add(1)
 		return errors.New("server: drain deadline expired; in-flight requests were canceled")
