@@ -8,6 +8,7 @@ package lincount_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"lincount"
@@ -252,6 +253,63 @@ func BenchmarkP14_PreparedVsCold(b *testing.B) {
 				}
 				if !res.PlanCacheHit {
 					b.Fatal("prepared evaluation missed the plan cache")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP17_BatchedJoin: the batched streaming pipeline against the
+// tuple-at-a-time legacy path on a probe-bound 4-literal recursive rule
+// (the P17 wide shape at reduced size). Run under `make benchcheck`:
+// allocs/op is the guarded number — the batched path amortises its
+// buffers across iterations, so a drift upward means a scratch buffer
+// stopped being reused.
+func BenchmarkP17_BatchedJoin(b *testing.B) {
+	const src = "p(X,Y) :- s(X,Y).\np(X,W) :- p(X,Y), a(Y,Z), a2(Z,U), b(U,W).\n"
+	var facts strings.Builder
+	const steps, fanout = 32, 4
+	for i := 0; i < steps; i++ {
+		for j := 0; j < fanout; j++ {
+			fmt.Fprintf(&facts, "a(y%d,m%d_%d).\n", i, i, j)
+			for l := 0; l < fanout; l++ {
+				fmt.Fprintf(&facts, "a2(m%d_%d,u%d_%d_%d).\n", i, j, i, j, l)
+			}
+		}
+		fmt.Fprintf(&facts, "b(u%d_0_0,y%d).\n", i, i+1)
+	}
+	for k := 0; k < 64; k++ {
+		fmt.Fprintf(&facts, "s(x%d,y0).\n", k)
+	}
+	p, err := lincount.ParseProgram(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(facts.String()); err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts []lincount.Option
+	}{
+		{"legacy", []lincount.Option{lincount.WithBatchedJoin(false)}},
+		{"batched", nil},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			pq, err := lincount.Prepare(p, "?- p(x0,W).", lincount.SemiNaive, m.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pq.Eval(db); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pq.Eval(db); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

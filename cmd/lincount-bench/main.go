@@ -93,6 +93,9 @@ func suite() []experiment {
 		{"P16",
 			func() bench.Table { return bench.P16UpdateLatency([]int{20, 28}, 9) },
 			func() bench.Table { return bench.P16UpdateLatency([]int{10}, 2) }},
+		{"P17",
+			func() bench.Table { return bench.P17BatchedJoin([]int{16, 24}, 5) },
+			func() bench.Table { return bench.P17BatchedJoin([]int{10}, 2) }},
 	}
 }
 

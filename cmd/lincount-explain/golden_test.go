@@ -30,7 +30,7 @@ func TestExplainGolden(t *testing.T) {
 		name := strings.TrimSuffix(filepath.Base(prog), ".dl")
 		t.Run(name, func(t *testing.T) {
 			var out, errOut bytes.Buffer
-			if code := run(context.Background(), []string{"-program", prog}, &out, &errOut); code != 0 {
+			if code := run(context.Background(), []string{"-program", prog, "-plan"}, &out, &errOut); code != 0 {
 				t.Fatalf("exit %d: %s", code, errOut.String())
 			}
 			golden := strings.TrimSuffix(prog, ".dl") + ".golden"

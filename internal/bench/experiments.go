@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -581,6 +582,168 @@ scratch. Both rows end in the identical derived set.`, bands, width),
 	return t
 }
 
+// P17BatchedJoin compares the engine's join execution paths on the same
+// semi-naive evaluations: the tuple-at-a-time legacy path
+// (WithBatchedJoin(false)), the batched streaming pipeline (the
+// default), and the pipeline with the delta window partitioned across a
+// worker pool (WithJoinWorkers). The wide workload is a 4-literal
+// linear-recursive rule whose middle literals fan out and whose last
+// literal filters — many probes and intermediate frames per derived
+// fact, the shape batching exists for. The band workload is the P16
+// shape — complete bipartite slabs, insert-bound rather than
+// probe-bound, so it measures the floor of the win. The narrow chain
+// workload is the regression guard: delta windows of one row, where
+// batching can win nothing and must not lose.
+func P17BatchedJoin(layers []int, reps int) Table {
+	const bands, width = 8, 6
+	const tcProg = "tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+	const wideProg = "p(X,Y) :- s(X,Y).\np(X,W) :- p(X,Y), a(Y,Z), a2(Z,U), b(U,W).\n"
+	t := Table{
+		ID:      "P17",
+		Title:   "batched streaming join pipeline vs tuple-at-a-time execution",
+		MemCols: true,
+		Note: fmt.Sprintf(`Semi-naive, identical fixpoints per workload group (inferences/facts
+columns must match within a group; only time and allocations move).
+wide(K×N×F) is a 4-literal recursive rule with F×F fanout filtered to
+one continuation — probe-bound, where batching wins most.
+bands(%d×L×%d) joins complete bipartite slabs — insert-bound.
+chain(N) is the one-row-delta worst case for batching. "+4w" adds
+WithJoinWorkers(4) — on a single-core host it measures partition
+overhead, not speedup.`, bands, width),
+	}
+	modes := []struct {
+		name string
+		opts []lincount.Option
+	}{
+		{"legacy", []lincount.Option{lincount.WithBatchedJoin(false)}},
+		{"batched", nil},
+		{"+4w", []lincount.Option{lincount.WithJoinWorkers(4)}},
+	}
+	bandFacts := func(depth int) string {
+		var facts strings.Builder
+		for b := 0; b < bands; b++ {
+			for l := 0; l < depth-1; l++ {
+				for i := 0; i < width; i++ {
+					for j := 0; j < width; j++ {
+						fmt.Fprintf(&facts, "e(b%d_%d_%d,b%d_%d_%d).\n", b, l, i, b, l+1, j)
+					}
+				}
+			}
+		}
+		return facts.String()
+	}
+	wideFacts := func(sources, steps, fanout int) string {
+		var facts strings.Builder
+		for i := 0; i < steps; i++ {
+			for j := 0; j < fanout; j++ {
+				fmt.Fprintf(&facts, "a(y%d,m%d_%d).\n", i, i, j)
+				for l := 0; l < fanout; l++ {
+					fmt.Fprintf(&facts, "a2(m%d_%d,u%d_%d_%d).\n", i, j, i, j, l)
+				}
+			}
+			fmt.Fprintf(&facts, "b(u%d_0_0,y%d).\n", i, i+1)
+		}
+		for k := 0; k < sources; k++ {
+			fmt.Fprintf(&facts, "s(x%d,y0).\n", k)
+		}
+		return facts.String()
+	}
+	type wl struct {
+		name, src, facts, query string
+	}
+	ws := make([]wl, 0, len(layers)+2)
+	ws = append(ws, wl{
+		name:  "wide(192×64×4)",
+		src:   wideProg,
+		facts: wideFacts(192, 64, 4),
+		query: "?- p(x0,W).",
+	})
+	for _, depth := range layers {
+		ws = append(ws, wl{
+			name:  fmt.Sprintf("bands(%d×%d×%d)", bands, depth, width),
+			src:   tcProg,
+			facts: bandFacts(depth),
+			query: "?- tc(b0_0_0,Y).",
+		})
+	}
+	var chain strings.Builder
+	for i := 0; i < 512; i++ {
+		fmt.Fprintf(&chain, "e(n%d,n%d).\n", i, i+1)
+	}
+	ws = append(ws, wl{
+		name:  "chain(512)",
+		src:   tcProg,
+		facts: chain.String(),
+		query: "?- tc(n0,Y).",
+	})
+	for _, w := range ws {
+		for _, m := range modes {
+			t.Rows = append(t.Rows, measureJoinMode(w.name+" "+m.name, w.src, w.facts, w.query, reps, m.opts))
+		}
+	}
+	return t
+}
+
+// measureJoinMode times reps semi-naive evaluations of one workload under
+// one set of join options, reporting the minimum duration across reps
+// and the mean allocation deltas per evaluation.
+func measureJoinMode(name, src, facts, query string, reps int, opts []lincount.Option) Row {
+	row := Row{Workload: name, Strategy: lincount.SemiNaive.String()}
+	if reps < 1 {
+		reps = 1
+	}
+	p, err := lincount.ParseProgram(src)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	db := lincount.NewDatabase(p)
+	if err := db.LoadFacts(facts); err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	all := append([]lincount.Option{
+		lincount.WithMaxDerivedFacts(5_000_000),
+		lincount.WithMaxIterations(50_000),
+	}, opts...)
+	pq, err := lincount.Prepare(p, query, lincount.SemiNaive, all...)
+	if err != nil {
+		row.Err = shortErr(err)
+		return row
+	}
+	var res *lincount.Result
+	if res, err = pq.EvalContext(runCtx, db); err != nil { // warm caches and indexes
+		row.Err = shortErr(err)
+		return row
+	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	// Min-of-reps timing: on a shared single-core box the mean is dominated
+	// by scheduler noise; the minimum is the stable estimate of the true cost.
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if res, err = pq.EvalContext(runCtx, db); err != nil {
+			row.Err = shortErr(err)
+			return row
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	row.Duration = best
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	row.Allocs = (memAfter.Mallocs - memBefore.Mallocs) / uint64(reps)
+	row.Bytes = (memAfter.TotalAlloc - memBefore.TotalAlloc) / uint64(reps)
+	row.Strategy = res.Strategy.String()
+	row.Answers = len(res.Answers)
+	row.Inferences = res.Stats.Inferences
+	row.DerivedFacts = res.Stats.DerivedFacts
+	row.Probes = res.Stats.Probes
+	return row
+}
+
 // RunAll executes the full experiment suite with the default parameters
 // recorded in EXPERIMENTS.md.
 func RunAll() []Table {
@@ -605,5 +768,6 @@ func RunAll() []Table {
 		P12QSQ([]int{16, 32, 64}),
 		P14PreparedVsCold(200),
 		P16UpdateLatency([]int{20, 28}, 9),
+		P17BatchedJoin([]int{16, 24}, 5),
 	}
 }

@@ -1,0 +1,268 @@
+package database
+
+import (
+	"math/rand"
+	"testing"
+
+	"lincount/internal/term"
+)
+
+// collect drains an iterator into a slice.
+func collect(it RowIter) []RowID {
+	var out []RowID
+	for {
+		id, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+func rowIDsEqual(a, b []RowID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fillMod populates an arity-2 relation with rows (i mod k, i), so column 0
+// has k distinct keys with interleaved chains.
+func fillMod(n, k int) *Relation {
+	r := NewRelation(2)
+	for i := 0; i < n; i++ {
+		r.Insert(Tuple{term.Int(int64(i % k)), term.Int(int64(i))})
+	}
+	return r
+}
+
+func TestProbeRangeEmptyWindow(t *testing.T) {
+	r := fillMod(20, 4)
+	ix := r.IndexFor(1, 0)
+	key := []term.Value{term.Int(1)}
+	for _, win := range [][2]RowID{{5, 5}, {7, 3}, {20, 20}, {20, 40}, {0, 0}} {
+		if got := collect(r.ProbeRange(1, key, win[0], win[1])); len(got) != 0 {
+			t.Errorf("ProbeRange[%d,%d) = %v, want empty", win[0], win[1], got)
+		}
+		if got := collect(ix.ProbeRange(key, win[0], win[1])); len(got) != 0 {
+			t.Errorf("Index.ProbeRange[%d,%d) = %v, want empty", win[0], win[1], got)
+		}
+		if got := ix.ProbeRangeBatch(1, key, win[0], win[1], nil); len(got) != 0 {
+			t.Errorf("ProbeRangeBatch[%d,%d) = %v, want empty", win[0], win[1], got)
+		}
+	}
+}
+
+// TestProbeRangeWatermarkBoundary pins the delta-window semantics the
+// semi-naive engine relies on: a watermark exactly at the arena boundary
+// (hi == Len) sees every row, hi beyond the boundary clamps, and lo at
+// the boundary sees nothing — including rows inserted after the handle
+// was resolved (the handle reads the live relation).
+func TestProbeRangeWatermarkBoundary(t *testing.T) {
+	r := fillMod(10, 2)
+	ix := r.IndexFor(1, 0)
+	key := []term.Value{term.Int(0)} // rows 0,2,4,6,8
+	want := []RowID{0, 2, 4, 6, 8}
+	if got := collect(ix.ProbeRange(key, 0, RowID(r.Len()))); !rowIDsEqual(got, want) {
+		t.Errorf("hi=Len: got %v, want %v", got, want)
+	}
+	if got := collect(ix.ProbeRange(key, 0, RowID(r.Len())+100)); !rowIDsEqual(got, want) {
+		t.Errorf("hi>Len must clamp: got %v, want %v", got, want)
+	}
+	if got := collect(ix.ProbeRange(key, RowID(r.Len()), RowID(r.Len())+1)); len(got) != 0 {
+		t.Errorf("lo=Len: got %v, want empty", got)
+	}
+	// The handle must stay coherent as the single writer appends.
+	r.Insert(Tuple{term.Int(0), term.Int(100)})
+	want = append(want, 10)
+	if got := collect(ix.ProbeRange(key, 0, RowID(r.Len()))); !rowIDsEqual(got, want) {
+		t.Errorf("after append: got %v, want %v", got, want)
+	}
+	if got := collect(ix.ProbeRange(key, 10, RowID(r.Len()))); !rowIDsEqual(got, []RowID{10}) {
+		t.Errorf("delta window over appended row: got %v, want [10]", got)
+	}
+}
+
+func TestProbeMaskAllColumns(t *testing.T) {
+	r := fillMod(12, 3)
+	full := uint64(1<<2 - 1)
+	ix := r.IndexFor(full, 0)
+	if w := KeyWidth(full); w != 2 {
+		t.Fatalf("KeyWidth(%b) = %d, want 2", full, w)
+	}
+	key := []term.Value{term.Int(1), term.Int(7)} // row 7 exactly
+	if got := collect(ix.ProbeRange(key, 0, RowID(r.Len()))); !rowIDsEqual(got, []RowID{7}) {
+		t.Errorf("full-mask probe: got %v, want [7]", got)
+	}
+	miss := []term.Value{term.Int(2), term.Int(7)}
+	if got := collect(ix.ProbeRange(miss, 0, RowID(r.Len()))); len(got) != 0 {
+		t.Errorf("full-mask miss: got %v, want empty", got)
+	}
+	got := ix.ProbeRangeBatch(2, append(append([]term.Value{}, key...), miss...), 0, RowID(r.Len()), nil)
+	if len(got) != 1 || got[0] != (RowMatch{Key: 0, Row: 7}) {
+		t.Errorf("full-mask batch: got %v, want [{0 7}]", got)
+	}
+}
+
+func TestProbeMaskNoColumns(t *testing.T) {
+	r := fillMod(6, 2)
+	ix := r.IndexFor(0, 0)
+	if got := collect(ix.ProbeRange(nil, 2, 5)); !rowIDsEqual(got, []RowID{2, 3, 4}) {
+		t.Errorf("mask-0 range scan: got %v, want [2 3 4]", got)
+	}
+	// A mask-0 batch has zero-width keys: every key matches every row in
+	// the window, grouped by key.
+	got := ix.ProbeRangeBatch(2, nil, 4, 6, nil)
+	want := []RowMatch{{0, 4}, {0, 5}, {1, 4}, {1, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("mask-0 batch: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mask-0 batch: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestProbeRangeBatchEquivalence is the property test: for random
+// relations, masks, key batches and windows, one ProbeRangeBatch call
+// yields exactly the matches of per-key ProbeRange calls, in the same
+// order.
+func TestProbeRangeBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		arity := 1 + rng.Intn(3)
+		nrows := rng.Intn(60)
+		vals := 1 + rng.Intn(5)
+		r := NewRelation(arity)
+		tup := make(Tuple, arity)
+		for i := 0; i < nrows; i++ {
+			for j := range tup {
+				tup[j] = term.Int(int64(rng.Intn(vals)))
+			}
+			r.Insert(tup)
+		}
+		mask := uint64(rng.Intn(1 << uint(arity))) // may be 0 (scan) or full
+		w := KeyWidth(mask)
+		nkeys := rng.Intn(8)
+		keys := make([]term.Value, nkeys*w)
+		for i := range keys {
+			keys[i] = term.Int(int64(rng.Intn(vals + 1))) // +1: some misses
+		}
+		lo := RowID(rng.Intn(r.Len() + 2))
+		hi := RowID(rng.Intn(r.Len() + 3))
+		ix := r.IndexFor(mask, rng.Intn(2)*vals) // alternate hint/no-hint
+		batched := ix.ProbeRangeBatch(nkeys, keys, lo, hi, nil)
+		var serial []RowMatch
+		for i := 0; i < nkeys; i++ {
+			it := r.ProbeRange(mask, keys[i*w:(i+1)*w], lo, hi)
+			for {
+				id, ok := it.Next()
+				if !ok {
+					break
+				}
+				serial = append(serial, RowMatch{Key: int32(i), Row: id})
+			}
+		}
+		if len(batched) != len(serial) {
+			t.Fatalf("trial %d (arity=%d rows=%d mask=%b [%d,%d)): batched %v != serial %v",
+				trial, arity, nrows, mask, lo, hi, batched, serial)
+		}
+		for i := range serial {
+			if batched[i] != serial[i] {
+				t.Fatalf("trial %d: batched[%d]=%v != serial[%d]=%v",
+					trial, i, batched[i], i, serial[i])
+			}
+		}
+	}
+}
+
+// TestProbeRangeBatchIdenticalKeyRuns pins the identical-key-run
+// memoisation: long runs of the same key (with matches, without
+// matches, and interleaved) must replay the first probe's results
+// exactly, under a narrowed window too.
+func TestProbeRangeBatchIdenticalKeyRuns(t *testing.T) {
+	r := fillMod(40, 4) // keys 0..3, 10 rows each; key 9 misses
+	ix := r.IndexFor(1, 0)
+	mk := func(ks ...int) []term.Value {
+		out := make([]term.Value, len(ks))
+		for i, k := range ks {
+			out[i] = term.Int(int64(k))
+		}
+		return out
+	}
+	cases := [][]int{
+		{1, 1, 1, 1, 1},          // one long hit run
+		{9, 9, 9, 9},             // one long miss run
+		{1, 1, 9, 9, 1, 1},       // hit run, miss run, hit run again
+		{0, 1, 1, 2, 2, 2, 9, 3}, // mixed run lengths
+	}
+	for _, ks := range cases {
+		for _, win := range [][2]RowID{{0, 40}, {7, 23}} {
+			keys := mk(ks...)
+			batched := ix.ProbeRangeBatch(len(ks), keys, win[0], win[1], nil)
+			var serial []RowMatch
+			for i := range ks {
+				for _, id := range collect(ix.ProbeRange(keys[i:i+1], win[0], win[1])) {
+					serial = append(serial, RowMatch{Key: int32(i), Row: id})
+				}
+			}
+			if len(batched) != len(serial) {
+				t.Fatalf("keys %v window %v: batched %v != serial %v", ks, win, batched, serial)
+			}
+			for i := range serial {
+				if batched[i] != serial[i] {
+					t.Fatalf("keys %v window %v: batched[%d]=%v != serial %v", ks, win, i, batched[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexForPreSized checks a hinted index is built at final size: no
+// slot-table growth while inserting up to the hint.
+func TestIndexForPreSized(t *testing.T) {
+	r := NewRelation(1)
+	ix := r.IndexFor(1, 1000)
+	slots0 := len(ix.ix.slots)
+	if slots0*3 < 1000*4 {
+		t.Fatalf("pre-sized slot table too small: %d slots for hint 1000", slots0)
+	}
+	for i := 0; i < 1000; i++ {
+		r.Insert(Tuple{term.Int(int64(i))})
+	}
+	if got := len(ix.ix.slots); got != slots0 {
+		t.Errorf("slot table grew from %d to %d despite hint", slots0, got)
+	}
+	for _, i := range []int64{0, 500, 999} {
+		if got := collect(ix.ProbeRange([]term.Value{term.Int(i)}, 0, RowID(r.Len()))); !rowIDsEqual(got, []RowID{RowID(i)}) {
+			t.Errorf("probe %d through pre-sized index: got %v", i, got)
+		}
+	}
+}
+
+func TestNewRelationSized(t *testing.T) {
+	r := NewRelationSized(2, 500)
+	for i := 0; i < 500; i++ {
+		r.Insert(Tuple{term.Int(int64(i)), term.Int(int64(i * 2))})
+	}
+	if r.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", r.Len())
+	}
+	if !r.Contains(Tuple{term.Int(250), term.Int(500)}) {
+		t.Error("Contains miss after sized bulk load")
+	}
+	// A zero/negative hint must behave like NewRelation.
+	for _, n := range []int{0, -5} {
+		r := NewRelationSized(1, n)
+		r.Insert(Tuple{term.Int(1)})
+		if r.Len() != 1 {
+			t.Errorf("hint %d: Len = %d, want 1", n, r.Len())
+		}
+	}
+}

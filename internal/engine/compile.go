@@ -81,6 +81,16 @@ type compiledLit struct {
 	// buffer (len(args) values); literals at different join depths use
 	// disjoint windows, so probe values survive the recursion below them.
 	scratchOff int
+	// litID numbers every compiled literal across all of the rule's
+	// orderings; the evaluator's per-evaluation index-handle cache is
+	// indexed by it (see joinScratch).
+	litID int
+	// expect is the estimated cardinality of the probed (build-side)
+	// relation at compile time, from the evaluator's size function —
+	// planner stats when available, relation length otherwise. It
+	// pre-sizes the literal's hash index so growth to the expected size
+	// never rehashes, and is surfaced by PlanText. 0 means unknown.
+	expect int
 }
 
 // compiledRule is a rule prepared for evaluation. For semi-naive variants
@@ -99,16 +109,19 @@ type compiledRule struct {
 	deltaOrders [][]compiledLit
 	recBodyIdx  []int
 
-	// Reusable join buffers, so a rule evaluation allocates nothing per
-	// probe or per emitted head tuple. A compiled rule belongs to exactly
-	// one evaluation site (one component pass, or one PreparedSolve), so
-	// there is a single non-reentrant user at a time; join falls back to
-	// fresh buffers if it observes reentrancy (inUse).
-	frame   []term.Value // one slot per variable
-	scratch []term.Value // probe/negation values, windowed by scratchOff
-	headBuf []term.Value // the emitted head tuple, reused across solutions
-	trail   []int
-	inUse   bool
+	// scratchLen is the total probe/negation scratch the rule needs (the
+	// sum of body-literal arities); nlits counts the compiled literals
+	// across all orderings (the litID space). A compiled rule is
+	// immutable after compileRule returns — all runtime buffers live in
+	// per-evaluation joinScratch / ruleExec structs, so one compiled
+	// program is safe to evaluate from many goroutines at once.
+	scratchLen int
+	nlits      int
+	// flat reports that neither the head nor any body literal contains a
+	// compound pattern: evaluating the rule never interns terms, which is
+	// what makes its delta range safe to partition across the join worker
+	// pool (the term bank is not synchronized).
+	flat bool
 }
 
 // nRecOccur reports the number of recursive body occurrences.
@@ -277,9 +290,7 @@ func compileRule(bank *term.Bank, r ast.Rule, inComponent map[symtab.Sym]bool, s
 		head:         headPats,
 		headPred:     r.Head.Pred,
 		defaultOrder: defaultOrder,
-		frame:        make([]term.Value, nslots),
-		scratch:      make([]term.Value, scratchLen),
-		headBuf:      make([]term.Value, len(headPats)),
+		scratchLen:   scratchLen,
 	}
 
 	// Safety: every head variable must be bound by the (default) body
@@ -312,7 +323,49 @@ func compileRule(bank *term.Bank, r ast.Rule, inComponent map[symtab.Sym]bool, s
 			cr.recBodyIdx = append(cr.recBodyIdx, i)
 		}
 	}
+
+	// Number every compiled literal across the orderings: the evaluator's
+	// per-evaluation index-handle caches are flat slices indexed by litID.
+	id := 0
+	number := func(order []compiledLit) {
+		for j := range order {
+			order[j].litID = id
+			id++
+		}
+	}
+	number(cr.defaultOrder)
+	for _, o := range cr.deltaOrders {
+		number(o)
+	}
+	cr.nlits = id
+
+	cr.flat = true
+	for _, hp := range headPats {
+		if hasComp(hp) {
+			cr.flat = false
+		}
+	}
+	for _, bl := range lits {
+		for _, a := range bl.args {
+			if hasComp(a) {
+				cr.flat = false
+			}
+		}
+	}
 	return cr, nil
+}
+
+// hasComp reports whether the pattern contains a compound term.
+func hasComp(p pat) bool {
+	if p.kind == ast.Comp {
+		return true
+	}
+	for _, a := range p.args {
+		if hasComp(a) {
+			return true
+		}
+	}
+	return false
 }
 
 // orderBody computes one evaluation ordering; when first >= 0 that body
@@ -376,6 +429,10 @@ func orderBody(bank *term.Bank, r ast.Rule, lits []bodyLit, nslots, first int, s
 				mask |= 1 << uint(j)
 			}
 		}
+		expect := 0
+		if bl.kind == litRelation && sizeOf != nil {
+			expect = sizeOf(bl.lit.Pred)
+		}
 		order = append(order, compiledLit{
 			kind:       bl.kind,
 			op:         bl.op,
@@ -384,6 +441,7 @@ func orderBody(bank *term.Bank, r ast.Rule, lits []bodyLit, nslots, first int, s
 			bodyIdx:    bl.bodyIdx,
 			probeMask:  mask,
 			scratchOff: scratchOff,
+			expect:     expect,
 		})
 		scratchOff += len(bl.args)
 		for _, a := range bl.args {

@@ -77,7 +77,29 @@ type Options struct {
 	// cancellation) — the partial work counters a degraded attempt would
 	// otherwise discard.
 	StatsOut *Stats
+	// Sizes, when non-nil, supplies per-predicate cardinality estimates
+	// (the planner's stats, threaded through plan.Shared by the facade).
+	// They pre-size derived relations, join hash indexes and the batched
+	// pipeline's emission buffers, and participate in join ordering the
+	// same way relation lengths do. Estimates are hints: a wrong one
+	// costs memory or a rehash, never correctness.
+	Sizes SizeHint
+	// JoinWorkers > 1 partitions a wide rule's delta RowID range across
+	// that many workers (sub-stratum parallelism). Workers evaluate
+	// disjoint contiguous sub-ranges of the source window into private
+	// emission buffers that are merged in partition order, so the head
+	// relation's contents and RowID assignment are byte-identical to a
+	// serial run. Rules that build compound terms run serially (the term
+	// bank is not synchronized). 0 or 1 disables partitioning.
+	JoinWorkers int
+	// NoBatch disables the batched streaming join pipeline and evaluates
+	// rule bodies tuple-at-a-time (the pre-batching execution path, kept
+	// for differential testing and as the before-side of benchmarks).
+	NoBatch bool
 }
+
+// SizeHint estimates a predicate's cardinality; see Options.Sizes.
+type SizeHint func(symtab.Sym) int64
 
 // TraceEvent is one step of an evaluation trace.
 type TraceEvent struct {
@@ -112,6 +134,9 @@ type Stats struct {
 	DerivedFacts int64
 	Probes       int64
 	ArenaValues  int64
+	// ParallelRuns counts rule runs that were partitioned across the
+	// join worker pool (Options.JoinWorkers).
+	ParallelRuns int64
 }
 
 // Add accumulates other into s.
@@ -122,6 +147,7 @@ func (s *Stats) Add(other Stats) {
 	s.DerivedFacts += other.DerivedFacts
 	s.Probes += other.Probes
 	s.ArenaValues += other.ArenaValues
+	s.ParallelRuns += other.ParallelRuns
 }
 
 // RuleStat is one rule's profiling record, collected only when a Tracer
@@ -199,6 +225,16 @@ type evaluator struct {
 	// strata of a parallel evaluation, so MaxDerivedFacts is a true
 	// global cap there, not a per-component approximation.
 	factTotal *atomic.Int64
+
+	// scratches holds the per-evaluation join buffers, one per compiled
+	// rule (lazily built; see joinScratch). Buffers belong to the
+	// evaluator, not the compiled rule, so one compiled program is safe
+	// to evaluate from many goroutines — each gets its own evaluator and
+	// therefore its own scratch.
+	scratches map[*compiledRule]*joinScratch
+	// execs caches the batched pipeline state per rule variant
+	// (deltaOcc+1 indexes the inner slice; 0 is the default order).
+	execs map[*compiledRule][]*ruleExec
 
 	// Incremental-maintenance hooks (see incremental.go). All zero for
 	// ordinary evaluations, costing one branch per occurrence setup.
@@ -421,6 +457,26 @@ func (ev *evaluator) checkArities(p *ast.Program) error {
 	return nil
 }
 
+// sizeHintCap bounds how many rows a planner estimate may pre-allocate:
+// hints are advisory and an absurd one must not balloon memory up front.
+const sizeHintCap = 1 << 20
+
+// sizeHint returns the clamped expected cardinality of pred from
+// Options.Sizes, or 0 when no estimate is available.
+func (ev *evaluator) sizeHint(pred symtab.Sym) int {
+	if ev.opts.Sizes == nil {
+		return 0
+	}
+	n := ev.opts.Sizes(pred)
+	if n < 0 {
+		return 0
+	}
+	if n > sizeHintCap {
+		return sizeHintCap
+	}
+	return int(n)
+}
+
 func (ev *evaluator) derivedRel(pred symtab.Sym, arity int) (*database.Relation, error) {
 	if rel, ok := ev.derived[pred]; ok {
 		if rel.Arity() != arity {
@@ -429,7 +485,7 @@ func (ev *evaluator) derivedRel(pred symtab.Sym, arity int) (*database.Relation,
 		}
 		return rel, nil
 	}
-	rel := database.NewRelation(arity)
+	rel := database.NewRelationSized(arity, ev.sizeHint(pred))
 	ev.derived[pred] = rel
 	return rel, nil
 }
@@ -481,10 +537,16 @@ func (ev *evaluator) evalComponent(comp Component) (err error) {
 			continue // already seeded
 		}
 		cr, err := compileRule(ev.bank, r, inComp, func(pred symtab.Sym) int {
+			n := 0
 			if rel := ev.readRel(pred); rel != nil {
-				return rel.Len()
+				n = rel.Len()
 			}
-			return 0
+			// Planner stats see through predicates whose relations have not
+			// been derived yet; take whichever estimate is larger.
+			if s := ev.sizeHint(pred); s > n {
+				n = s
+			}
+			return n
 		})
 		if err != nil {
 			return err
@@ -666,6 +728,12 @@ func (ev *evaluator) runRule(cr *compiledRule, deltaOcc int, delta map[symtab.Sy
 }
 
 func (ev *evaluator) runRuleFast(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, grew *bool) error {
+	// The batched streaming pipeline (pipeline.go) covers ordinary
+	// evaluations; the incremental engine's windowed / row-state read
+	// disciplines stay on the tuple-at-a-time path, as does NoBatch.
+	if !ev.opts.NoBatch && !ev.windowed && ev.rowState == nil {
+		return ev.runRuleBatched(cr, deltaOcc, delta, grew)
+	}
 	headRel := ev.derived[cr.headPred]
 	return ev.join(cr, deltaOcc, delta, func(t database.Tuple) error {
 		ev.stats.Inferences++
@@ -688,31 +756,82 @@ func (ev *evaluator) runRuleFast(cr *compiledRule, deltaOcc int, delta map[symta
 	})
 }
 
+// joinScratch holds one rule's reusable join buffers for one evaluator:
+// the binding frame, probe scratch, head buffer, trail, and the cached
+// index handles (by litID) that let repeated probes of one literal skip
+// the relation's index mutex and map lookup. Scratch is per-evaluation
+// state — compiled rules are immutable and shareable across goroutines.
+type joinScratch struct {
+	frame   []term.Value // one slot per variable
+	scratch []term.Value // probe/negation values, windowed by scratchOff
+	headBuf []term.Value // the emitted head tuple, reused across solutions
+	trail   []int
+	idx     []litIndex // cached index handles, indexed by litID
+	inUse   bool
+}
+
+// litIndex caches one literal's resolved index handle; rel records which
+// relation it was resolved against (relations can change identity across
+// runs — clones, rebuilt stores — so the handle revalidates by pointer).
+type litIndex struct {
+	rel *database.Relation
+	ix  database.Index
+}
+
+func newJoinScratch(cr *compiledRule) *joinScratch {
+	return &joinScratch{
+		frame:   make([]term.Value, cr.nslots),
+		scratch: make([]term.Value, cr.scratchLen),
+		headBuf: make([]term.Value, len(cr.head)),
+		idx:     make([]litIndex, cr.nlits),
+	}
+}
+
+// scratchFor returns (creating if needed) this evaluator's scratch for cr.
+func (ev *evaluator) scratchFor(cr *compiledRule) *joinScratch {
+	if sc, ok := ev.scratches[cr]; ok {
+		return sc
+	}
+	if ev.scratches == nil {
+		ev.scratches = make(map[*compiledRule]*joinScratch)
+	}
+	sc := newJoinScratch(cr)
+	ev.scratches[cr] = sc
+	return sc
+}
+
+// probeIndex resolves (with caching) the index handle for a relation
+// literal's probe against rel, pre-sized from the compile-time estimate.
+func (sc *joinScratch) probeIndex(cl *compiledLit, rel *database.Relation) database.Index {
+	ci := &sc.idx[cl.litID]
+	if ci.rel != rel {
+		ci.rel = rel
+		ci.ix = rel.IndexFor(cl.probeMask, cl.expect)
+	}
+	return ci.ix
+}
+
 // join runs the nested-loop index join for one rule variant, calling out for
 // every successful body instantiation. The hot path is allocation-free: the
 // binding frame, the probe values and the emitted head tuple live in the
-// compiled rule's reusable buffers, index probes return arena iterators,
+// evaluator's per-rule joinScratch, index probes return arena iterators,
 // and literal matching reads zero-copy row views. The head tuple passed to
 // out is reused across solutions — out must copy it to retain it (Insert
 // copies into the relation arena).
 func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, out func(database.Tuple) error) error {
 	order, deltaBodyIdx := cr.orderFor(deltaOcc)
-	frame, scratch, headBuf := cr.frame, cr.scratch, cr.headBuf
-	trail := cr.trail[:0]
-	if cr.inUse {
+	sc := ev.scratchFor(cr)
+	if sc.inUse {
 		// Reentrant use of the same compiled rule (a Solve callback
 		// re-entering its own site): fall back to fresh buffers.
-		frame = make([]term.Value, cr.nslots)
-		scratch = make([]term.Value, len(cr.scratch))
-		headBuf = make([]term.Value, len(cr.headBuf))
-		trail = nil
+		sc = newJoinScratch(cr)
 	} else {
-		cr.inUse = true
-		defer func() {
-			cr.inUse = false
-			cr.trail = trail[:0]
-		}()
+		sc.inUse = true
+		defer func() { sc.inUse = false }()
 	}
+	frame, scratch, headBuf := sc.frame, sc.scratch, sc.headBuf
+	trail := sc.trail[:0]
+	defer func() { sc.trail = trail[:0] }()
 	for i := range frame {
 		frame[i] = noValue
 	}
@@ -804,10 +923,13 @@ func (ev *evaluator) join(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]d
 				if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
 					return err
 				}
+				// Probe through the per-evaluation cached index handle:
+				// no mutex, no map lookup, pre-sized on first build.
+				ix := sc.probeIndex(cl, rel)
 				if ranged {
-					it = rel.ProbeRange(cl.probeMask, probe, dv.lo, dv.hi)
+					it = ix.ProbeRange(probe, dv.lo, dv.hi)
 				} else {
-					it = rel.Probe(cl.probeMask, probe)
+					it = ix.ProbeRange(probe, 0, database.RowID(rel.Len()))
 				}
 			} else {
 				ev.stats.Probes++

@@ -1,0 +1,725 @@
+package engine
+
+// Batched, streaming join execution. runRuleFast routes ordinary rule
+// runs here: instead of the recursive tuple-at-a-time walk in join(),
+// each rule body ordering becomes a pipeline of streaming operators, one
+// per literal, connected by fixed-capacity batches of binding frames.
+// The source operator consumes the delta as a RowID range; every
+// relation operator instantiates the probe keys for a whole input batch,
+// resolves them in one ProbeRangeBatch against a cached, pre-sized index
+// handle, and extends the surviving frames; builtins and negations are
+// batch filters; the sink instantiates head tuples into a rule-local
+// emission relation.
+//
+// Deferred insertion is the pipeline's key discipline: head tuples are
+// collected (deduplicated) in the emission relation and flushed into the
+// head relation only after the join completes. During a run every
+// relation the pipeline reads is therefore frozen, which is what makes
+// the cached index handles sound and the delta range partitionable: with
+// JoinWorkers > 1 a wide source window is split into contiguous
+// sub-ranges evaluated concurrently into private emission buffers,
+// merged in partition order. Each operator preserves its input order and
+// expands matches in ascending RowID order, so the concatenated
+// emissions of the partitions equal the serial emission sequence exactly
+// — the head relation's contents and RowID assignment are byte-identical
+// to a serial run (see docs/INTERNALS.md § Batched execution pipeline).
+//
+// The incremental engine's windowed and row-state read disciplines stay
+// on the tuple-at-a-time join() path, as do Matcher/PreparedSolve.
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+
+	"lincount/internal/ast"
+	"lincount/internal/database"
+	"lincount/internal/faultinject"
+	"lincount/internal/limits"
+	"lincount/internal/symtab"
+	"lincount/internal/term"
+)
+
+const (
+	// batchFrames is the operator batch size: how many binding frames a
+	// level buffers before pushing them downstream. Large enough to
+	// amortize per-batch costs, small enough to stay cache-resident.
+	batchFrames = 256
+	// joinParallelMinRows is the minimum source window width worth
+	// partitioning across the worker pool; below it the fork/merge
+	// overhead outweighs the parallelism.
+	joinParallelMinRows = 2048
+	// maxJoinWorkers caps Options.JoinWorkers.
+	maxJoinWorkers = 64
+)
+
+// Integer bounds of the 62-bit term.Value encoding (shared with
+// stepBuiltin's succ handling).
+const (
+	succMaxInt = 1<<61 - 1
+	succMinInt = -(1 << 61)
+)
+
+// execLevel is the runtime state of one pipeline operator: the per-run
+// source resolution (relation, RowID window, index handle) and the
+// reusable batch buffers.
+type execLevel struct {
+	// Resolved by begin() each run.
+	rel    *database.Relation
+	lo, hi database.RowID
+	// Index handle cache, revalidated by relation identity.
+	ixRel *database.Relation
+	ix    database.Index
+	// checkArgs lists the argument positions not covered by probeMask —
+	// the ones a matched row must still be unified on (masked positions
+	// are equal by index construction and are skipped).
+	checkArgs []int
+	// probeArgs lists the argument positions covered by probeMask, in
+	// ascending order (the key column order). When every one of them is
+	// a plain variable, probeSlots holds their frame slots and the key
+	// loop skips pattern dispatch entirely.
+	probeArgs  []int
+	probeSlots []int
+	// out buffers this operator's output frames (batchFrames × nslots).
+	out  []term.Value
+	outN int
+	// keys holds the batch's probe keys (relation ops) or one negation
+	// probe tuple; matches is the ProbeRangeBatch result buffer.
+	keys    []term.Value
+	matches []database.RowMatch
+}
+
+// ruleExec is the per-evaluation execution state of one rule variant's
+// pipeline. It is reused across fixpoint iterations (buffers amortized)
+// and owned by exactly one goroutine; parallel runs build one per worker.
+type ruleExec struct {
+	ev           *evaluator
+	cr           *compiledRule
+	deltaOcc     int
+	order        []compiledLit
+	deltaBodyIdx int
+	nslots       int
+	levels       []execLevel
+	frame0       []term.Value
+	headTup      []term.Value
+	// The head sink. A serial run inserts straight into the head
+	// relation (headRel/grew set, emit nil) with full derived-fact
+	// accounting — the single-insert fast path; read windows were
+	// snapshotted by begin(), so mid-run growth is never observed. A
+	// parallel worker instead collects into its private emit relation
+	// (deduplicated, emission-ordered), merged by flushEmit afterward.
+	headRel *database.Relation
+	grew    *bool
+	emit    *database.Relation
+	// empty marks a run whose source or some relation literal resolved
+	// to an empty window: no output is possible.
+	empty bool
+	// workers caches the per-worker clones for parallel runs.
+	workers []*ruleExec
+}
+
+func newRuleExec(ev *evaluator, cr *compiledRule, deltaOcc int) *ruleExec {
+	order, dbi := cr.orderFor(deltaOcc)
+	re := &ruleExec{
+		ev:           ev,
+		cr:           cr,
+		deltaOcc:     deltaOcc,
+		order:        order,
+		deltaBodyIdx: dbi,
+		nslots:       cr.nslots,
+		levels:       make([]execLevel, len(order)),
+		frame0:       make([]term.Value, cr.nslots),
+		headTup:      make([]term.Value, len(cr.head)),
+	}
+	for i := range order {
+		cl := &order[i]
+		lv := &re.levels[i]
+		lv.out = make([]term.Value, batchFrames*cr.nslots)
+		switch cl.kind {
+		case litRelation:
+			varsOnly := true
+			for j := range cl.args {
+				if cl.probeMask&(1<<uint(j)) == 0 {
+					lv.checkArgs = append(lv.checkArgs, j)
+					continue
+				}
+				lv.probeArgs = append(lv.probeArgs, j)
+				if cl.args[j].kind != ast.Var {
+					varsOnly = false
+				}
+			}
+			if varsOnly {
+				for _, j := range lv.probeArgs {
+					lv.probeSlots = append(lv.probeSlots, cl.args[j].slot)
+				}
+			}
+			lv.keys = make([]term.Value, 0, batchFrames*database.KeyWidth(cl.probeMask))
+		case litNegated:
+			lv.keys = make([]term.Value, len(cl.args))
+		}
+	}
+	return re
+}
+
+// execFor returns (creating if needed) the cached pipeline state for one
+// rule variant of this evaluator.
+func (ev *evaluator) execFor(cr *compiledRule, deltaOcc int) *ruleExec {
+	if ev.execs == nil {
+		ev.execs = make(map[*compiledRule][]*ruleExec)
+	}
+	slots := ev.execs[cr]
+	if slots == nil {
+		slots = make([]*ruleExec, len(cr.deltaOrders)+1)
+		ev.execs[cr] = slots
+	}
+	k := deltaOcc + 1
+	if k < 0 || k >= len(slots) {
+		k = 0
+	}
+	if slots[k] == nil {
+		slots[k] = newRuleExec(ev, cr, deltaOcc)
+	}
+	return slots[k]
+}
+
+// begin resolves every operator's source for one run: the delta literal
+// gets its RowID window, other relation literals read their full (frozen)
+// relation, and probe levels revalidate their cached index handle.
+func (re *ruleExec) begin(delta map[symtab.Sym]deltaView) {
+	ev := re.ev
+	re.empty = false
+	for i := range re.order {
+		cl := &re.order[i]
+		lv := &re.levels[i]
+		lv.outN = 0
+		switch cl.kind {
+		case litRelation:
+			if re.deltaBodyIdx >= 0 && cl.bodyIdx == re.deltaBodyIdx {
+				dv := delta[cl.pred]
+				lv.rel, lv.lo, lv.hi = dv.rel, dv.lo, dv.hi
+			} else {
+				lv.rel, lv.lo, lv.hi = ev.readRel(cl.pred), 0, 0
+				if lv.rel != nil {
+					lv.hi = database.RowID(lv.rel.Len())
+				}
+			}
+			if lv.rel == nil || lv.hi <= lv.lo || lv.rel.Arity() != len(cl.args) {
+				re.empty = true
+				continue
+			}
+			if cl.probeMask != 0 && lv.ixRel != lv.rel {
+				lv.ix = lv.rel.IndexFor(cl.probeMask, cl.expect)
+				lv.ixRel = lv.rel
+			}
+		case litNegated:
+			lv.rel = ev.readRel(cl.pred)
+			if lv.rel != nil && lv.rel.Arity() != len(cl.args) {
+				lv.rel = nil // arity mismatch: membership is impossible
+			}
+		}
+	}
+}
+
+// run drives the pipeline: one all-unbound frame enters level 0, full
+// batches stream down eagerly, and drain pushes the partials through.
+func (re *ruleExec) run() error {
+	if re.empty {
+		return nil
+	}
+	for i := range re.frame0 {
+		re.frame0[i] = noValue
+	}
+	if err := re.feed(0, re.frame0, 1); err != nil {
+		return err
+	}
+	return re.drain()
+}
+
+// drain flushes every level's partial output batch downstream, in level
+// order (a flush of level i appends to level i+1's partial, which the
+// loop visits next).
+func (re *ruleExec) drain() error {
+	for i := range re.levels {
+		lv := &re.levels[i]
+		if lv.outN > 0 {
+			n := lv.outN
+			lv.outN = 0
+			if err := re.feed(i+1, lv.out, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// push forwards level i's output batch downstream when it is full.
+func (re *ruleExec) push(i int) error {
+	lv := &re.levels[i]
+	if lv.outN < batchFrames {
+		return nil
+	}
+	lv.outN = 0
+	return re.feed(i+1, lv.out, batchFrames)
+}
+
+// feed runs operator i over a batch of n input frames. Frames are flat:
+// frame k occupies frames[k*nslots : (k+1)*nslots]. Operators copy each
+// surviving frame into their own output batch, so bindings never need a
+// trail — a failed extension is simply not committed.
+func (re *ruleExec) feed(i int, frames []term.Value, n int) error {
+	if n == 0 {
+		return nil
+	}
+	if i == len(re.order) {
+		return re.emitHead(frames, n)
+	}
+	ev := re.ev
+	cl := &re.order[i]
+	lv := &re.levels[i]
+	ns := re.nslots
+	switch cl.kind {
+	case litBuiltin:
+		for k := 0; k < n; k++ {
+			out := lv.out[lv.outN*ns : (lv.outN+1)*ns]
+			copy(out, frames[k*ns:(k+1)*ns])
+			if ev.builtinFrame(cl, out) {
+				lv.outN++
+				if err := re.push(i); err != nil {
+					return err
+				}
+			}
+		}
+	case litNegated:
+		for k := 0; k < n; k++ {
+			in := frames[k*ns : (k+1)*ns]
+			for j, a := range cl.args {
+				lv.keys[j] = ev.instantiate(a, in)
+			}
+			if lv.rel != nil && lv.rel.Contains(database.Tuple(lv.keys)) {
+				continue
+			}
+			out := lv.out[lv.outN*ns : (lv.outN+1)*ns]
+			copy(out, in)
+			lv.outN++
+			if err := re.push(i); err != nil {
+				return err
+			}
+		}
+	default: // litRelation
+		if cl.probeMask != 0 {
+			// Instantiate the whole batch's probe keys, resolve them in
+			// one batched probe, then unify the unmasked columns. The
+			// accounting is batch-at-a-time: one Probes/TickN update for
+			// the n probes (the fault injector, when armed, still sees
+			// one Hit per probe so chaos schedules keep their cadence).
+			ev.stats.Probes += int64(n)
+			if err := ev.check.TickN(n); err != nil {
+				return err
+			}
+			if ev.inject != nil {
+				for k := 0; k < n; k++ {
+					if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
+						return err
+					}
+				}
+			}
+			keys := lv.keys[:0]
+			if len(lv.probeSlots) == 1 {
+				s := lv.probeSlots[0]
+				for k := 0; k < n; k++ {
+					keys = append(keys, frames[k*ns+s])
+				}
+			} else if lv.probeSlots != nil {
+				for k := 0; k < n; k++ {
+					in := frames[k*ns : (k+1)*ns]
+					for _, s := range lv.probeSlots {
+						keys = append(keys, in[s])
+					}
+				}
+			} else {
+				for k := 0; k < n; k++ {
+					in := frames[k*ns : (k+1)*ns]
+					for _, j := range lv.probeArgs {
+						if a := cl.args[j]; a.kind == ast.Var {
+							keys = append(keys, in[a.slot])
+						} else {
+							keys = append(keys, ev.instantiate(a, in))
+						}
+					}
+				}
+			}
+			lv.keys = keys
+			lv.matches = lv.ix.ProbeRangeBatch(n, keys, lv.lo, lv.hi, lv.matches[:0])
+			for _, m := range lv.matches {
+				out := lv.out[lv.outN*ns : (lv.outN+1)*ns]
+				copy(out, frames[int(m.Key)*ns:(int(m.Key)+1)*ns])
+				row := lv.rel.Row(m.Row)
+				ok := true
+				for _, j := range lv.checkArgs {
+					// Inline bind-or-compare for plain variables (the
+					// common case); compounds fall back to matchFrame.
+					if p := cl.args[j]; p.kind == ast.Var {
+						if w := out[p.slot]; w == noValue {
+							out[p.slot] = row[j]
+						} else if w != row[j] {
+							ok = false
+							break
+						}
+					} else if !ev.matchFrame(p, row[j], out) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				lv.outN++
+				if err := re.push(i); err != nil {
+					return err
+				}
+			}
+		} else {
+			// Unindexed source: nested scan of the window per input frame.
+			ev.stats.Probes += int64(n)
+			if err := ev.check.TickN(n); err != nil {
+				return err
+			}
+			for k := 0; k < n; k++ {
+				in := frames[k*ns : (k+1)*ns]
+				if ev.inject != nil {
+					if err := ev.inject.Hit(faultinject.SiteEngineProbe); err != nil {
+						return err
+					}
+				}
+				for id := lv.lo; id < lv.hi; id++ {
+					out := lv.out[lv.outN*ns : (lv.outN+1)*ns]
+					copy(out, in)
+					row := lv.rel.Row(id)
+					ok := true
+					for _, j := range lv.checkArgs {
+						if !ev.matchFrame(cl.args[j], row[j], out) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					lv.outN++
+					if err := re.push(i); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// emitHead instantiates the head for every solution frame and hands the
+// tuples to the run's sink: the head relation itself (serial) or the
+// worker's private emission relation (parallel).
+func (re *ruleExec) emitHead(frames []term.Value, n int) error {
+	ev := re.ev
+	ns := re.nslots
+	ev.stats.Inferences += int64(n)
+	if err := ev.check.TickN(n); err != nil {
+		return err
+	}
+	for k := 0; k < n; k++ {
+		f := frames[k*ns : (k+1)*ns]
+		for j, hp := range re.cr.head {
+			switch hp.kind {
+			case ast.Var:
+				re.headTup[j] = f[hp.slot]
+			case ast.Const:
+				re.headTup[j] = hp.val
+			default:
+				re.headTup[j] = ev.instantiate(hp, f)
+			}
+		}
+		if re.emit != nil {
+			re.emit.Insert(database.Tuple(re.headTup))
+			continue
+		}
+		if re.headRel.Insert(database.Tuple(re.headTup)) {
+			ev.stats.DerivedFacts++
+			if err := ev.inject.Hit(faultinject.SiteEngineInsert); err != nil {
+				return err
+			}
+			if n := ev.countFact(); n > ev.maxFacts {
+				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
+			}
+			if re.grew != nil {
+				*re.grew = true
+			}
+		}
+	}
+	return nil
+}
+
+// matchFrame unifies a pattern with a ground value, binding directly into
+// the frame. No trail: batched frames are copies, so a failed match's
+// partial bindings die with the discarded frame.
+func (ev *evaluator) matchFrame(p pat, v term.Value, frame []term.Value) bool {
+	switch p.kind {
+	case ast.Const:
+		return p.val == v
+	case ast.Var:
+		if frame[p.slot] != noValue {
+			return frame[p.slot] == v
+		}
+		frame[p.slot] = v
+		return true
+	default:
+		if !v.IsCompound() {
+			return false
+		}
+		c := ev.bank.Deref(v)
+		if c.Functor != p.functor || len(c.Args) != len(p.args) {
+			return false
+		}
+		for j, a := range p.args {
+			if !ev.matchFrame(a, c.Args[j], frame) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// builtinFrame is stepBuiltin without the trail/continuation machinery:
+// it evaluates the builtin against (and binds into) an owned frame copy.
+func (ev *evaluator) builtinFrame(cl *compiledLit, frame []term.Value) bool {
+	x, y := cl.args[0], cl.args[1]
+	gx, gy := x.groundIn(frame), y.groundIn(frame)
+	bind := func(p pat, v term.Value) bool {
+		if frame[p.slot] != noValue {
+			return frame[p.slot] == v
+		}
+		frame[p.slot] = v
+		return true
+	}
+	switch cl.op {
+	case opEq:
+		switch {
+		case gx && gy:
+			return ev.instantiate(x, frame) == ev.instantiate(y, frame)
+		case gx:
+			// The unbound side is a plain variable by the ordering
+			// precondition.
+			return bind(y, ev.instantiate(x, frame))
+		default:
+			return bind(x, ev.instantiate(y, frame))
+		}
+	case opSucc:
+		switch {
+		case gx && gy:
+			a, b := ev.instantiate(x, frame), ev.instantiate(y, frame)
+			return a.IsInt() && b.IsInt() && a.AsInt() < succMaxInt && b.AsInt() == a.AsInt()+1
+		case gx:
+			a := ev.instantiate(x, frame)
+			if !a.IsInt() || a.AsInt() >= succMaxInt {
+				return false
+			}
+			return bind(y, term.Int(a.AsInt()+1))
+		default:
+			b := ev.instantiate(y, frame)
+			if !b.IsInt() || b.AsInt() <= succMinInt {
+				return false
+			}
+			return bind(x, term.Int(b.AsInt()-1))
+		}
+	default:
+		a, b := ev.instantiate(x, frame), ev.instantiate(y, frame)
+		var c int
+		if a.IsInt() && b.IsInt() {
+			switch {
+			case a.AsInt() < b.AsInt():
+				c = -1
+			case a.AsInt() > b.AsInt():
+				c = 1
+			}
+		} else {
+			c = term.Compare(a, b)
+		}
+		switch cl.op {
+		case opNeq:
+			return c != 0
+		case opLt:
+			return c < 0
+		case opLe:
+			return c <= 0
+		case opGt:
+			return c > 0
+		case opGe:
+			return c >= 0
+		}
+		return false
+	}
+}
+
+// flushEmit inserts one emission buffer into the head relation, in
+// emission order, applying the derived-fact accounting, fault-injection
+// hook and budget exactly as the tuple-at-a-time path does per insert.
+func (ev *evaluator) flushEmit(emit *database.Relation, headPred symtab.Sym, grew *bool) error {
+	headRel := ev.derived[headPred]
+	for id := database.RowID(0); int(id) < emit.Len(); id++ {
+		if headRel.Insert(database.Tuple(emit.Row(id))) {
+			ev.stats.DerivedFacts++
+			if err := ev.inject.Hit(faultinject.SiteEngineInsert); err != nil {
+				return err
+			}
+			if n := ev.countFact(); n > ev.maxFacts {
+				return ev.limitErr(limits.KindFacts, n, ev.maxFacts)
+			}
+			if grew != nil {
+				*grew = true
+			}
+		}
+	}
+	return nil
+}
+
+// runRuleBatched evaluates one rule variant through the batched pipeline,
+// partitioning the source window across the worker pool when profitable.
+func (ev *evaluator) runRuleBatched(cr *compiledRule, deltaOcc int, delta map[symtab.Sym]deltaView, grew *bool) error {
+	re := ev.execFor(cr, deltaOcc)
+	re.begin(delta)
+	if re.empty {
+		return nil
+	}
+	if w := ev.joinWorkerCount(re); w > 1 {
+		return ev.runRuleParallel(re, w, grew)
+	}
+	re.headRel = ev.derived[cr.headPred]
+	re.grew = grew
+	return re.run()
+}
+
+// joinWorkerCount decides the partition width for one run: the
+// configured pool size, clamped, and only for flat rules whose source is
+// a relation window wide enough to be worth splitting.
+func (ev *evaluator) joinWorkerCount(re *ruleExec) int {
+	w := ev.opts.JoinWorkers
+	if w <= 1 || !re.cr.flat || len(re.order) == 0 || re.order[0].kind != litRelation {
+		return 1
+	}
+	width := int(re.levels[0].hi - re.levels[0].lo)
+	if width < joinParallelMinRows {
+		return 1
+	}
+	if w > maxJoinWorkers {
+		w = maxJoinWorkers
+	}
+	if w > width {
+		w = width
+	}
+	return w
+}
+
+// runRuleParallel splits the source window of an already-begun run into w
+// contiguous sub-ranges and evaluates them concurrently, each worker on a
+// private pipeline clone with private stats and a private emission
+// buffer, sharing the parent's relations (frozen for the duration), fault
+// injector and atomic fact total. The first error cancels the run's
+// context; the workers drain cooperatively. On success the emission
+// buffers are flushed in partition order — the deterministic merge.
+func (ev *evaluator) runRuleParallel(re *ruleExec, w int, grew *bool) error {
+	parent := ev.ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	runCtx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+	ev.stats.ParallelRuns++
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel(err)
+	}
+
+	if len(re.workers) != w {
+		re.workers = make([]*ruleExec, w)
+	}
+	lo, hi := re.levels[0].lo, re.levels[0].hi
+	width := int(hi - lo)
+	for i := 0; i < w; i++ {
+		wre := re.workers[i]
+		if wre == nil {
+			wev := &evaluator{
+				bank:      ev.bank,
+				db:        ev.db,
+				derived:   ev.derived,
+				arity:     ev.arity,
+				opts:      ev.opts,
+				maxIter:   ev.maxIter,
+				maxFacts:  ev.maxFacts,
+				inject:    ev.inject,
+				factTotal: ev.factTotal,
+			}
+			wre = newRuleExec(wev, re.cr, re.deltaOcc)
+			wre.emit = database.NewRelationSized(len(re.cr.head), ev.sizeHint(re.cr.headPred))
+			re.workers[i] = wre
+		}
+		wev := wre.ev
+		wev.check = limits.NewChecker(runCtx, "engine")
+		wev.ctx = runCtx
+		wev.stats = Stats{}
+		// Share the parent's per-level resolution (relations, windows and
+		// index handles were resolved under begin on this goroutine), then
+		// narrow the source window to this worker's partition.
+		for j := range re.levels {
+			wre.levels[j].rel = re.levels[j].rel
+			wre.levels[j].lo = re.levels[j].lo
+			wre.levels[j].hi = re.levels[j].hi
+			wre.levels[j].ix = re.levels[j].ix
+			wre.levels[j].ixRel = re.levels[j].ixRel
+			wre.levels[j].outN = 0
+		}
+		wre.empty = false
+		wre.levels[0].lo = lo + database.RowID(i*width/w)
+		wre.levels[0].hi = lo + database.RowID((i+1)*width/w)
+		wre.emit.Reset()
+
+		wg.Add(1)
+		go func(wre *ruleExec) {
+			defer wg.Done()
+			// A panic must not cross the goroutine boundary; carry it out
+			// as an error (it resurfaces as *InternalError at the API).
+			defer func() {
+				if r := recover(); r != nil {
+					fail(&limits.PanicError{Component: "engine", Value: r, Stack: debug.Stack()})
+				}
+			}()
+			if err := wre.run(); err != nil {
+				fail(err)
+			}
+		}(wre)
+	}
+	wg.Wait()
+	for i := 0; i < w; i++ {
+		ev.stats.Add(re.workers[i].ev.stats)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ev.check.Check(); err != nil {
+		return err
+	}
+	for i := 0; i < w; i++ {
+		if err := ev.flushEmit(re.workers[i].emit, re.cr.headPred, grew); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,13 +21,23 @@ func PlanText(p *ast.Program, db *database.Database) (string, error) {
 	}
 	bank := p.Bank
 	syms := bank.Symbols()
+	// Fact rules embedded in the program count toward the cardinality
+	// estimates like database rows do — they seed the same relations at
+	// evaluation time (and Plan is often called with no database at all).
+	factCount := map[symtab.Sym]int{}
+	for _, r := range p.Rules {
+		if r.IsFact() {
+			factCount[r.Head.Pred]++
+		}
+	}
 	sizeOf := func(pred symtab.Sym) int {
+		n := factCount[pred]
 		if db != nil {
 			if rel := db.Relation(pred); rel != nil {
-				return rel.Len()
+				n += rel.Len()
 			}
 		}
-		return 0
+		return n
 	}
 
 	var sb strings.Builder
@@ -92,10 +102,16 @@ func writeOrder(sb *strings.Builder, bank interface {
 		if cl.bodyIdx == deltaIdx && deltaIdx >= 0 && cl.kind == litRelation {
 			delta = "Δ"
 		}
+		// ~N is the expected build-side cardinality the executor will
+		// pre-size this literal's probe index (and hash tables) to.
+		expect := ""
+		if cl.kind == litRelation && cl.expect > 0 {
+			expect = fmt.Sprintf("~%d", cl.expect)
+		}
 		if len(cl.args) == 0 {
-			parts[i] = tag + delta + name
+			parts[i] = tag + delta + name + expect
 		} else {
-			parts[i] = fmt.Sprintf("%s%s%s/%s", tag, delta, name, probe)
+			parts[i] = fmt.Sprintf("%s%s%s/%s%s", tag, delta, name, probe, expect)
 		}
 	}
 	fmt.Fprintf(sb, "        %s: %s\n", label, strings.Join(parts, " ⋈ "))

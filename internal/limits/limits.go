@@ -158,3 +158,19 @@ func (c *Checker) Tick() error {
 	}
 	return c.Check()
 }
+
+// TickN counts n units of inner-loop work at once — the batched
+// execution paths account a whole batch with one call. It polls the
+// context whenever the counter crosses a DefaultCheckInterval boundary,
+// so cancellation latency matches n individual Ticks.
+func (c *Checker) TickN(n int) error {
+	if c == nil || n <= 0 {
+		return nil
+	}
+	prev := c.n
+	c.n += uint32(n)
+	if c.n/c.interval != prev/c.interval || c.n < prev {
+		return c.Check()
+	}
+	return nil
+}

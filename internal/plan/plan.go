@@ -3,6 +3,7 @@ package plan
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lincount/internal/adorn"
@@ -32,6 +33,30 @@ type Shared struct {
 
 	derivedOnce sync.Once
 	derived     bool
+
+	// stats is the most recently published cardinality estimator for
+	// this (program, query) pair — set by the facade each evaluation
+	// (the database can change between evaluations) and read by the
+	// engine to pre-size its relations and indexes. Atomic because a
+	// Shared is cached and used concurrently.
+	stats atomic.Pointer[StatsFunc]
+}
+
+// SetStats publishes the per-predicate cardinality estimator for
+// subsequent compilations and evaluations against this Shared.
+func (s *Shared) SetStats(fn StatsFunc) {
+	if fn != nil {
+		s.stats.Store(&fn)
+	}
+}
+
+// Stats returns the last published cardinality estimator, or nil if none
+// has been set.
+func (s *Shared) Stats() StatsFunc {
+	if p := s.stats.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // NewShared returns the shared compilation state for evaluating q

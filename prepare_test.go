@@ -184,6 +184,56 @@ func TestPreparedQueryConcurrentEval(t *testing.T) {
 	}
 }
 
+// TestPreparedQueryConcurrentJoinModes exercises one PreparedQuery from
+// many goroutines while mixing join-execution modes: the default batched
+// pipeline, the legacy tuple-at-a-time path, and the partitioned worker
+// pool. Join scratch (frames, trails, cached index handles, pipeline
+// state) is per-evaluation, so every mode must agree under -race.
+func TestPreparedQueryConcurrentJoinModes(t *testing.T) {
+	p, db := sgSetup(t)
+	pq, err := lincount.Prepare(p, sgQuery(), lincount.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pq.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := [][]lincount.Option{
+		nil,
+		{lincount.WithBatchedJoin(false)},
+		{lincount.WithJoinWorkers(4)},
+		{lincount.WithJoinWorkers(2), lincount.WithBatchedJoin(true)},
+	}
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(modes))
+	for m := range modes {
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(m int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					res, err := pq.Eval(db, modes[m]...)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(res.Answers, want.Answers) {
+						errs <- errMismatch
+						return
+					}
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 var errMismatch = errForConcurrent("concurrent prepared eval returned different answers")
 
 type errForConcurrent string
